@@ -1,0 +1,57 @@
+"""Figure 1: prefetch accuracy and normalised dynamic energy of the
+state-of-the-art prefetchers, averaged over memory-intensive SPEC-like
+and GAP-like traces.
+
+Paper reference: accuracies — IPCP ~50.6 %, MLOP ~62.4 %, Berti ~87 %;
+dynamic energy overhead up to +30 % (SPEC) / +87 % (GAP) for the
+competitors vs. +9 % / +14 % for Berti.
+"""
+
+from common import gap_traces, once, run, run_matrix, save_report, spec_traces
+
+from repro.analysis.metrics import average_accuracy
+from repro.analysis.report import format_table
+from repro.energy import EnergyModel
+
+PREFETCHERS = ["mlop", "ipcp", "berti"]
+
+
+def test_fig01_accuracy_and_energy(benchmark):
+    def compute():
+        em = EnergyModel()
+        rows = []
+        for suite_name, traces in (("SPEC17", spec_traces()),
+                                   ("GAP", gap_traces())):
+            matrix = run_matrix(traces, ["none"] + PREFETCHERS)
+            for pf in PREFETCHERS:
+                results = [matrix[t.name][pf] for t in traces]
+                bases = [matrix[t.name]["none"] for t in traces]
+                acc = average_accuracy(results)
+                energy = sum(
+                    em.normalised(r, b) for r, b in zip(results, bases)
+                ) / len(results)
+                rows.append([suite_name, pf, acc, energy])
+        return rows
+
+    rows = once(benchmark, compute)
+    save_report(
+        "fig01_accuracy_energy",
+        format_table(
+            ["suite", "prefetcher", "accuracy", "energy vs no-pf"],
+            rows,
+            title=(
+                "Figure 1 — accuracy and normalised dynamic energy\n"
+                "(paper: Berti ~87% accurate, lowest energy overhead)"
+            ),
+        ),
+    )
+
+    by = {(s, p): (a, e) for s, p, a, e in rows}
+    for suite in ("SPEC17", "GAP"):
+        # Berti is the most accurate prefetcher on both suites.
+        accs = {p: by[(suite, p)][0] for p in PREFETCHERS}
+        assert accs["berti"] == max(accs.values()), (suite, accs)
+        assert accs["berti"] > 0.6, (suite, accs)
+    # ... and its energy overhead is the smallest on SPEC.
+    energies = {p: by[("SPEC17", p)][1] for p in PREFETCHERS}
+    assert energies["berti"] == min(energies.values()), energies

@@ -1,0 +1,75 @@
+"""Figure 7 (and Table III): speedup vs. storage for single-level and
+multi-level prefetching.
+
+Paper reference: Berti reaches the highest L1D speedup (+8.5 % over
+IP-stride across SPEC+GAP) at 2.55 KB; Berti+SPP-PPF is the best combo
+(+10.2 %); every multi-level combination *without* Berti is below Berti
+alone despite 18–22× the storage.
+"""
+
+from common import (
+    MULTILEVEL_SET,
+    all_memint_traces,
+    once,
+    run_matrix,
+    run_multilevel,
+    save_report,
+)
+
+from repro.analysis.metrics import geomean_speedup
+from repro.analysis.report import format_table
+from repro.prefetchers.registry import make_prefetcher, storage_kb
+
+L1D_NAMES = ["ip_stride", "mlop", "ipcp", "berti"]
+
+
+def test_fig07_speedup_vs_storage(benchmark):
+    def compute():
+        traces = all_memint_traces()
+        single = run_matrix(traces, L1D_NAMES)
+        multi = run_multilevel(traces, MULTILEVEL_SET)
+        merged = {
+            t: {**single[t], **multi[t]} for t in single
+        }
+        speeds = geomean_speedup(merged, baseline_name="ip_stride")
+        rows = []
+        for name, speed in sorted(speeds.items(), key=lambda kv: -kv[1]):
+            if name == "ip_stride":
+                storage = storage_kb("ip_stride")
+                kind = "baseline"
+            elif "+" in name:
+                l1d, l2 = name.split("+")
+                storage = storage_kb(l1d) + storage_kb(l2)
+                kind = "L1D+L2"
+            else:
+                storage = storage_kb(name)
+                kind = "L1D"
+            rows.append([name, kind, round(storage, 2), speed])
+        return rows
+
+    rows = once(benchmark, compute)
+    save_report(
+        "fig07_speedup_vs_storage",
+        format_table(
+            ["configuration", "kind", "storage KB", "geomean speedup"],
+            rows,
+            title=(
+                "Figure 7 — speedup vs storage (SPEC17+GAP, vs IP-stride)\n"
+                "(paper: Berti best single-level at 2.55 KB; combos without"
+                " Berti never beat Berti alone)"
+            ),
+        ),
+    )
+
+    speeds = {r[0]: r[3] for r in rows}
+    # Berti is the best single-level prefetcher.
+    assert speeds["berti"] == max(
+        speeds[n] for n in L1D_NAMES
+    )
+    # Every multi-level combination without Berti is at or below Berti
+    # alone (the headline of Figure 7).
+    for combo in ("mlop+bingo", "mlop+spp_ppf", "ipcp+ipcp_l2"):
+        assert speeds[combo] <= speeds["berti"] + 0.02, combo
+    # Berti's storage is tiny next to the heavy combos.
+    storage = {r[0]: r[2] for r in rows}
+    assert storage["berti"] < storage["mlop+bingo"] / 10

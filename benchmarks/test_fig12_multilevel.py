@@ -1,0 +1,61 @@
+"""Figure 12: multi-level (L1D+L2) prefetching speedups.
+
+Paper reference: Berti+SPP-PPF is the best combination (+10.2 % overall,
+only +1.5 % over Berti alone); combinations without Berti roughly match
+Berti alone at 18–22× its storage; adding an L2 prefetcher to Berti is a
+marginal gain.
+"""
+
+from common import (
+    MULTILEVEL_SET,
+    gap_traces,
+    once,
+    run_matrix,
+    run_multilevel,
+    save_report,
+    spec_traces,
+)
+
+from repro.analysis.metrics import geomean_speedup
+from repro.analysis.report import format_table
+
+
+def test_fig12_multilevel_speedups(benchmark):
+    def compute():
+        out = {}
+        for suite, traces in (("SPEC17", spec_traces()), ("GAP", gap_traces())):
+            single = run_matrix(traces, ["ip_stride", "berti"])
+            multi = run_multilevel(traces, MULTILEVEL_SET)
+            merged = {t: {**single[t], **multi[t]} for t in single}
+            out[suite] = geomean_speedup(merged)
+        return out
+
+    speeds = once(benchmark, compute)
+    configs = ["berti"] + [f"{a}+{b}" for a, b in MULTILEVEL_SET]
+    rows = [
+        [cfg, speeds["SPEC17"].get(cfg, 0.0), speeds["GAP"].get(cfg, 0.0)]
+        for cfg in configs
+    ]
+    save_report(
+        "fig12_multilevel",
+        format_table(
+            ["configuration", "SPEC17", "GAP"], rows,
+            title=(
+                "Figure 12 — multi-level prefetching speedup vs IP-stride\n"
+                "(paper: combos without Berti do not beat Berti alone)"
+            ),
+        ),
+    )
+
+    # On SPEC no Berti-less combination beats Berti alone (the paper's
+    # GAP panel allows MLOP+SPP-PPF to roughly *match* Berti there, so
+    # the strict ordering is asserted on SPEC only).
+    s = speeds["SPEC17"]
+    for combo in ("mlop+bingo", "mlop+spp_ppf", "ipcp+ipcp_l2"):
+        assert s[combo] <= s["berti"] + 0.04, (combo, s)
+    for suite in ("SPEC17", "GAP"):
+        s = speeds[suite]
+        # Berti-based combos sit at or above Berti alone (small gain).
+        assert max(s["berti+spp_ppf"], s["berti+bingo"]) >= s["berti"] - 0.03
+        # MLOP+Bingo (the DPC-3 podium pair) never beats Berti alone.
+        assert s["mlop+bingo"] <= s["berti"] + 0.04, suite

@@ -1,0 +1,68 @@
+"""Figure 15: dynamic energy of the memory hierarchy normalised to no
+prefetching, including multi-level combinations.
+
+Paper reference: SPEC — Berti +9.0 % vs MLOP +29.1 % / IPCP +30.1 %;
+GAP — Berti +14.3 % ≈ MLOP +14.2 % (MLOP issues very little there) and
+IPCP +86.9 %.  Bingo/SPP-PPF on top add large energy, especially Bingo
+on GAP (+60 % over the L1D prefetcher alone).
+"""
+
+from common import (
+    gap_traces,
+    once,
+    run,
+    run_matrix,
+    run_multilevel,
+    save_report,
+    spec_traces,
+)
+
+from repro.analysis.report import format_table
+from repro.energy import EnergyModel
+
+NAMES = ["ip_stride", "mlop", "ipcp", "berti"]
+COMBOS = [("berti", "bingo"), ("berti", "spp_ppf")]
+
+
+def test_fig15_energy(benchmark):
+    def compute():
+        em = EnergyModel()
+        rows = []
+        for suite, traces in (("SPEC17", spec_traces()), ("GAP", gap_traces())):
+            matrix = run_matrix(traces, ["none"] + NAMES)
+            multi = run_multilevel(traces, COMBOS)
+            for name in NAMES:
+                e = sum(
+                    em.normalised(matrix[t.name][name], matrix[t.name]["none"])
+                    for t in traces
+                ) / len(traces)
+                rows.append([suite, name, e])
+            for a, b in COMBOS:
+                key = f"{a}+{b}"
+                e = sum(
+                    em.normalised(multi[t.name][key], matrix[t.name]["none"])
+                    for t in traces
+                ) / len(traces)
+                rows.append([suite, key, e])
+        return rows
+
+    rows = once(benchmark, compute)
+    save_report(
+        "fig15_energy",
+        format_table(
+            ["suite", "configuration", "energy vs no-pf"], rows,
+            title=(
+                "Figure 15 — normalised dynamic energy\n"
+                "(paper: Berti lowest among L1D prefetchers; L2 prefetchers"
+                " on top add substantial energy)"
+            ),
+        ),
+    )
+
+    by = {(s, n): e for s, n, e in rows}
+    # Berti consumes the least extra energy among aggressive prefetchers
+    # on SPEC (IP-stride is conservative and may be lower still).
+    assert by[("SPEC17", "berti")] <= by[("SPEC17", "mlop")] + 0.03
+    assert by[("SPEC17", "berti")] <= by[("SPEC17", "ipcp")] + 0.03
+    # L2 prefetchers on top of Berti increase energy.
+    assert by[("GAP", "berti+bingo")] >= by[("GAP", "berti")] - 0.02

@@ -1,0 +1,73 @@
+"""Figure 21: sensitivity to the L1/L2 coverage watermarks.
+
+Paper reference: the (65 %, 35 %) pair is the sweet spot; a broad band of
+configurations helps, extreme watermarks hurt both coverage (too high)
+and accuracy (too low).
+"""
+
+from common import SCALE, once, save_report
+
+from repro.analysis.metrics import geomean
+from repro.analysis.report import format_table
+from repro.core.berti import BertiPrefetcher
+from repro.core.config import BertiConfig
+from repro.prefetchers.registry import make_prefetcher
+from repro.simulator.engine import simulate
+from repro.workloads.gap import gap_suite
+from repro.workloads.spec_like import spec17_suite
+
+WATERMARKS = [
+    (0.95, 0.95),
+    (0.95, 0.65),
+    (0.65, 0.65),
+    (0.65, 0.35),   # the paper's configuration
+    (0.65, 0.10),
+    (0.35, 0.35),
+    (0.35, 0.10),
+    (0.10, 0.10),
+]
+
+
+def test_fig21_watermark_sweep(benchmark):
+    def compute():
+        traces = spec17_suite(SCALE * 0.6) + gap_suite(
+            SCALE * 0.6, graphs=["kron", "urand"], kernels=["pr", "sssp", "bc"]
+        )
+        bases = {
+            t.name: simulate(t, l1d_prefetcher=make_prefetcher("ip_stride"))
+            for t in traces
+        }
+        out = {}
+        for high, medium in WATERMARKS:
+            cfg = BertiConfig().with_watermarks(high, medium)
+            ratios = []
+            for t in traces:
+                r = simulate(t, l1d_prefetcher=BertiPrefetcher(cfg))
+                ratios.append(r.speedup_over(bases[t.name]))
+            out[(high, medium)] = geomean(ratios)
+        return out
+
+    speeds = once(benchmark, compute)
+    rows = [
+        [f"{int(h*100)}%", f"{int(m*100)}%", s]
+        for (h, m), s in speeds.items()
+    ]
+    save_report(
+        "fig21_watermarks",
+        format_table(
+            ["L1 watermark", "L2 watermark", "geomean speedup"], rows,
+            title=(
+                "Figure 21 — watermark sensitivity (vs IP-stride)\n"
+                "(paper: sweet spot at 65%/35%; extremes hurt)"
+            ),
+        ),
+    )
+
+    default = speeds[(0.65, 0.35)]
+    # The paper's configuration is at (or within noise of) the best.
+    assert default >= max(speeds.values()) - 0.03
+    # Extremely low watermarks (spray everything) are worse than default.
+    assert speeds[(0.10, 0.10)] <= default + 0.01
+    # A broad middle band still helps (speedup > 1 for most settings).
+    helping = sum(1 for s in speeds.values() if s > 1.0)
+    assert helping >= len(WATERMARKS) // 2

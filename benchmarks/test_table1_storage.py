@@ -1,0 +1,34 @@
+"""Table I: storage overhead of Berti (2.55 KB total)."""
+
+from common import once, save_report
+
+from repro.analysis.report import format_table
+from repro.core.config import BertiConfig
+
+
+def test_table1_storage_breakdown(benchmark):
+    def build():
+        return BertiConfig().storage_breakdown_kb()
+
+    breakdown = once(benchmark, build)
+
+    paper = {
+        "history_table": 0.74,
+        "table_of_deltas": 0.62,
+        "pq_mshr_timestamps": 0.06,
+        "l1d_latency_fields": 1.13,
+        "total": 2.55,
+    }
+    rows = [
+        [name, paper[name], round(kb, 3)]
+        for name, kb in breakdown.items()
+    ]
+    save_report(
+        "table1_storage",
+        format_table(
+            ["structure", "paper KB", "measured KB"], rows,
+            title="Table I — Berti storage overhead",
+        ),
+    )
+    for name, kb in breakdown.items():
+        assert abs(kb - paper[name]) < 0.03, name

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Domain example: prefetching under constrained DRAM bandwidth.
+
+Reproduces the paper's §IV-F methodology interactively: sweep the DRAM
+transfer rate from DDR5-6400 down to DDR3-1600 and watch how each
+prefetcher's speedup responds.  Accurate prefetchers degrade gracefully
+(their traffic is almost all useful); sprayers lose their gains first
+because junk requests compete with demands for the shrinking bus.
+
+Run:  python examples/bandwidth_study.py
+"""
+
+from repro.analysis.charts import bar_chart, series_chart
+from repro.analysis.metrics import geomean
+from repro.prefetchers.registry import make_prefetcher
+from repro.simulator.config import default_config
+from repro.simulator.engine import simulate
+from repro.workloads.spec_like import bwaves_like, lbm_2676, mcf_s_1554
+
+PREFETCHERS = ["mlop", "ipcp", "berti"]
+MTPS = [6400, 3200, 1600]
+
+
+def main() -> None:
+    traces = [mcf_s_1554(0.35), lbm_2676(0.35), bwaves_like(0.35)]
+    series = {name: [] for name in PREFETCHERS}
+
+    for mtps in MTPS:
+        cfg = default_config().with_dram_mtps(mtps)
+        print(f"simulating at {mtps} MTPS...")
+        bases = {
+            t.name: simulate(t, l1d_prefetcher=make_prefetcher("ip_stride"),
+                             config=cfg)
+            for t in traces
+        }
+        for name in PREFETCHERS:
+            ratios = [
+                simulate(t, l1d_prefetcher=make_prefetcher(name), config=cfg)
+                .speedup_over(bases[t.name])
+                for t in traces
+            ]
+            series[name].append((mtps, geomean(ratios)))
+
+    print()
+    print(series_chart(
+        series,
+        title="speedup vs IP-stride across 6400 -> 3200 -> 1600 MTPS",
+    ))
+    print()
+    final = {name: pts[-1][1] for name, pts in series.items()}
+    print(bar_chart(final, title="speedup at 1600 MTPS", baseline=1.0))
+    print("\n(paper §IV-F: the prefetcher ranking is stable across DRAM"
+          "\nbandwidths; losses at 1600 MTPS are moderate for Berti)")
+
+
+if __name__ == "__main__":
+    main()

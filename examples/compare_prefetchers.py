@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compare every L1D prefetcher across a mini evaluation suite.
+
+A reduced version of the paper's Figure 8/10 methodology: run a few
+SPEC-like and GAP-like traces under each L1D prefetcher, then report the
+geometric-mean speedup over IP-stride, the average accuracy, and the
+hardware budget — the speedup-vs-storage trade-off of Figure 7.
+
+Run:  python examples/compare_prefetchers.py [scale]
+"""
+
+import sys
+
+from repro.analysis.metrics import average_accuracy, geomean_speedup
+from repro.analysis.report import format_table
+from repro.prefetchers.registry import make_prefetcher, storage_kb
+from repro.simulator.engine import simulate
+from repro.workloads.gap import gap_trace
+from repro.workloads.spec_like import lbm_2676, mcf_s_1554, xalancbmk_like
+
+PREFETCHERS = ["ip_stride", "bop", "mlop", "ipcp", "berti"]
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+    traces = [
+        mcf_s_1554(scale),
+        lbm_2676(scale),
+        xalancbmk_like(scale),
+        gap_trace("bc", "kron", scale),
+        gap_trace("sssp", "urand", scale),
+    ]
+
+    per_trace = {}
+    for trace in traces:
+        print(f"simulating {trace.name} ({len(trace)} accesses)...")
+        per_trace[trace.name] = {
+            name: simulate(trace, l1d_prefetcher=make_prefetcher(name))
+            for name in PREFETCHERS
+        }
+
+    speeds = geomean_speedup(per_trace, baseline_name="ip_stride")
+    rows = []
+    for name in PREFETCHERS:
+        results = [per_trace[t][name] for t in per_trace]
+        rows.append([
+            name,
+            speeds[name],
+            average_accuracy(results),
+            round(storage_kb(name), 2),
+        ])
+    print()
+    print(format_table(
+        ["prefetcher", "geomean speedup", "avg accuracy", "storage KB"],
+        rows,
+        title="L1D prefetcher comparison (vs IP-stride)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Domain example: prefetching for graph analytics (GAP-like kernels).
+
+Executes real BFS/PageRank/BC kernels over a synthetic Kronecker-style
+graph, records their memory behaviour, and shows why graph codes are the
+hard case for prefetching (paper §IV-C): one regular frontier IP that
+everything covers, plus dependent irregular gathers nobody can — so the
+difference between prefetchers is how much useless traffic they add.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro.analysis.report import format_table
+from repro.prefetchers.registry import make_prefetcher
+from repro.simulator.engine import simulate
+from repro.workloads.gap import GRAPHS, KERNELS
+
+PREFETCHERS = ["ip_stride", "mlop", "ipcp", "berti"]
+
+
+def main() -> None:
+    graph = GRAPHS["kron"](0.4)
+    offsets, edges = graph
+    print(f"graph: {len(offsets) - 1} vertices, {len(edges)} edges "
+          f"(Kronecker-style power law, scrambled labels)\n")
+
+    rows = []
+    for kernel in ("bfs", "pr", "bc"):
+        trace = KERNELS[kernel](graph, f"{kernel}-kron", 5000)
+        base = simulate(trace, l1d_prefetcher=make_prefetcher("ip_stride"))
+        for name in PREFETCHERS:
+            r = simulate(trace, l1d_prefetcher=make_prefetcher(name))
+            rows.append([
+                kernel,
+                name,
+                r.speedup_over(base),
+                r.pf_l1d.accuracy,
+                r.traffic_llc_dram / max(1, base.traffic_llc_dram),
+            ])
+
+    print(format_table(
+        ["kernel", "prefetcher", "speedup", "accuracy", "DRAM traffic"],
+        rows,
+        title=(
+            "Graph kernels under L1D prefetching (vs IP-stride)\n"
+            "(high accuracy <=> low useless DRAM traffic)"
+        ),
+    ))
+    print(
+        "\nNote how Berti keeps DRAM traffic near 1.0x: it only issues\n"
+        "deltas whose per-IP coverage crossed the watermarks, so the\n"
+        "unpredictable value gathers generate no junk prefetches."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Look inside Berti: watch the history table and table of deltas learn.
+
+Feeds the paper's own example patterns (§II-B) directly through Berti's
+hooks and dumps the internal state after training:
+
+* lbm's +1,+2,+1,+2 alternation — IP-stride learns nothing, Berti finds
+  the 100 %-coverage local deltas +3 and +6;
+* mcf's irregular descending sequence −1,−5,−2,−1,−4,−1 — the stride is
+  inconsistent but delta −13 (the period sum) and friends have full
+  coverage.
+
+Run:  python examples/inspect_berti.py
+"""
+
+from repro.core.berti import BertiPrefetcher
+from repro.core.delta_table import STATUS_NAMES
+from repro.prefetchers.base import AccessInfo, FillInfo
+
+
+def feed(pf, ip, strides, count=200, period=500, latency=120):
+    """Drive a miss stream with the given stride sequence through Berti's
+    training hooks (miss -> fill with measured latency)."""
+    line = 1 << 16
+    for i in range(count):
+        now = i * period
+        pf.on_access(AccessInfo(ip=ip, line=line, hit=False,
+                                prefetch_hit=False, now=now))
+        pf.on_fill(FillInfo(line=line, now=now + latency, latency=latency,
+                            was_prefetch=False, ip=ip))
+        line += strides[i % len(strides)]
+
+
+def dump(pf, ip, title):
+    print(f"\n{title}")
+    print(f"  history entries for IP: {pf.history.occupancy()} total")
+    snap = pf.deltas.entry_snapshot(ip)
+    print(f"  table of deltas (delta, coverage-in-phase, status):")
+    for delta, coverage, status in sorted(snap, key=lambda x: -abs(x[0]))[:10]:
+        print(f"    {delta:+5d}  cov={coverage:2d}  {STATUS_NAMES[status]}")
+    selected = pf.deltas.prefetch_deltas(ip)
+    print(f"  -> prefetching deltas: "
+          f"{[(d, STATUS_NAMES[s]) for d, s in selected]}")
+
+
+def main() -> None:
+    print("Berti internals on the paper's §II-B example patterns")
+
+    pf = BertiPrefetcher()
+    feed(pf, ip=0x401CB0, strides=[1, 2])
+    dump(pf, 0x401CB0, "lbm IP 0x401cb0: strides +1,+2,+1,+2 ...")
+
+    pf2 = BertiPrefetcher()
+    feed(pf2, ip=0x402DC7, strides=[-1, -5, -2, -1, -4, -1])
+    dump(pf2, 0x402DC7, "mcf IP 0x402dc7: strides -1,-5,-2,-1,-4,-1 ...")
+
+    print("\nNote: an IP-stride prefetcher sees no constant stride in either"
+          "\npattern and never gains confidence; Berti's timely local deltas"
+          "\ncover both (the paper's motivation for local-delta prefetching).")
+
+
+if __name__ == "__main__":
+    main()

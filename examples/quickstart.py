@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one trace with and without Berti.
+
+Builds a small mcf-like pointer-chasing trace, runs it through the
+simulated memory hierarchy against the IP-stride baseline (the paper's
+baseline system) and with Berti at the L1D, and prints the headline
+metrics: IPC speedup, L1D MPKI, prefetch accuracy, and timeliness.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BertiPrefetcher, simulate
+from repro.prefetchers.registry import make_prefetcher
+from repro.workloads.spec_like import mcf_s_1554
+
+
+def main() -> None:
+    trace = mcf_s_1554(scale=0.5)
+    print(f"trace: {trace.name} — {len(trace)} memory accesses, "
+          f"{trace.instruction_count} instructions, "
+          f"{trace.unique_ips} load IPs\n")
+
+    baseline = simulate(trace, l1d_prefetcher=make_prefetcher("ip_stride"))
+    berti = simulate(trace, l1d_prefetcher=BertiPrefetcher())
+
+    print(f"{'':16s}{'IP-stride':>12s}{'Berti':>12s}")
+    print(f"{'IPC':16s}{baseline.ipc:12.3f}{berti.ipc:12.3f}")
+    print(f"{'L1D MPKI':16s}{baseline.l1d_mpki:12.1f}{berti.l1d_mpki:12.1f}")
+    print(f"{'LLC MPKI':16s}{baseline.llc_mpki:12.1f}{berti.llc_mpki:12.1f}")
+
+    pf = berti.pf_l1d
+    print(f"\nBerti prefetching:")
+    print(f"  issued        {pf.issued}")
+    print(f"  useful        {pf.useful} "
+          f"({pf.timely} timely, {pf.late} late)")
+    print(f"  accuracy      {pf.accuracy:.1%}")
+    print(f"\nspeedup over IP-stride: {berti.speedup_over(baseline):.3f}x")
+    print(f"Berti hardware budget:  {BertiPrefetcher().storage_kb():.2f} KB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Reproduction of "Berti: an Accurate Local-Delta Data Prefetcher".
+
+Navarro-Torres, Panda, Alastruey-Benedí, Ibáñez, Viñals-Yúfera, Ros —
+MICRO 2022.
+
+Public API tour
+---------------
+
+* :mod:`repro.core` — the Berti prefetcher (the paper's contribution).
+* :mod:`repro.prefetchers` — baseline prefetchers the paper compares
+  against (IP-stride, BOP, MLOP, IPCP, SPP-PPF, Bingo, MISB).
+* :mod:`repro.memory` / :mod:`repro.cpu` — the simulated substrate
+  (caches, MSHRs, DRAM, TLBs, OoO core timing).
+* :mod:`repro.simulator` — the engine: ``simulate(trace, prefetcher)``.
+* :mod:`repro.workloads` — SPEC-/GAP-/CloudSuite-like trace generators.
+* :mod:`repro.energy` — dynamic-energy model of the memory hierarchy.
+* :mod:`repro.analysis` — speedups, geomeans, report tables.
+
+Quickstart::
+
+    from repro import BertiPrefetcher, simulate
+    from repro.workloads import spec_like
+
+    trace = spec_like.stream_trace()
+    result = simulate(trace, l1d_prefetcher=BertiPrefetcher())
+    print(result.ipc, result.pf_l1d.accuracy)
+"""
+
+from repro.core.berti import BertiPrefetcher
+from repro.core.config import BertiConfig
+from repro.simulator.config import SystemConfig, default_config
+from repro.simulator.engine import simulate
+from repro.simulator.stats import SimResult
+from repro.workloads.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BertiPrefetcher",
+    "BertiConfig",
+    "SystemConfig",
+    "default_config",
+    "simulate",
+    "SimResult",
+    "Trace",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Metrics and report helpers shared by examples and benchmarks."""
+
+from repro.analysis.charts import (
+    bar_chart,
+    grouped_bar_chart,
+    series_chart,
+    sparkline,
+)
+from repro.analysis.metrics import (
+    average_accuracy,
+    average_mpki,
+    geomean,
+    geomean_speedup,
+    speedups,
+    traffic_normalised,
+)
+from repro.analysis.report import format_series, format_table
+from repro.analysis.sweep import SweepResult, knob_sweep, sweep
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "series_chart",
+    "sparkline",
+    "average_accuracy",
+    "average_mpki",
+    "geomean",
+    "geomean_speedup",
+    "speedups",
+    "traffic_normalised",
+    "format_series",
+    "format_table",
+    "SweepResult",
+    "knob_sweep",
+    "sweep",
+]

@@ -1,0 +1,98 @@
+"""ASCII charts for terminal-friendly result presentation.
+
+The benchmark harness runs in environments without plotting libraries, so
+the figures are rendered as text: horizontal bar charts for the speedup
+figures, grouped bars for per-suite comparisons, and sparkline-style
+series for the sensitivity sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    title: str = "",
+    width: int = 48,
+    baseline: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart; an optional baseline is marked with ``|``.
+
+    Bars are scaled to the data's maximum.  Values render with ``fmt``.
+    """
+    if not data:
+        return title
+    label_width = max(len(k) for k in data)
+    max_value = max(data.values())
+    if max_value <= 0:
+        max_value = 1.0
+    lines: List[str] = [title] if title else []
+    baseline_col = (
+        int(width * baseline / max_value) if baseline is not None else None
+    )
+    for name, value in data.items():
+        filled = width * max(0.0, value) / max_value
+        whole = int(filled)
+        frac = int((filled - whole) * (len(_BLOCKS) - 1))
+        bar = "█" * whole + (_BLOCKS[frac] if frac else "")
+        bar = bar.ljust(width)
+        if baseline_col is not None and baseline_col < width:
+            marker = "|" if bar[baseline_col] == " " else bar[baseline_col]
+            bar = bar[:baseline_col] + marker + bar[baseline_col + 1:]
+        lines.append(f"{name.ljust(label_width)} {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+    fmt: str = "{:.3f}",
+) -> str:
+    """One bar block per group: {group: {series: value}}."""
+    lines: List[str] = [title] if title else []
+    for group, values in groups.items():
+        lines.append(f"{group}:")
+        chart = bar_chart(values, width=width, fmt=fmt)
+        lines.extend("  " + ln for ln in chart.splitlines())
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line sparkline of a numeric series."""
+    if not values:
+        return ""
+    if width and len(values) > width:
+        # Downsample by striding.
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    ticks = "▁▂▃▄▅▆▇█"
+    return "".join(
+        ticks[min(len(ticks) - 1, int((v - lo) / span * (len(ticks) - 1)))]
+        for v in values
+    )
+
+
+def series_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render {name: [(x, y), ...]} as labelled sparklines with ranges."""
+    lines: List[str] = [title] if title else []
+    if not series:
+        return "\n".join(lines)
+    label_width = max(len(k) for k in series)
+    for name, points in series.items():
+        ys = [y for __, y in points]
+        spark = sparkline(ys)
+        lo = fmt.format(min(ys)) if ys else "-"
+        hi = fmt.format(max(ys)) if ys else "-"
+        lines.append(f"{name.ljust(label_width)} {spark}  [{lo}, {hi}]")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Aggregate metrics used throughout the evaluation.
+
+The paper reports speedups as IPC ratios against an IP-stride baseline,
+averaged with the geometric mean (§IV-A); coverage as demand MPKI at each
+level; and accuracy with the artifact's resolved-prefetch formula.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.simulator.stats import SimResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, ignoring non-positive values defensively."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedups(
+    results: Mapping[str, SimResult], baseline: SimResult
+) -> Dict[str, float]:
+    """Per-configuration IPC speedup over a baseline run."""
+    return {name: r.speedup_over(baseline) for name, r in results.items()}
+
+
+def geomean_speedup(
+    per_trace: Mapping[str, Mapping[str, SimResult]],
+    baseline_name: str = "ip_stride",
+) -> Dict[str, float]:
+    """Geometric-mean speedup per prefetcher across traces.
+
+    ``per_trace`` maps trace name → (prefetcher name → result).
+    """
+    ratios: Dict[str, List[float]] = {}
+    for trace_results in per_trace.values():
+        base = trace_results.get(baseline_name)
+        if base is None or base.ipc == 0:
+            continue
+        for name, result in trace_results.items():
+            ratios.setdefault(name, []).append(result.speedup_over(base))
+    return {name: geomean(vals) for name, vals in ratios.items()}
+
+
+def average_mpki(
+    results: Sequence[SimResult], level: str = "l1d"
+) -> float:
+    """Arithmetic mean demand MPKI at a level across traces (Fig. 11/13)."""
+    attr = {"l1d": "l1d_mpki", "l2": "l2_mpki", "llc": "llc_mpki"}[level]
+    if not results:
+        return 0.0
+    return sum(getattr(r, attr) for r in results) / len(results)
+
+
+def average_accuracy(results: Sequence[SimResult]) -> float:
+    """Mean L1D prefetch accuracy across traces (Fig. 1a/10)."""
+    if not results:
+        return 0.0
+    return sum(r.pf_l1d.accuracy for r in results) / len(results)
+
+
+def traffic_normalised(result: SimResult, baseline: SimResult) -> Dict[str, float]:
+    """Per-link traffic relative to a no-prefetch baseline (Fig. 14)."""
+    def ratio(a: int, b: int) -> float:
+        return a / b if b else 0.0
+
+    return {
+        "l1d_l2": ratio(result.traffic_l1d_l2, baseline.traffic_l1d_l2),
+        "l2_llc": ratio(result.traffic_l2_llc, baseline.traffic_l2_llc),
+        "llc_dram": ratio(result.traffic_llc_dram, baseline.traffic_llc_dram),
+    }

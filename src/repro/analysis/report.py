@@ -1,0 +1,53 @@
+"""ASCII report tables for the benchmark harness.
+
+Every bench regenerates its figure/table as text; these helpers keep the
+formatting consistent (and readable in CI logs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, series: Mapping[str, Mapping[str, float]], floatfmt: str = "{:.3f}"
+) -> str:
+    """Render {series -> {x -> y}} as a table with one row per series."""
+    xs: List[str] = []
+    for ys in series.values():
+        for x in ys:
+            if x not in xs:
+                xs.append(x)
+    headers = ["series"] + list(xs)
+    rows = []
+    for name, ys in series.items():
+        rows.append([name] + [ys.get(x, float("nan")) for x in xs])
+    return format_table(headers, rows, title=title, floatfmt=floatfmt)

@@ -1,0 +1,110 @@
+"""Generic parameter-sweep helper for sensitivity studies.
+
+The paper's §IV-J sweeps (watermarks, table sizes, latency bits) and the
+DRAM-bandwidth study all share a shape: vary one knob, re-simulate a
+trace set, and report geomean speedup against a fixed baseline.  This
+module packages that shape so new studies are one function call:
+
+    from repro.analysis.sweep import sweep
+    result = sweep(
+        traces,
+        baseline=lambda: make_prefetcher("ip_stride"),
+        variants={
+            "default": lambda: BertiPrefetcher(),
+            "no-cross-page": lambda: BertiPrefetcher(cfg_no_cp),
+        },
+    )
+    print(result.to_table())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import geomean
+from repro.analysis.report import format_table
+from repro.prefetchers.base import Prefetcher
+from repro.simulator.config import SystemConfig
+from repro.simulator.engine import simulate
+from repro.simulator.stats import SimResult
+from repro.workloads.trace import Trace
+
+PrefetcherFactory = Callable[[], Optional[Prefetcher]]
+
+
+@dataclass
+class SweepResult:
+    """Per-variant geomean speedups plus the raw per-trace results."""
+
+    speedups: Dict[str, float] = field(default_factory=dict)
+    per_trace: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+
+    def best(self) -> str:
+        return max(self.speedups, key=self.speedups.get)
+
+    def to_table(self, title: str = "sweep") -> str:
+        rows = [
+            [name, speed]
+            for name, speed in sorted(
+                self.speedups.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        return format_table(["variant", "geomean speedup"], rows, title=title)
+
+
+def sweep(
+    traces: Sequence[Trace],
+    baseline: PrefetcherFactory,
+    variants: Mapping[str, PrefetcherFactory],
+    l2_factories: Optional[Mapping[str, PrefetcherFactory]] = None,
+    config: Optional[SystemConfig] = None,
+    warmup_fraction: float = 0.2,
+) -> SweepResult:
+    """Run every variant over every trace against a shared baseline.
+
+    ``baseline`` and each variant are *factories* so every run gets a
+    fresh, untrained prefetcher.  ``l2_factories`` optionally pairs a
+    variant name with an L2 prefetcher factory.
+    """
+    result = SweepResult()
+    bases: Dict[str, SimResult] = {}
+    for trace in traces:
+        bases[trace.name] = simulate(
+            trace,
+            l1d_prefetcher=baseline(),
+            config=config,
+            warmup_fraction=warmup_fraction,
+        )
+        result.per_trace[trace.name] = {"baseline": bases[trace.name]}
+
+    for name, factory in variants.items():
+        ratios: List[float] = []
+        l2_factory = (l2_factories or {}).get(name)
+        for trace in traces:
+            run = simulate(
+                trace,
+                l1d_prefetcher=factory(),
+                l2_prefetcher=l2_factory() if l2_factory else None,
+                config=config,
+                warmup_fraction=warmup_fraction,
+            )
+            result.per_trace[trace.name][name] = run
+            ratios.append(run.speedup_over(bases[trace.name]))
+        result.speedups[name] = geomean(ratios)
+    return result
+
+
+def knob_sweep(
+    traces: Sequence[Trace],
+    baseline: PrefetcherFactory,
+    make_variant: Callable[[float], Optional[Prefetcher]],
+    values: Sequence[float],
+    label: str = "knob",
+    config: Optional[SystemConfig] = None,
+) -> SweepResult:
+    """Sweep a single numeric knob: ``make_variant(value)`` per point."""
+    variants = {
+        f"{label}={v}": (lambda v=v: make_variant(v)) for v in values
+    }
+    return sweep(traces, baseline, variants, config=config)

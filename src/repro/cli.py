@@ -1,0 +1,232 @@
+"""Command-line interface: run reproduction experiments from a shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro trace-info --trace mcf_s-1554B
+    python -m repro run --trace mcf_s-1554B --l1d berti
+    python -m repro compare --trace bc-kron --l1d ip_stride,ipcp,berti
+    python -m repro suite --suite spec17 --l1d mlop,ipcp,berti --scale 0.3
+    python -m repro storage
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import geomean_speedup
+from repro.analysis.report import format_table
+from repro.prefetchers.registry import available, make_prefetcher, storage_kb
+from repro.simulator.config import default_config
+from repro.simulator.engine import simulate
+from repro.workloads.cloudsuite_like import GENERATORS as CS_GENERATORS
+from repro.workloads.gap import GRAPHS, KERNELS, gap_trace
+from repro.workloads.spec_like import GENERATORS as SPEC_GENERATORS
+from repro.workloads.trace import Trace
+
+
+def resolve_trace(name: str, scale: float) -> Trace:
+    """Find a trace generator by name across all suites."""
+    if name in SPEC_GENERATORS:
+        return SPEC_GENERATORS[name](scale)
+    if name in CS_GENERATORS:
+        return CS_GENERATORS[name](scale)
+    if "-" in name:
+        kernel, __, graph = name.partition("-")
+        if kernel in KERNELS and graph in GRAPHS:
+            return gap_trace(kernel, graph, scale)
+    raise SystemExit(
+        f"unknown trace {name!r}; run `python -m repro list` for options"
+    )
+
+
+def all_trace_names() -> List[str]:
+    gap_names = [f"{k}-{g}" for k in KERNELS for g in GRAPHS]
+    return list(SPEC_GENERATORS) + gap_names + list(CS_GENERATORS)
+
+
+def _config(args) -> object:
+    cfg = default_config()
+    if getattr(args, "mtps", None):
+        cfg = cfg.with_dram_mtps(args.mtps)
+    return cfg
+
+
+def cmd_list(args) -> int:
+    print("Prefetchers:")
+    for name in available():
+        pf = make_prefetcher(name)
+        print(f"  {name:12s} level={pf.level:4s} "
+              f"storage={pf.storage_kb():7.2f} KB")
+    print("\nTraces:")
+    for name in all_trace_names():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    t = resolve_trace(args.trace, args.scale)
+    print(f"name:          {t.name}")
+    print(f"suite:         {t.suite}")
+    print(f"description:   {t.description}")
+    print(f"records:       {len(t)}")
+    print(f"instructions:  {t.instruction_count}")
+    print(f"load IPs:      {t.unique_ips}")
+    print(f"footprint:     {t.footprint_bytes() / 1024:.0f} KB")
+    print(f"write frac:    {t.write_fraction:.1%}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    t = resolve_trace(args.trace, args.scale)
+    result = simulate(
+        t,
+        l1d_prefetcher=make_prefetcher(args.l1d),
+        l2_prefetcher=make_prefetcher(args.l2),
+        config=_config(args),
+    )
+    pf = result.pf_l1d
+    print(result.summary_line())
+    print(f"  IPC              {result.ipc:.3f}")
+    print(f"  MPKI l1d/l2/llc  {result.l1d_mpki:.1f} / {result.l2_mpki:.1f}"
+          f" / {result.llc_mpki:.1f}")
+    print(f"  prefetch issued  {pf.issued}")
+    print(f"  useful (late)    {pf.useful} ({pf.late})")
+    print(f"  accuracy         {pf.accuracy:.1%}")
+    print(f"  dram reads       {result.dram_reads} "
+          f"(avg latency {result.avg_dram_read_latency:.0f} cycles)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    t = resolve_trace(args.trace, args.scale)
+    names = args.l1d.split(",")
+    cfg = _config(args)
+    results = {
+        n: simulate(t, l1d_prefetcher=make_prefetcher(n), config=cfg)
+        for n in names
+    }
+    base = results.get(args.baseline) or simulate(
+        t, l1d_prefetcher=make_prefetcher(args.baseline), config=cfg
+    )
+    rows = [
+        [n, r.ipc, r.speedup_over(base), r.l1d_mpki, r.pf_l1d.accuracy]
+        for n, r in results.items()
+    ]
+    print(format_table(
+        ["prefetcher", "IPC", f"speedup vs {args.baseline}", "L1D MPKI",
+         "accuracy"],
+        rows, title=f"{t.name} ({len(t)} accesses)",
+    ))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    if args.suite == "spec17":
+        traces = [g(args.scale) for g in SPEC_GENERATORS.values()]
+    elif args.suite == "gap":
+        traces = [
+            gap_trace(k, g, args.scale) for k in KERNELS for g in
+            (GRAPHS if args.all_graphs else ["kron", "urand"])
+        ]
+    elif args.suite == "cloudsuite":
+        traces = [g(args.scale) for g in CS_GENERATORS.values()]
+    else:
+        raise SystemExit(f"unknown suite {args.suite!r}")
+
+    names = args.l1d.split(",")
+    if args.baseline not in names:
+        names = [args.baseline] + names
+    cfg = _config(args)
+    per_trace: Dict[str, Dict[str, object]] = {}
+    for t in traces:
+        print(f"simulating {t.name}...", file=sys.stderr)
+        per_trace[t.name] = {
+            n: simulate(t, l1d_prefetcher=make_prefetcher(n), config=cfg)
+            for n in names
+        }
+    speeds = geomean_speedup(per_trace, baseline_name=args.baseline)
+    rows = [[n, speeds[n]] for n in names]
+    print(format_table(
+        ["prefetcher", "geomean speedup"], rows,
+        title=f"suite {args.suite} ({len(traces)} traces, "
+              f"scale {args.scale})",
+    ))
+    return 0
+
+
+def cmd_storage(args) -> int:
+    from repro.core.config import BertiConfig
+
+    rows = [
+        [name, round(storage_kb(name), 2)]
+        for name in available() if name != "none"
+    ]
+    print(format_table(["prefetcher", "storage KB"], rows,
+                       title="Hardware budgets"))
+    print("\nBerti breakdown (Table I):")
+    for k, v in BertiConfig().storage_breakdown_kb().items():
+        print(f"  {k:22s} {v:5.2f} KB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Berti (MICRO 2022) reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list prefetchers and traces")
+
+    info = sub.add_parser("trace-info", help="describe a trace")
+    info.add_argument("--trace", required=True)
+    info.add_argument("--scale", type=float, default=0.5)
+
+    run = sub.add_parser("run", help="simulate one configuration")
+    run.add_argument("--trace", required=True)
+    run.add_argument("--l1d", default="berti")
+    run.add_argument("--l2", default="none")
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--mtps", type=int, default=None,
+                     help="DRAM transfer rate (6400/3200/1600)")
+
+    cmp_ = sub.add_parser("compare", help="compare prefetchers on a trace")
+    cmp_.add_argument("--trace", required=True)
+    cmp_.add_argument("--l1d", default="ip_stride,mlop,ipcp,berti")
+    cmp_.add_argument("--baseline", default="ip_stride")
+    cmp_.add_argument("--scale", type=float, default=0.5)
+    cmp_.add_argument("--mtps", type=int, default=None)
+
+    suite = sub.add_parser("suite", help="geomean speedups over a suite")
+    suite.add_argument("--suite", default="spec17",
+                       choices=["spec17", "gap", "cloudsuite"])
+    suite.add_argument("--l1d", default="mlop,ipcp,berti")
+    suite.add_argument("--baseline", default="ip_stride")
+    suite.add_argument("--scale", type=float, default=0.4)
+    suite.add_argument("--all-graphs", action="store_true")
+    suite.add_argument("--mtps", type=int, default=None)
+
+    sub.add_parser("storage", help="hardware budgets incl. Table I")
+    return p
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "trace-info": cmd_trace_info,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "suite": cmd_suite,
+    "storage": cmd_storage,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

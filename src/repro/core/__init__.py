@@ -1,0 +1,25 @@
+"""Berti — the paper's contribution: local-delta L1D prefetching."""
+
+from repro.core.berti import BertiPrefetcher
+from repro.core.berti_page import BertiPagePrefetcher
+from repro.core.config import BertiConfig
+from repro.core.delta_table import (
+    L1D_PREF,
+    L2_PREF,
+    L2_PREF_REPL,
+    NO_PREF,
+    DeltaTable,
+)
+from repro.core.history_table import HistoryTable
+
+__all__ = [
+    "BertiPrefetcher",
+    "BertiPagePrefetcher",
+    "BertiConfig",
+    "DeltaTable",
+    "HistoryTable",
+    "NO_PREF",
+    "L1D_PREF",
+    "L2_PREF",
+    "L2_PREF_REPL",
+]

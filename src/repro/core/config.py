@@ -1,0 +1,127 @@
+"""Berti configuration and storage accounting (paper Table I).
+
+Every hardware parameter of the prefetcher lives here so the sensitivity
+studies (Figures 21 and 22) and the ablations can build variants by
+replacing fields.  :meth:`BertiConfig.storage_bits` reproduces the Table I
+breakdown; with the defaults it totals 2.55 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BertiConfig:
+    # History table: 8-set, 16-way, FIFO, IP-indexed (Figure 5/6).
+    history_sets: int = 8
+    history_ways: int = 16
+    history_ip_tag_bits: int = 7
+    history_line_bits: int = 24
+    timestamp_bits: int = 16
+
+    # Table of deltas: 16-entry fully associative, FIFO (Figure 6).
+    delta_table_entries: int = 16
+    deltas_per_entry: int = 16
+    delta_tag_bits: int = 10
+    counter_bits: int = 4
+    delta_bits: int = 13
+    coverage_bits: int = 4
+    status_bits: int = 2
+
+    # Learning-phase length: the 4-bit counter overflows at 16 searches.
+    counter_max: int = 16
+    # Up to 8 timely deltas collected per history search (§III-C).
+    max_deltas_per_search: int = 8
+    # At most 12 deltas may hold a prefetch status (§III-C).
+    max_prefetch_deltas: int = 12
+
+    # Coverage watermarks (§III-B/III-C and Figure 21).
+    high_watermark: float = 0.65      # above → fill to L1D
+    medium_watermark: float = 0.35    # above → fill to L2
+    low_watermark: float = 0.35       # LLC tier disabled (== medium)
+    warmup_watermark: float = 0.80    # high watermark during warmup
+    warmup_min_searches: int = 8      # searches gathered before warmup issue
+    repl_watermark: float = 0.50      # below → L2_pref_repl (evictable)
+    mshr_watermark: float = 0.70      # L1D fills gated on MSHR occupancy
+
+    # Per-L1D-line latency field and PQ/MSHR timestamps (Table I).
+    latency_bits: int = 12
+    pq_entries: int = 16
+    mshr_entries: int = 16
+    l1d_lines: int = 768
+
+    # §IV-J ablation: issue (or suppress) prefetches that cross a 4 KB page.
+    cross_page: bool = True
+
+    # ------------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "BertiConfig":
+        """History/delta tables scaled by ``factor`` (Figure 22 sweep).
+
+        Scales the history table's set count and the number of delta-table
+        entries; the per-entry delta count is scaled separately via
+        :meth:`with_deltas_per_entry`.
+        """
+        return replace(
+            self,
+            history_sets=max(1, int(self.history_sets * factor)),
+            delta_table_entries=max(1, int(self.delta_table_entries * factor)),
+        )
+
+    def with_deltas_per_entry(self, count: int) -> "BertiConfig":
+        return replace(self, deltas_per_entry=max(1, count))
+
+    def with_watermarks(self, high: float, medium: float) -> "BertiConfig":
+        if not 0.0 <= medium <= high <= 1.0:
+            raise ValueError("watermarks must satisfy 0 <= medium <= high <= 1")
+        return replace(
+            self, high_watermark=high, medium_watermark=medium,
+            low_watermark=medium,
+        )
+
+    # ------------------------------------------------------------------
+    # Table I storage accounting
+    # ------------------------------------------------------------------
+
+    def history_table_bits(self) -> int:
+        entry = self.history_ip_tag_bits + self.history_line_bits + self.timestamp_bits
+        # Each set keeps 4 bits of FIFO replacement state (Table I).
+        return self.history_sets * (self.history_ways * entry + 4)
+
+    def delta_table_bits(self) -> int:
+        per_delta = self.delta_bits + self.coverage_bits + self.status_bits
+        entry = (
+            self.delta_tag_bits
+            + self.counter_bits
+            + self.deltas_per_entry * per_delta
+        )
+        # 4-bit FIFO pointer for the fully-associative table.
+        return self.delta_table_entries * entry + 4
+
+    def queue_timestamp_bits(self) -> int:
+        return (self.pq_entries + self.mshr_entries) * self.timestamp_bits
+
+    def l1d_latency_field_bits(self) -> int:
+        return self.l1d_lines * self.latency_bits
+
+    def storage_bits(self) -> int:
+        return (
+            self.history_table_bits()
+            + self.delta_table_bits()
+            + self.queue_timestamp_bits()
+            + self.l1d_latency_field_bits()
+        )
+
+    def storage_kb(self) -> float:
+        return self.storage_bits() / 8 / 1024
+
+    def storage_breakdown_kb(self) -> dict:
+        """Per-structure storage in KB (rows of Table I)."""
+        return {
+            "history_table": self.history_table_bits() / 8 / 1024,
+            "table_of_deltas": self.delta_table_bits() / 8 / 1024,
+            "pq_mshr_timestamps": self.queue_timestamp_bits() / 8 / 1024,
+            "l1d_latency_fields": self.l1d_latency_field_bits() / 8 / 1024,
+            "total": self.storage_kb(),
+        }

@@ -1,0 +1,250 @@
+"""Berti's table of deltas (paper §III-C, Figures 5 and 6).
+
+A 16-entry fully-associative FIFO cache tagged by a 10-bit hash of the
+IP.  Each entry holds a 4-bit search counter and an array of 16 deltas,
+each with a 4-bit coverage counter and a 2-bit status:
+
+* ``L1D_PREF``      — coverage crossed the high watermark (65 %): prefetch
+  and fill up to the L1D (when the L1D MSHR is below its watermark).
+* ``L2_PREF``       — coverage between the medium (35 %) and high
+  watermarks: prefetch, fill up to L2.
+* ``L2_PREF_REPL``  — same as ``L2_PREF`` but the coverage was below 50 %,
+  so the slot is an eviction candidate for newly seen deltas.
+* ``NO_PREF``       — low coverage: keep learning, do not prefetch.
+
+Statuses are assigned when the search counter overflows (16 searches);
+the counter and coverages are then reset and a new learning phase begins.
+While the first phase is still warming up, deltas are used for L1D
+prefetching with a stricter 80 % watermark once at least eight searches
+have been gathered.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import BertiConfig
+
+NO_PREF = 0
+L1D_PREF = 1
+L2_PREF = 2
+L2_PREF_REPL = 3
+
+STATUS_NAMES = {
+    NO_PREF: "no_pref",
+    L1D_PREF: "l1d_pref",
+    L2_PREF: "l2_pref",
+    L2_PREF_REPL: "l2_pref_repl",
+}
+
+
+class _DeltaSlot:
+    __slots__ = ("valid", "delta", "coverage", "status")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.delta = 0
+        self.coverage = 0
+        self.status = NO_PREF
+
+
+class _Entry:
+    __slots__ = ("valid", "tag", "counter", "slots", "order", "warmed_up")
+
+    def __init__(self, num_deltas: int) -> None:
+        self.valid = False
+        self.tag = 0
+        self.counter = 0
+        self.slots = [_DeltaSlot() for _ in range(num_deltas)]
+        self.order = 0
+        self.warmed_up = False  # first learning phase completed
+
+
+class DeltaTable:
+    """Per-IP delta coverage accumulation and prefetch-status selection."""
+
+    def __init__(self, config: BertiConfig | None = None) -> None:
+        self.config = config or BertiConfig()
+        cfg = self.config
+        self._entries = [
+            _Entry(cfg.deltas_per_entry) for _ in range(cfg.delta_table_entries)
+        ]
+        self._by_tag: dict = {}  # tag -> _Entry, for O(1) lookup
+        self._fifo_clock = 0
+        self._fifo_ptr = 0
+        self._tag_mask = (1 << cfg.delta_tag_bits) - 1
+        self.phase_completions = 0
+        self.discarded_deltas = 0
+
+    # ------------------------------------------------------------------
+
+    def _tag_of(self, ip: int) -> int:
+        """10-bit IP hash (folded XOR, cheap in hardware)."""
+        h = ip
+        h ^= h >> 10
+        h ^= h >> 20
+        return h & self._tag_mask
+
+    def _find(self, tag: int) -> Optional[_Entry]:
+        return self._by_tag.get(tag)
+
+    def _allocate(self, tag: int) -> _Entry:
+        # FIFO replacement: a circular pointer over the entries.
+        victim = self._entries[self._fifo_ptr]
+        self._fifo_ptr = (self._fifo_ptr + 1) % len(self._entries)
+        if victim.valid:
+            self._by_tag.pop(victim.tag, None)
+        self._fifo_clock += 1
+        victim.valid = True
+        victim.tag = tag
+        victim.counter = 0
+        victim.order = self._fifo_clock
+        victim.warmed_up = False
+        for slot in victim.slots:
+            slot.valid = False
+            slot.delta = 0
+            slot.coverage = 0
+            slot.status = NO_PREF
+        self._by_tag[tag] = victim
+        return victim
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def record_search(self, ip: int, timely_deltas: List[int]) -> None:
+        """Accumulate one history-search result for ``ip``.
+
+        Bumps the entry's search counter, increments coverage of each
+        timely delta (inserting unseen deltas when an evictable slot
+        exists), and closes the learning phase when the counter overflows.
+        """
+        cfg = self.config
+        tag = self._tag_of(ip)
+        entry = self._find(tag)
+        if entry is None:
+            entry = self._allocate(tag)
+
+        entry.counter += 1
+        coverage_cap = (1 << cfg.coverage_bits) - 1
+        for delta in timely_deltas:
+            slot = self._find_slot(entry, delta)
+            if slot is not None:
+                if slot.coverage < coverage_cap:
+                    slot.coverage += 1
+                continue
+            slot = self._victim_slot(entry)
+            if slot is None:
+                self.discarded_deltas += 1
+                continue
+            slot.valid = True
+            slot.delta = delta
+            slot.coverage = 1
+            slot.status = NO_PREF
+
+        if entry.counter >= cfg.counter_max:
+            self._close_phase(entry)
+
+    @staticmethod
+    def _find_slot(entry: _Entry, delta: int) -> Optional[_DeltaSlot]:
+        for slot in entry.slots:
+            if slot.valid and slot.delta == delta:
+                return slot
+        return None
+
+    @staticmethod
+    def _victim_slot(entry: _Entry) -> Optional[_DeltaSlot]:
+        """Slot for a newly seen delta: an empty slot, else the
+        lowest-coverage slot whose status allows replacement."""
+        empty = next((s for s in entry.slots if not s.valid), None)
+        if empty is not None:
+            return empty
+        candidates = [
+            s for s in entry.slots if s.status in (NO_PREF, L2_PREF_REPL)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: s.coverage)
+
+    def _close_phase(self, entry: _Entry) -> None:
+        """Counter overflowed: assign statuses, reset for the next phase."""
+        cfg = self.config
+        self.phase_completions += 1
+        high = cfg.high_watermark * cfg.counter_max
+        medium = cfg.medium_watermark * cfg.counter_max
+        repl = cfg.repl_watermark * cfg.counter_max
+
+        promoted = 0
+        # Consider highest-coverage deltas first so the 12-delta bound
+        # keeps the best ones.
+        for slot in sorted(
+            (s for s in entry.slots if s.valid),
+            key=lambda s: s.coverage,
+            reverse=True,
+        ):
+            if slot.coverage > high and promoted < cfg.max_prefetch_deltas:
+                slot.status = L1D_PREF
+                promoted += 1
+            elif slot.coverage > medium and promoted < cfg.max_prefetch_deltas:
+                slot.status = L2_PREF_REPL if slot.coverage < repl else L2_PREF
+                promoted += 1
+            else:
+                slot.status = NO_PREF
+            slot.coverage = 0
+        entry.counter = 0
+        entry.warmed_up = True
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def prefetch_deltas(self, ip: int) -> List[Tuple[int, int]]:
+        """Deltas to prefetch for ``ip`` as ``(delta, status)`` pairs.
+
+        After the first completed phase this returns the stored statuses.
+        During warmup (no phase completed yet) it applies the stricter
+        80 % watermark once ``warmup_min_searches`` searches have been
+        gathered, returning those deltas as ``L1D_PREF``.
+        """
+        cfg = self.config
+        entry = self._find(self._tag_of(ip))
+        if entry is None:
+            return []
+        if entry.warmed_up:
+            selected = [
+                (s.delta, s.status)
+                for s in entry.slots
+                if s.valid and s.status != NO_PREF
+            ]
+            # High-coverage deltas first: under PQ pressure the queue
+            # sheds the low-coverage tail, not the best predictions.
+            selected.sort(key=lambda ds: ds[1] != L1D_PREF)
+            return selected[: cfg.max_prefetch_deltas]
+        if entry.counter < cfg.warmup_min_searches:
+            return []
+        threshold = cfg.warmup_watermark * entry.counter
+        return [
+            (s.delta, L1D_PREF)
+            for s in entry.slots
+            if s.valid and s.coverage >= threshold
+        ][: cfg.max_prefetch_deltas]
+
+    def entry_snapshot(self, ip: int) -> List[Tuple[int, int, int]]:
+        """(delta, coverage, status) triples for inspection/tests."""
+        entry = self._find(self._tag_of(ip))
+        if entry is None:
+            return []
+        return [
+            (s.delta, s.coverage, s.status) for s in entry.slots if s.valid
+        ]
+
+    def reset(self) -> None:
+        cfg = self.config
+        self._entries = [
+            _Entry(cfg.deltas_per_entry) for _ in range(cfg.delta_table_entries)
+        ]
+        self._by_tag = {}
+        self._fifo_clock = 0
+        self._fifo_ptr = 0
+        self.phase_completions = 0
+        self.discarded_deltas = 0

@@ -1,0 +1,144 @@
+"""Berti's history table (paper §III-C, Figures 5 and 6).
+
+An 8-set, 16-way cache with FIFO replacement, indexed and tagged by the
+IP.  Each entry records the 24 least-significant bits of the accessed
+cache-line address and a 16-bit timestamp.  Entries are inserted on
+demand misses and on first demand hits to prefetched lines; searches run
+on demand-miss fills and on those prefetch hits, returning the *timely*
+local deltas — differences to earlier accesses by the same IP that
+happened early enough that a prefetch launched then would have arrived in
+time.
+
+Timestamps and line addresses are stored in their hardware widths, so
+both wrap; comparisons are wraparound-aware like real hardware would be.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.config import BertiConfig
+from repro.memory.address import fits_in_signed, sign_extend
+
+
+class _Entry:
+    __slots__ = ("valid", "ip_tag", "line", "timestamp", "order")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.ip_tag = 0
+        self.line = 0
+        self.timestamp = 0
+        self.order = 0
+
+
+class HistoryTable:
+    """IP-indexed access history with timely-delta search."""
+
+    def __init__(self, config: BertiConfig | None = None) -> None:
+        self.config = config or BertiConfig()
+        cfg = self.config
+        self._sets: List[List[_Entry]] = [
+            [_Entry() for _ in range(cfg.history_ways)]
+            for _ in range(cfg.history_sets)
+        ]
+        self._fifo_clock = [0] * cfg.history_sets
+        self._fifo_ptr = [0] * cfg.history_sets  # next way to replace
+        self._ts_mask = (1 << cfg.timestamp_bits) - 1
+        self._line_mask = (1 << cfg.history_line_bits) - 1
+        self._tag_mask = (1 << cfg.history_ip_tag_bits) - 1
+        self.inserts = 0
+        self.searches = 0
+
+    # ------------------------------------------------------------------
+
+    def _set_index(self, ip: int) -> int:
+        # XOR-fold the IP before indexing: x86 instruction addresses have
+        # strongly biased low bits, so raw modulo would pile every IP of
+        # an aligned code region into one set.
+        folded = ip ^ (ip >> 3) ^ (ip >> 7)
+        return folded % self.config.history_sets
+
+    def _ip_tag(self, ip: int) -> int:
+        return (ip // self.config.history_sets) & self._tag_mask
+
+    def _ts_age(self, now_ts: int, then_ts: int) -> int:
+        """Wraparound-aware ``now - then`` over the timestamp width."""
+        return (now_ts - then_ts) & self._ts_mask
+
+    # ------------------------------------------------------------------
+
+    def insert(self, ip: int, line: int, now: int) -> None:
+        """Record an access (demand miss or first hit on a prefetch)."""
+        self.inserts += 1
+        sidx = self._set_index(ip)
+        ways = self._sets[sidx]
+        # FIFO replacement: a circular pointer over the ways.
+        victim = ways[self._fifo_ptr[sidx]]
+        self._fifo_ptr[sidx] = (self._fifo_ptr[sidx] + 1) % self.config.history_ways
+        self._fifo_clock[sidx] += 1
+        victim.valid = True
+        victim.ip_tag = self._ip_tag(ip)
+        victim.line = line & self._line_mask
+        victim.timestamp = now & self._ts_mask
+        victim.order = self._fifo_clock[sidx]
+
+    def search_timely(self, ip: int, line: int, demand_time: int, latency: int) -> List[int]:
+        """Timely local deltas for an access to ``line`` by ``ip``.
+
+        ``demand_time`` is when the core demanded the line and ``latency``
+        the measured fetch latency; an earlier access qualifies when it
+        happened at or before ``demand_time - latency`` (a prefetch issued
+        then would have arrived in time).  Returns at most
+        ``max_deltas_per_search`` deltas, youngest qualifying entries
+        first, each fitting the 13-bit delta field and non-zero.
+        """
+        self.searches += 1
+        cfg = self.config
+        tag = self._ip_tag(ip)
+        now_ts = demand_time & self._ts_mask
+        line_masked = line & self._line_mask
+        half_range = 1 << (cfg.timestamp_bits - 1)
+
+        # Hot path: the bit arithmetic of sign_extend/fits_in_signed is
+        # inlined here (this runs once per L1D miss).
+        line_mask = self._line_mask
+        line_bits = cfg.history_line_bits
+        sign_bit = 1 << (line_bits - 1)
+        delta_lo = -(1 << (cfg.delta_bits - 1))
+        delta_hi = (1 << (cfg.delta_bits - 1)) - 1
+        ts_mask = self._ts_mask
+
+        candidates = []
+        for e in self._sets[self._set_index(ip)]:
+            if not e.valid or e.ip_tag != tag:
+                continue
+            age = (now_ts - e.timestamp) & ts_mask
+            # Ages beyond half the timestamp range are ambiguous under
+            # wraparound; hardware treats them as stale.  Ages below the
+            # latency are too recent: a prefetch would have been late.
+            if age >= half_range or age < latency:
+                continue
+            delta = (line_masked - e.line) & line_mask
+            if delta & sign_bit:
+                delta -= 1 << line_bits
+            if delta == 0 or delta < delta_lo or delta > delta_hi:
+                continue
+            candidates.append((e.order, delta))
+
+        candidates.sort(reverse=True)  # youngest first
+        return [d for __, d in candidates[: cfg.max_deltas_per_search]]
+
+    def occupancy(self) -> int:
+        return sum(e.valid for ways in self._sets for e in ways)
+
+    def reset(self) -> None:
+        cfg = self.config
+        self._sets = [
+            [_Entry() for _ in range(cfg.history_ways)]
+            for _ in range(cfg.history_sets)
+        ]
+        self._fifo_clock = [0] * cfg.history_sets
+        self._fifo_ptr = [0] * cfg.history_sets
+        self.inserts = 0
+        self.searches = 0

@@ -1,0 +1,7 @@
+"""Core-side substrate: OoO timing model, TLBs, and the MMU."""
+
+from repro.cpu.core_model import CoreConfig, CoreModel
+from repro.cpu.mmu import MMU
+from repro.cpu.tlb import TLB
+
+__all__ = ["CoreConfig", "CoreModel", "MMU", "TLB"]

@@ -1,0 +1,5 @@
+"""Dynamic-energy model of the memory hierarchy (CACTI-style)."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyParams"]

@@ -1,0 +1,19 @@
+"""Memory-hierarchy substrate: caches, MSHRs, DRAM, and their glue."""
+
+from repro.memory.cache import Cache, CacheLine, CacheStats
+from repro.memory.dram import DRAM, DRAMConfig
+from repro.memory.hierarchy import Hierarchy, LinkTraffic, PrefetcherStats
+from repro.memory.mshr import MSHR, MSHREntry
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "CacheStats",
+    "DRAM",
+    "DRAMConfig",
+    "Hierarchy",
+    "LinkTraffic",
+    "PrefetcherStats",
+    "MSHR",
+    "MSHREntry",
+]

@@ -1,0 +1,72 @@
+"""Address arithmetic helpers shared across the memory hierarchy.
+
+Everything in the simulator works with *byte* virtual/physical addresses.
+Caches and prefetchers mostly reason in units of cache lines (64 bytes) or
+OS pages (4 KB); the helpers here centralise the bit arithmetic so no other
+module hard-codes shift amounts.
+"""
+
+from __future__ import annotations
+
+LINE_SIZE = 64
+LINE_BITS = 6
+
+PAGE_SIZE = 4096
+PAGE_BITS = 12
+
+LINES_PER_PAGE = PAGE_SIZE // LINE_SIZE
+
+
+def line_of(addr: int) -> int:
+    """Cache-line number containing byte address ``addr``."""
+    return addr >> LINE_BITS
+
+
+def line_addr(line: int) -> int:
+    """Byte address of the first byte of cache line ``line``."""
+    return line << LINE_BITS
+
+
+def page_of(addr: int) -> int:
+    """OS-page number containing byte address ``addr``."""
+    return addr >> PAGE_BITS
+
+
+def page_addr(page: int) -> int:
+    """Byte address of the first byte of page ``page``."""
+    return page << PAGE_BITS
+
+
+def page_of_line(line: int) -> int:
+    """OS-page number containing cache line ``line``."""
+    return line >> (PAGE_BITS - LINE_BITS)
+
+
+def line_offset_in_page(line: int) -> int:
+    """Index of cache line ``line`` within its OS page (0..63)."""
+    return line & (LINES_PER_PAGE - 1)
+
+
+def same_page(line_a: int, line_b: int) -> bool:
+    """True when two cache lines fall in the same OS page."""
+    return page_of_line(line_a) == page_of_line(line_b)
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` bits of ``value`` as a two's-complement int.
+
+    Used to model the bounded-width delta fields in hardware tables (e.g.
+    Berti stores deltas in 13 bits).
+    """
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def fits_in_signed(value: int, bits: int) -> bool:
+    """True when ``value`` is representable as a ``bits``-bit signed int."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo <= value <= hi

@@ -1,0 +1,261 @@
+"""Set-associative cache model with prefetch metadata.
+
+Each cache line carries, besides tag/valid/dirty, the metadata Berti's
+hardware extension needs (paper Figure 5, gray parts):
+
+* ``arrival_cycle`` — cycle at which the fill data actually arrives.  A
+  demand that touches the line earlier observes a *late* prefetch and
+  stalls for the residual latency.
+* ``prefetched`` — line was brought in by a prefetch and has not yet been
+  demanded.  Cleared on the first demand hit (which is the moment Berti
+  trains, because that hit is a miss that *would have occurred* in the
+  baseline).
+* ``pf_latency`` — the 12-bit fetch-latency field per L1D line.  Zero
+  means "overflowed or already consumed"; Berti skips training then.
+
+The cache is timing-agnostic: the hierarchy decides latencies, the cache
+just tracks contents and replacement state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.memory.replacement import DRRIPPolicy, ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheLine:
+    """State of one cache way."""
+
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+    prefetched: bool = False
+    arrival_cycle: int = 0
+    pf_latency: int = 0
+    ip: int = 0          # IP of the access that triggered the fill
+    vline: int = -1      # virtual line address (for L1D prefetcher training)
+    pf_origin: str = ""  # "l1d" or "l2": which prefetcher issued the fill
+
+
+@dataclass
+class CacheStats:
+    """Per-cache event counters, split demand vs. prefetch."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_fills: int = 0
+    demand_fills: int = 0
+    useful_prefetches: int = 0      # prefetched lines demanded at least once
+    late_prefetches: int = 0        # demanded before the data arrived
+    useless_prefetches: int = 0     # prefetched lines evicted unused
+    writebacks: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+class Cache:
+    """A set-associative, write-back, write-allocate cache.
+
+    Parameters mirror Table II of the paper; ``latency`` is the hit latency
+    in cycles, used by the hierarchy, not by the cache itself.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        latency: int,
+        line_size: int = 64,
+        replacement: str = "lru",
+    ) -> None:
+        if size_bytes % (ways * line_size) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"ways*line ({ways}*{line_size})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.latency = latency
+        self.line_size = line_size
+        self.num_sets = size_bytes // (ways * line_size)
+        self.sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(ways)] for _ in range(self.num_sets)
+        ]
+        # Presence index for O(1) probes: line -> way (set is line-derived).
+        self._where: dict = {}
+        # Valid lines per set, to skip the invalid-way scan when full.
+        self._valid_count: List[int] = [0] * self.num_sets
+        self.policy: ReplacementPolicy = make_policy(
+            replacement, self.num_sets, ways
+        )
+        self.stats = CacheStats()
+        # Optional observer invoked with the victim line on eviction.
+        self.eviction_hook: Optional[Callable[[CacheLine], None]] = None
+
+    # ------------------------------------------------------------------
+    # Lookup / fill
+    # ------------------------------------------------------------------
+
+    def set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def _find(self, line: int) -> Tuple[int, Optional[int]]:
+        return self.set_index(line), self._where.get(line)
+
+    def probe(self, line: int) -> bool:
+        """Presence check with no side effects (no replacement update)."""
+        return line in self._where
+
+    def peek(self, line: int) -> Optional[CacheLine]:
+        """Return the line's metadata without touching replacement state."""
+        sidx, way = self._find(line)
+        if way is None:
+            return None
+        return self.sets[sidx][way]
+
+    def lookup(self, line: int, is_demand: bool = True) -> Optional[CacheLine]:
+        """Access the cache; updates replacement state and hit/miss stats.
+
+        Returns the :class:`CacheLine` on a hit, ``None`` on a miss.  The
+        caller is responsible for interpreting the prefetch metadata (late
+        vs. timely) and clearing ``prefetched`` via :meth:`demand_touch`.
+        """
+        sidx, way = self._find(line)
+        if is_demand:
+            self.stats.demand_accesses += 1
+        if way is None:
+            if is_demand:
+                self.stats.demand_misses += 1
+                if isinstance(self.policy, DRRIPPolicy):
+                    self.policy.record_miss(sidx)
+            return None
+        if is_demand:
+            self.stats.demand_hits += 1
+        self.policy.on_hit(sidx, way)
+        return self.sets[sidx][way]
+
+    def demand_touch(self, cl: CacheLine, now: int) -> Tuple[bool, bool, int]:
+        """Consume a demand hit on ``cl``.
+
+        Returns ``(was_prefetched, was_late, residual_wait)``: whether this
+        was the first demand to a prefetched line, whether that prefetch
+        was late, and the extra cycles the demand must wait for the data.
+        """
+        residual = max(0, cl.arrival_cycle - now)
+        was_prefetched = cl.prefetched
+        was_late = was_prefetched and residual > 0
+        if was_prefetched:
+            self.stats.useful_prefetches += 1
+            if was_late:
+                self.stats.late_prefetches += 1
+            cl.prefetched = False
+        return was_prefetched, was_late, residual
+
+    def fill(
+        self,
+        line: int,
+        now: int,
+        arrival_cycle: int,
+        is_prefetch: bool,
+        ip: int = 0,
+        vline: int = -1,
+        pf_latency: int = 0,
+        pf_origin: str = "",
+    ) -> Optional[CacheLine]:
+        """Install ``line``; returns the evicted line if one was displaced.
+
+        If the line is already present (e.g. a prefetch raced a demand),
+        the existing entry is refreshed instead of allocating a new way.
+        """
+        sidx, way = self._find(line)
+        victim: Optional[CacheLine] = None
+        if way is None:
+            way = self._pick_victim(sidx)
+            old = self.sets[sidx][way]
+            if old.valid:
+                if old.prefetched:
+                    self.stats.useless_prefetches += 1
+                if old.dirty:
+                    self.stats.writebacks += 1
+                if old.dirty or self.eviction_hook is not None:
+                    # Copy only when someone will look at the victim.
+                    victim = CacheLine(
+                        tag=old.tag, valid=True, dirty=old.dirty,
+                        prefetched=old.prefetched, ip=old.ip,
+                        vline=old.vline, pf_origin=old.pf_origin,
+                    )
+                    if self.eviction_hook is not None:
+                        self.eviction_hook(victim)
+                del self._where[old.tag]
+            else:
+                self._valid_count[sidx] += 1
+            cl = self.sets[sidx][way]
+            self._where[line] = way
+            cl.tag = line
+            cl.valid = True
+            cl.dirty = False
+            cl.prefetched = is_prefetch
+            cl.arrival_cycle = arrival_cycle
+            cl.pf_latency = pf_latency
+            cl.ip = ip
+            cl.vline = vline
+            cl.pf_origin = pf_origin if is_prefetch else ""
+            self.policy.on_fill(sidx, way)
+        else:
+            cl = self.sets[sidx][way]
+            # Refresh arrival if the new copy arrives earlier.
+            cl.arrival_cycle = min(cl.arrival_cycle, arrival_cycle)
+            if not is_prefetch:
+                cl.prefetched = False
+        if is_prefetch:
+            self.stats.prefetch_fills += 1
+        else:
+            self.stats.demand_fills += 1
+        return victim
+
+    def _pick_victim(self, sidx: int) -> int:
+        if self._valid_count[sidx] >= self.ways:
+            return self.policy.victim(sidx)
+        for way, cl in enumerate(self.sets[sidx]):
+            if not cl.valid:
+                return way
+        return self.policy.victim(sidx)  # defensive; count says full
+
+    def mark_dirty(self, line: int) -> None:
+        """Flag ``line`` dirty (stores); no-op if absent."""
+        sidx, way = self._find(line)
+        if way is not None:
+            self.sets[sidx][way].dirty = True
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; returns True when it was present."""
+        sidx, way = self._find(line)
+        if way is None:
+            return False
+        self.sets[sidx][way] = CacheLine()
+        del self._where[line]
+        self._valid_count[sidx] -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_lines(self) -> int:
+        return self.num_sets * self.ways
+
+    def occupancy(self) -> int:
+        """Number of valid lines (mostly for tests)."""
+        return sum(cl.valid for s in self.sets for cl in s)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,168 @@
+"""DRAM channel/bank model with row buffers and bandwidth limits.
+
+Models what the paper's evaluation depends on (§IV-A "Berti and variable
+cache fill latency"): variable access time from open-page row-buffer hits
+vs. misses, bank conflicts, read/write queue contention, and a channel
+data bus whose throughput is set by the DDR transfer rate (MTPS).  The
+fill latency observed at the L1D therefore varies widely — the property
+Berti's timeliness learning exploits.
+
+Timing (Table II): 4 KB row buffer per bank, open-page policy, burst
+length 16, tRP = tRCD = tCAS = 12.5 ns.  At the simulator's 4 GHz core
+clock, 12.5 ns = 50 core cycles.
+
+The model is *forward-only*: requests are presented in approximately
+nondecreasing time order and each bank keeps a "busy until" horizon plus
+the currently open row.  This captures queueing and row locality without
+a global event queue, which keeps pure-Python simulation tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class DRAMConfig:
+    """Timing and geometry parameters for one DRAM channel."""
+
+    mtps: int = 6400                  # mega-transfers per second
+    core_freq_ghz: float = 4.0
+    banks: int = 16
+    row_size_bytes: int = 4096
+    trp_cycles: int = 50              # precharge (12.5 ns @ 4 GHz)
+    trcd_cycles: int = 50             # activate
+    tcas_cycles: int = 50             # column access
+    read_queue: int = 64
+    write_queue: int = 64
+    write_watermark: float = 7 / 8    # drain writes above this occupancy
+
+    @property
+    def transfer_cycles_per_line(self) -> float:
+        """Core cycles the channel bus is occupied per 64-byte line.
+
+        A DDR channel moves 8 bytes per transfer; a 64-byte line takes 8
+        transfers.  At ``mtps`` million transfers/s and a 4 GHz core, one
+        transfer takes ``core_freq / mtps`` cycles.
+        """
+        transfers_per_line = 64 / 8
+        cycles_per_transfer = (self.core_freq_ghz * 1000.0) / self.mtps
+        return transfers_per_line * cycles_per_transfer
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0            # row open but wrong row (needs PRE+ACT)
+    total_read_latency: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+    @property
+    def avg_read_latency(self) -> float:
+        if self.reads == 0:
+            return 0.0
+        return self.total_read_latency / self.reads
+
+
+@dataclass
+class _Bank:
+    open_row: int = -1
+    busy_until: int = 0
+
+
+class DRAM:
+    """One DRAM channel shared by up to four cores (Table II)."""
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+        self._banks: List[_Bank] = [_Bank() for _ in range(self.config.banks)]
+        self._bus_free = 0.0
+        self._pending_writes: List[int] = []
+        self.stats = DRAMStats()
+
+    # ------------------------------------------------------------------
+
+    def _bank_and_row(self, pline: int) -> tuple[int, int]:
+        cfg = self.config
+        lines_per_row = cfg.row_size_bytes // 64
+        row = pline // lines_per_row
+        bank = row % cfg.banks
+        return bank, row
+
+    def _access(self, pline: int, now: int) -> int:
+        """Core timing: returns the completion cycle for one line access.
+
+        Row-buffer hits pipeline at the burst rate (the bank is busy only
+        for the data burst, tCAS being pure latency); row misses and
+        conflicts additionally occupy the bank for activate/precharge.
+        """
+        cfg = self.config
+        bank_idx, row = self._bank_and_row(pline)
+        bank = self._banks[bank_idx]
+
+        start = max(now, bank.busy_until)
+        if bank.open_row == row:
+            self.stats.row_hits += 1
+            prep = 0
+        elif bank.open_row == -1:
+            self.stats.row_misses += 1
+            prep = cfg.trcd_cycles
+        else:
+            self.stats.row_conflicts += 1
+            prep = cfg.trp_cycles + cfg.trcd_cycles
+        bank.open_row = row
+
+        burst = cfg.transfer_cycles_per_line
+        data_start = max(start + prep + cfg.tcas_cycles, self._bus_free)
+        done = data_start + burst
+        self._bus_free = done
+        # The bank accepts the next column command once activate/precharge
+        # and the data burst are done; CAS latency overlaps with it.
+        bank.busy_until = int(start + prep + burst)
+        return int(done)
+
+    def read(self, pline: int, now: int) -> int:
+        """Issue a read for physical line ``pline`` at cycle ``now``.
+
+        Returns the cycle the data is available at the LLC.  Pending
+        writes are drained first when the write queue is over its
+        watermark (reads are otherwise prioritised, per Table II).
+        """
+        cfg = self.config
+        if len(self._pending_writes) >= cfg.write_queue * cfg.write_watermark:
+            self._drain_writes(now)
+        done = self._access(pline, now)
+        self.stats.reads += 1
+        self.stats.total_read_latency += done - now
+        return done
+
+    def write(self, pline: int, now: int) -> None:
+        """Enqueue a writeback; drained lazily so reads stay prioritised."""
+        self.stats.writes += 1
+        self._pending_writes.append(pline)
+        if len(self._pending_writes) >= self.config.write_queue:
+            self._drain_writes(now)
+
+    def _drain_writes(self, now: int) -> None:
+        for pline in self._pending_writes:
+            self._access(pline, now)
+        self._pending_writes.clear()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def reset(self) -> None:
+        """Full reset: stats, bank state, queues (between warmup/measure)."""
+        self.reset_stats()
+        for bank in self._banks:
+            bank.open_row = -1
+            bank.busy_until = 0
+        self._bus_free = 0.0
+        self._pending_writes.clear()

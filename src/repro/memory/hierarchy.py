@@ -1,0 +1,613 @@
+"""Three-level cache hierarchy with prefetching hooks.
+
+This is the substrate every experiment runs on: L1D → L2 → LLC → DRAM,
+with per-level MSHRs, a bounded FIFO prefetch queue (PQ), non-inclusive
+fills, write-back traffic, and the two prefetcher attachment points the
+paper evaluates (one at the L1D observing virtual addresses + IPs, one at
+the L2 observing physical addresses).
+
+Timing is forward-resolved: a demand access walks the levels immediately
+and returns its total latency; fills install lines whose ``arrival_cycle``
+records when the data really lands, so later demands can observe *late*
+prefetches.  This mirrors how ChampSim's latencies compose while staying
+fast enough for pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cpu.mmu import MMU
+from repro.memory.cache import Cache, CacheLine
+from repro.memory.dram import DRAM
+from repro.memory.mshr import MSHR
+from repro.prefetchers.base import (
+    FILL_L1,
+    FILL_L2,
+    FILL_LLC,
+    AccessInfo,
+    FillInfo,
+    NoPrefetcher,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+LATENCY_FIELD_BITS = 12  # Berti's per-L1D-line latency field width
+
+
+@dataclass
+class LinkTraffic:
+    """Request counts on one link of the hierarchy (demand + prefetch +
+    writeback), the quantity Figure 14 plots."""
+
+    demand: int = 0
+    prefetch: int = 0
+    writeback: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.demand + self.prefetch + self.writeback
+
+    def reset(self) -> None:
+        self.demand = 0
+        self.prefetch = 0
+        self.writeback = 0
+
+
+@dataclass
+class PrefetcherStats:
+    """Issue-side and outcome-side counters for one prefetcher."""
+
+    suggested: int = 0          # requests emitted by the algorithm
+    issued: int = 0             # survived translation/dedup/queue checks
+    dropped_translation: int = 0
+    dropped_duplicate: int = 0
+    dropped_queue_full: int = 0
+    dropped_mshr_full: int = 0
+    fills: int = 0              # lines actually installed somewhere
+    useful: int = 0             # prefetched lines later demanded
+    late: int = 0               # ... demanded before the data arrived
+    useless: int = 0            # evicted without a demand touch
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+    @property
+    def timely(self) -> int:
+        return self.useful - self.late
+
+    @property
+    def accuracy(self) -> float:
+        """Artifact formula over *resolved* prefetches.
+
+        The artifact computes (timely + late) / fills; over a 200 M
+        instruction run the prefetches still in flight at the end are
+        negligible, but over our much shorter traces they are not, so the
+        denominator here is the resolved population (useful + useless).
+        """
+        resolved = self.useful + self.useless
+        if resolved == 0:
+            return 0.0
+        return self.useful / resolved
+
+
+class _FIFOQueue:
+    """A bounded queue serviced at one entry per cycle (the PQ model).
+
+    Returns the queueing delay a new entry observes, or ``None`` when the
+    queue is full at ``now`` (the prefetch is then dropped).  This is what
+    makes prefetch latency exceed demand latency under bursts — one of the
+    variable-latency sources the paper calls out.
+    """
+
+    def __init__(self, size: int, rate: float = 1.0) -> None:
+        self.size = size
+        self.rate = rate  # entries serviced per cycle
+        self._service_times: List[float] = []
+
+    def _expire(self, now: float) -> None:
+        self._service_times = [t for t in self._service_times if t > now]
+
+    def occupancy(self, now: float) -> int:
+        self._expire(now)
+        return len(self._service_times)
+
+    def occupancy_fraction(self, now: float) -> float:
+        return self.occupancy(now) / self.size if self.size else 0.0
+
+    def push(self, now: float) -> Optional[int]:
+        """Enqueue at ``now``; returns the queueing delay, or None if full.
+
+        Robust to non-monotonic arrival times (an out-of-order core issues
+        accesses out of program order): service times are expired lazily
+        against each caller's clock.
+        """
+        self._expire(now)
+        if len(self._service_times) >= self.size:
+            return None
+        start = max([now] + self._service_times)
+        service = start + 1.0 / self.rate
+        self._service_times.append(service)
+        return int(service - now)
+
+    def reset(self) -> None:
+        self._service_times.clear()
+
+
+class Hierarchy:
+    """One core's private L1D/L2 plus (possibly shared) LLC and DRAM."""
+
+    def __init__(
+        self,
+        mmu: MMU,
+        dram: DRAM,
+        l1d: Cache,
+        l2: Cache,
+        llc: Cache,
+        l1d_mshr_size: int = 16,
+        l2_mshr_size: int = 32,
+        llc_mshr_size: int = 64,
+        pq_size: int = 16,
+        l1d_prefetcher: Optional[Prefetcher] = None,
+        l2_prefetcher: Optional[Prefetcher] = None,
+    ) -> None:
+        self.mmu = mmu
+        self.dram = dram
+        self.l1d = l1d
+        self.l2 = l2
+        self.llc = llc
+        self.l1d_mshr = MSHR(l1d_mshr_size)
+        self.l2_mshr = MSHR(l2_mshr_size)
+        self.llc_mshr = MSHR(llc_mshr_size)
+        # The L1D has two read ports (paper §III-C); the PQ drains
+        # through them, so prefetch probes are serviced at 2/cycle.
+        self.l1d_ports_per_cycle = 2.0
+        self.pq = _FIFOQueue(pq_size, rate=self.l1d_ports_per_cycle)
+        self.l1d_prefetcher = l1d_prefetcher or NoPrefetcher()
+        self.l2_prefetcher = l2_prefetcher or NoPrefetcher()
+
+        self.traffic_l1d_l2 = LinkTraffic()
+        self.traffic_l2_llc = LinkTraffic()
+        self.traffic_llc_dram = LinkTraffic()
+        # Per-core LLC/DRAM demand counters: the LLC and DRAM objects may
+        # be shared between cores (multi-core), so their own stats pool
+        # all cores; these fields attribute demand events to *this* core.
+        self.llc_demand_accesses = 0
+        self.llc_demand_misses = 0
+        self.dram_demand_reads = 0
+        self.pf_stats: Dict[str, PrefetcherStats] = {
+            "l1d": PrefetcherStats(),
+            "l2": PrefetcherStats(),
+        }
+        self._wire_eviction_hooks()
+
+    def _wire_eviction_hooks(self) -> None:
+        def account_useless(victim: CacheLine) -> None:
+            if victim.prefetched and victim.pf_origin in self.pf_stats:
+                self.pf_stats[victim.pf_origin].useless += 1
+                if victim.pf_origin == "l2":
+                    # Feedback for filtering prefetchers (PPF).
+                    self.l2_prefetcher.on_evict(victim.tag, was_useful=False)
+                elif victim.pf_origin == "l1d":
+                    self.l1d_prefetcher.on_evict(victim.tag, was_useful=False)
+
+        self.l1d.eviction_hook = account_useless
+        self.l2.eviction_hook = account_useless
+        self.llc.eviction_hook = account_useless
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+
+    def demand_access(self, ip: int, vaddr: int, now: int, is_write: bool = False) -> int:
+        """Perform one demand access; returns its total latency in cycles.
+
+        Runs the L1D prefetcher hooks and issues any suggested prefetches
+        at the access time (mirroring ChampSim's operate flow).
+        """
+        vline = vaddr >> 6
+        pline, trans_latency = self.mmu.translate_demand(vline)
+        t = now + trans_latency
+
+        cl = self.l1d.lookup(pline, is_demand=True)
+        if cl is not None:
+            latency = trans_latency + self.l1d.latency
+            was_pf, was_late, residual = self.l1d.demand_touch(cl, t + self.l1d.latency)
+            latency += residual
+            if was_pf:
+                self._credit_useful("l1d" if cl.pf_origin != "l2" else "l2", was_late)
+                pf_latency = cl.pf_latency
+                cl.pf_latency = 0  # reset after consumption (paper §III-C)
+                self._notify_l1d_prefetch_hit(ip, vline, t, pf_latency)
+            if is_write:
+                self.l1d.mark_dirty(pline)
+            self._run_l1d_prefetcher_on_access(
+                ip, vline, hit=True, prefetch_hit=was_pf, now=t, is_write=is_write
+            )
+            return latency
+
+        # L1D miss: check for an in-flight fetch of the same line.
+        inflight = self.l1d_mshr.lookup(pline, t)
+        if inflight is not None:
+            wait = self.l1d_mshr.merge_demand(inflight, t)
+            if inflight.is_prefetch:
+                # Promote: a demand arrived before the prefetch landed.
+                inflight.is_prefetch = False
+                origin = "l1d"
+                self.pf_stats[origin].useful += 1
+                self.pf_stats[origin].late += 1
+                self._notify_l1d_prefetch_hit(
+                    ip, vline, t, max(1, inflight.ready_cycle - inflight.alloc_cycle)
+                )
+            self._run_l1d_prefetcher_on_access(
+                ip, vline, hit=False, prefetch_hit=False, now=t, is_write=is_write
+            )
+            return trans_latency + self.l1d.latency + wait
+
+        # True miss: fetch from L2 (and below).  A full MSHR stalls the
+        # demand until an entry frees (ChampSim replays the access); the
+        # stall is part of the latency the core observes.
+        detect_time = t + self.l1d.latency
+        miss_time = detect_time
+        if not self.l1d_mshr.can_allocate(miss_time):
+            miss_time = max(miss_time, self.l1d_mshr.earliest_ready(miss_time))
+        self.traffic_l1d_l2.demand += 1
+        ready = self._access_l2(ip, pline, miss_time, is_prefetch=False)
+        self.l1d_mshr.allocate(
+            pline, miss_time, ready, is_prefetch=False, ip=ip, vline=vline
+        )
+        fetch_latency = ready - miss_time
+        observed_latency = ready - detect_time
+        victim = self.l1d.fill(
+            pline,
+            now=miss_time,
+            arrival_cycle=ready,
+            is_prefetch=False,
+            ip=ip,
+            vline=vline,
+        )
+        self._handle_writeback(self.l1d, victim, ready)
+        if is_write:
+            self.l1d.mark_dirty(pline)
+
+        self._run_l1d_prefetcher_on_access(
+            ip, vline, hit=False, prefetch_hit=False, now=t, is_write=is_write
+        )
+        self._run_l1d_prefetcher_on_fill(
+            vline, ready, fetch_latency, was_prefetch=False, ip=ip
+        )
+        return trans_latency + self.l1d.latency + observed_latency
+
+    # ------------------------------------------------------------------
+    # Lower levels
+    # ------------------------------------------------------------------
+
+    def _access_l2(
+        self, ip: int, pline: int, now: int, is_prefetch: bool
+    ) -> int:
+        """Fetch ``pline`` for the L1D; returns the cycle data reaches L1D."""
+        cl = self.l2.lookup(pline, is_demand=not is_prefetch)
+        if cl is not None:
+            ready = max(now + self.l2.latency, cl.arrival_cycle)
+            if not is_prefetch:
+                was_pf, was_late, _ = self.l2.demand_touch(cl, ready)
+                if was_pf and cl.pf_origin in self.pf_stats:
+                    self._credit_useful(cl.pf_origin, was_late)
+                    if cl.pf_origin == "l2":
+                        # Positive feedback for filtering prefetchers.
+                        self.l2_prefetcher.on_prefetch_hit(
+                            AccessInfo(
+                                ip=ip, line=pline, hit=True,
+                                prefetch_hit=True, now=now,
+                            ),
+                            cl.pf_latency,
+                        )
+                self._run_l2_prefetcher(ip, pline, hit=True, now=now)
+            return ready
+
+        inflight = self.l2_mshr.lookup(pline, now)
+        if inflight is not None:
+            wait = self.l2_mshr.merge_demand(inflight, now)
+            if not is_prefetch and inflight.is_prefetch:
+                inflight.is_prefetch = False
+                origin = "l2"
+                self.pf_stats[origin].useful += 1
+                self.pf_stats[origin].late += 1
+            return now + self.l2.latency + wait
+
+        miss_time = now + self.l2.latency
+        self.traffic_l2_llc.demand += 1 if not is_prefetch else 0
+        self.traffic_l2_llc.prefetch += 1 if is_prefetch else 0
+        ready = self._access_llc(pline, miss_time, is_prefetch)
+        if self.l2_mshr.can_allocate(miss_time):
+            self.l2_mshr.allocate(pline, miss_time, ready, is_prefetch, ip=ip)
+        # Copies installed on the way back up are not attributed to the
+        # prefetcher's accuracy: only the fill at the *target* level is.
+        victim = self.l2.fill(
+            pline, now=miss_time, arrival_cycle=ready, is_prefetch=is_prefetch, ip=ip,
+        )
+        self._handle_writeback(self.l2, victim, ready)
+        if not is_prefetch:
+            self._run_l2_prefetcher(ip, pline, hit=False, now=now)
+        return ready
+
+    def _access_llc(self, pline: int, now: int, is_prefetch: bool) -> int:
+        if not is_prefetch:
+            self.llc_demand_accesses += 1
+        cl = self.llc.lookup(pline, is_demand=not is_prefetch)
+        if cl is not None:
+            ready = max(now + self.llc.latency, cl.arrival_cycle)
+            if not is_prefetch:
+                was_pf, was_late, _ = self.llc.demand_touch(cl, ready)
+                if was_pf and cl.pf_origin in self.pf_stats:
+                    self._credit_useful(cl.pf_origin, was_late)
+            return ready
+
+        miss_time = now + self.llc.latency
+        if not is_prefetch:
+            self.llc_demand_misses += 1
+            self.dram_demand_reads += 1
+        self.traffic_llc_dram.demand += 1 if not is_prefetch else 0
+        self.traffic_llc_dram.prefetch += 1 if is_prefetch else 0
+        ready = self.dram.read(pline, miss_time)
+        victim = self.llc.fill(
+            pline, now=miss_time, arrival_cycle=ready, is_prefetch=is_prefetch,
+        )
+        self._handle_writeback(self.llc, victim, ready)
+        return ready
+
+    def _handle_writeback(
+        self, cache: Cache, victim: Optional[CacheLine], now: int
+    ) -> None:
+        if victim is None or not victim.dirty:
+            return
+        if cache is self.l1d:
+            self.traffic_l1d_l2.writeback += 1
+            wv = self.l2.fill(victim.tag, now, now, is_prefetch=False)
+            self.l2.mark_dirty(victim.tag)
+            self._handle_writeback(self.l2, wv, now)
+        elif cache is self.l2:
+            self.traffic_l2_llc.writeback += 1
+            wv = self.llc.fill(victim.tag, now, now, is_prefetch=False)
+            self.llc.mark_dirty(victim.tag)
+            self._handle_writeback(self.llc, wv, now)
+        else:
+            self.traffic_llc_dram.writeback += 1
+            self.dram.write(victim.tag, now)
+
+    # ------------------------------------------------------------------
+    # Prefetch issue
+    # ------------------------------------------------------------------
+
+    def _run_l1d_prefetcher_on_access(
+        self,
+        ip: int,
+        vline: int,
+        hit: bool,
+        prefetch_hit: bool,
+        now: int,
+        is_write: bool,
+    ) -> None:
+        info = AccessInfo(
+            ip=ip,
+            line=vline,
+            hit=hit,
+            prefetch_hit=prefetch_hit,
+            now=now,
+            is_write=is_write,
+            mshr_occupancy=self.l1d_mshr.occupancy_fraction(now),
+            pq_occupancy=self.pq.occupancy_fraction(now),
+        )
+        requests = self.l1d_prefetcher.on_access(info)
+        requests.extend(self.l1d_prefetcher.cycle(now))
+        for req in requests:
+            self.issue_l1d_prefetch(req, ip, now)
+
+    def _run_l1d_prefetcher_on_fill(
+        self, vline: int, now: int, latency: int, was_prefetch: bool, ip: int
+    ) -> None:
+        fill = FillInfo(
+            line=vline, now=now, latency=latency, was_prefetch=was_prefetch, ip=ip
+        )
+        for req in self.l1d_prefetcher.on_fill(fill):
+            self.issue_l1d_prefetch(req, ip, now)
+
+    def _notify_l1d_prefetch_hit(
+        self, ip: int, vline: int, now: int, pf_latency: int
+    ) -> None:
+        info = AccessInfo(
+            ip=ip,
+            line=vline,
+            hit=True,
+            prefetch_hit=True,
+            now=now,
+            mshr_occupancy=self.l1d_mshr.occupancy_fraction(now),
+        )
+        self.l1d_prefetcher.on_prefetch_hit(info, pf_latency)
+
+    def issue_l1d_prefetch(self, req: PrefetchRequest, ip: int, now: int) -> bool:
+        """Translate, filter, and issue one L1D-prefetcher request.
+
+        Returns True when the prefetch actually went out to the hierarchy.
+        """
+        stats = self.pf_stats["l1d"]
+        stats.suggested += 1
+        if req.line < 0:
+            stats.dropped_translation += 1
+            return False
+        pline = self.mmu.translate_prefetch(req.line)
+        if pline is None:
+            stats.dropped_translation += 1
+            return False
+
+        # Duplicate suppression happens before a PQ slot is consumed:
+        # hardware PQs match same-address entries at insert, so repeated
+        # suggestions for already-covered lines are free and cannot
+        # starve other streams of queue space.
+        target = self.l1d if req.fill_level == FILL_L1 else (
+            self.l2 if req.fill_level == FILL_L2 else self.llc
+        )
+        if target.probe(pline):
+            stats.dropped_duplicate += 1
+            return False
+        if req.fill_level == FILL_L1 and self.l1d_mshr.lookup(pline, now):
+            stats.dropped_duplicate += 1
+            return False
+
+        # The bounded PQ (16 entries, Table I) drains through the two
+        # L1D read ports; overflow drops the request.
+        pq_delay = self.pq.push(now)
+        if pq_delay is None:
+            stats.dropped_queue_full += 1
+            return False
+        issue_time = now + pq_delay
+
+        if req.fill_level == FILL_L1:
+            # Keep two MSHR entries in reserve for demand misses, so a
+            # prefetch burst cannot stall the demand path outright.
+            if self.l1d_mshr.occupancy(issue_time) >= self.l1d_mshr.size - 2:
+                stats.dropped_mshr_full += 1
+                return False
+            ready = self._access_l2(ip, pline, issue_time, is_prefetch=True)
+            latency = ready - now
+            self.l1d_mshr.allocate(
+                pline, issue_time, ready, is_prefetch=True, ip=ip, vline=req.line
+            )
+            self.l1d.fill(
+                pline,
+                now=issue_time,
+                arrival_cycle=ready,
+                is_prefetch=True,
+                ip=ip,
+                vline=req.line,
+                pf_latency=self._clamp_latency(latency),
+                pf_origin="l1d",
+            )
+            self.traffic_l1d_l2.prefetch += 1
+            stats.fills += 1
+        elif req.fill_level == FILL_L2:
+            if self.l2.probe(pline) or self.l2_mshr.lookup(pline, now):
+                stats.dropped_duplicate += 1
+                return False
+            if not self.l2_mshr.can_allocate(issue_time):
+                stats.dropped_mshr_full += 1
+                return False
+            ready = self._access_llc(pline, issue_time + self.l2.latency, True)
+            self.l2_mshr.allocate(pline, issue_time, ready, True, ip=ip)
+            self.l2.fill(
+                pline, now=issue_time, arrival_cycle=ready, is_prefetch=True,
+                ip=ip, vline=req.line,
+                pf_latency=self._clamp_latency(ready - now), pf_origin="l1d",
+            )
+            self.traffic_l1d_l2.prefetch += 1
+            self.traffic_l2_llc.prefetch += 1
+            stats.fills += 1
+        else:  # FILL_LLC
+            if self.llc.probe(pline):
+                stats.dropped_duplicate += 1
+                return False
+            if not self.llc_mshr.can_allocate(issue_time):
+                stats.dropped_mshr_full += 1
+                return False
+            ready = self.dram.read(pline, issue_time + self.llc.latency)
+            self.llc_mshr.allocate(pline, issue_time, ready, True, ip=ip)
+            self.llc.fill(
+                pline, now=issue_time, arrival_cycle=ready, is_prefetch=True,
+                pf_origin="l1d",
+            )
+            self.traffic_llc_dram.prefetch += 1
+            stats.fills += 1
+        stats.issued += 1
+        return True
+
+    def _run_l2_prefetcher(self, ip: int, pline: int, hit: bool, now: int) -> None:
+        if isinstance(self.l2_prefetcher, NoPrefetcher):
+            return
+        info = AccessInfo(
+            ip=ip,
+            line=pline,
+            hit=hit,
+            prefetch_hit=False,
+            now=now,
+            mshr_occupancy=self.l2_mshr.occupancy_fraction(now),
+        )
+        for req in self.l2_prefetcher.on_access(info):
+            self.issue_l2_prefetch(req, ip, now)
+
+    def issue_l2_prefetch(self, req: PrefetchRequest, ip: int, now: int) -> bool:
+        """Issue one L2-prefetcher request (physical addressing)."""
+        stats = self.pf_stats["l2"]
+        stats.suggested += 1
+        pline = req.line
+        if pline < 0:
+            stats.dropped_translation += 1
+            return False
+        target = self.llc if req.fill_level == FILL_LLC else self.l2
+        if target.probe(pline) or (
+            target is self.l2 and self.l2_mshr.lookup(pline, now)
+        ):
+            stats.dropped_duplicate += 1
+            return False
+
+        if req.fill_level == FILL_LLC:
+            if self.llc.probe(pline):
+                stats.dropped_duplicate += 1
+                return False
+            if not self.llc_mshr.can_allocate(now):
+                stats.dropped_mshr_full += 1
+                return False
+            ready = self.dram.read(pline, now + self.llc.latency)
+            self.llc_mshr.allocate(pline, now, ready, True, ip=ip)
+            self.llc.fill(
+                pline, now=now, arrival_cycle=ready, is_prefetch=True,
+                pf_origin="l2",
+            )
+            self.traffic_llc_dram.prefetch += 1
+        else:
+            if not self.l2_mshr.can_allocate(now):
+                stats.dropped_mshr_full += 1
+                return False
+            ready = self._access_llc(pline, now + self.l2.latency, True)
+            self.l2_mshr.allocate(pline, now, ready, True, ip=ip)
+            self.l2.fill(
+                pline, now=now, arrival_cycle=ready, is_prefetch=True, ip=ip,
+                pf_origin="l2",
+            )
+            self.traffic_l2_llc.prefetch += 1
+        stats.fills += 1
+        stats.issued += 1
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _credit_useful(self, origin: str, was_late: bool) -> None:
+        if origin not in self.pf_stats:
+            return
+        self.pf_stats[origin].useful += 1
+        if was_late:
+            self.pf_stats[origin].late += 1
+
+    @staticmethod
+    def _clamp_latency(latency: int) -> int:
+        """Model the 12-bit latency field: overflow stores zero."""
+        if latency <= 0 or latency >= (1 << LATENCY_FIELD_BITS):
+            return 0
+        return latency
+
+    def reset_stats(self) -> None:
+        """Clear all counters (but not cache contents) after warmup."""
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        self.llc.reset_stats()
+        self.dram.reset_stats()
+        self.traffic_l1d_l2.reset()
+        self.traffic_l2_llc.reset()
+        self.traffic_llc_dram.reset()
+        self.llc_demand_accesses = 0
+        self.llc_demand_misses = 0
+        self.dram_demand_reads = 0
+        for s in self.pf_stats.values():
+            s.reset()
+        self.mmu.reset_stats()

@@ -1,0 +1,152 @@
+"""Miss status holding registers (MSHR).
+
+The MSHR tracks in-flight misses for a cache.  Berti extends each entry
+with a 16-bit allocation timestamp so the fill latency can be computed on
+return (paper §III-C, "Measuring fetch latency").  We model that timestamp
+directly: entries record the cycle they were allocated and whether the miss
+originated from a demand access or a prefetch.
+
+Because the simulator resolves memory requests inline (the hierarchy
+returns a completion cycle immediately), MSHR entries carry their
+``ready_cycle`` and are released lazily: occupancy at cycle *t* counts the
+entries whose data has not yet arrived by *t*.  This preserves exactly the
+property Berti's prediction path needs — the 70 % occupancy watermark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MSHREntry:
+    """One in-flight miss."""
+
+    line: int
+    alloc_cycle: int
+    ready_cycle: int
+    is_prefetch: bool
+    ip: int = 0
+    vline: int = 0  # virtual line address (what the prefetcher trains on)
+    merged_demands: int = 0
+
+
+class MSHR:
+    """A bounded set of in-flight misses with merge support.
+
+    ``size`` is the hardware entry count (Table II: 8/16/32 at L1I/L1D/L2,
+    64 per core at the LLC).
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._entries: Dict[int, MSHREntry] = {}
+        self._min_ready = 0  # earliest outstanding ready_cycle (fast path)
+        # Statistics
+        self.allocations = 0
+        self.merges = 0
+        self.full_rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _expire(self, now: int) -> None:
+        """Drop entries whose fill has arrived by ``now``."""
+        entries = self._entries
+        if not entries or now < self._min_ready:
+            return
+        done = [line for line, e in entries.items() if e.ready_cycle <= now]
+        for line in done:
+            del entries[line]
+        self._min_ready = (
+            min(e.ready_cycle for e in entries.values()) if entries else 0
+        )
+
+    def occupancy(self, now: int) -> int:
+        """Number of outstanding entries at cycle ``now``."""
+        self._expire(now)
+        return len(self._entries)
+
+    def occupancy_fraction(self, now: int) -> float:
+        """Outstanding entries as a fraction of capacity (0.0–1.0)."""
+        if self.size == 0:
+            return 0.0
+        return self.occupancy(now) / self.size
+
+    def lookup(self, line: int, now: int) -> Optional[MSHREntry]:
+        """Return the in-flight entry for ``line`` if one exists at ``now``."""
+        self._expire(now)
+        return self._entries.get(line)
+
+    def can_allocate(self, now: int) -> bool:
+        """True when a new entry can be allocated at cycle ``now``."""
+        return self.occupancy(now) < self.size
+
+    def allocate(
+        self,
+        line: int,
+        now: int,
+        ready_cycle: int,
+        is_prefetch: bool,
+        ip: int = 0,
+        vline: int = 0,
+    ) -> MSHREntry:
+        """Allocate an entry for a new miss.
+
+        Raises :class:`RuntimeError` when full; callers must check
+        :meth:`can_allocate` first (demand misses in the simulator stall the
+        core instead, prefetches are dropped).
+        """
+        if not self.can_allocate(now):
+            self.full_rejections += 1
+            raise RuntimeError("MSHR full")
+        entry = MSHREntry(
+            line=line,
+            alloc_cycle=now,
+            ready_cycle=ready_cycle,
+            is_prefetch=is_prefetch,
+            ip=ip,
+            vline=vline,
+        )
+        if not self._entries or ready_cycle < self._min_ready:
+            self._min_ready = ready_cycle
+        self._entries[line] = entry
+        self.allocations += 1
+        return entry
+
+    def merge_demand(self, entry: MSHREntry, now: int) -> int:
+        """A demand access hits an in-flight miss: merge and return wait.
+
+        If the in-flight request was a prefetch, the entry is promoted to a
+        demand (matching ChampSim's behaviour) so its fill is no longer
+        counted as a prefetch fill.
+
+        Returns the remaining latency the demand observes.
+        """
+        self.merges += 1
+        entry.merged_demands += 1
+        return max(0, entry.ready_cycle - now)
+
+    def earliest_ready(self, now: int) -> int:
+        """Cycle at which the next entry frees; ``now`` if none in flight.
+
+        Demand misses that find the MSHR full stall until this cycle, the
+        behaviour ChampSim models by replaying the access.
+        """
+        self._expire(now)
+        if not self._entries:
+            return now
+        return min(e.ready_cycle for e in self._entries.values())
+
+    def outstanding(self, now: int) -> List[MSHREntry]:
+        """Snapshot of in-flight entries at cycle ``now``."""
+        self._expire(now)
+        return list(self._entries.values())
+
+    def reset(self) -> None:
+        """Clear all state (used between warmup and measurement)."""
+        self._entries.clear()
+        self.allocations = 0
+        self.merges = 0
+        self.full_rejections = 0

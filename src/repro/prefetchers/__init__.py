@@ -1,0 +1,23 @@
+"""Baseline prefetchers the paper evaluates against Berti."""
+
+from repro.prefetchers.base import (
+    FILL_L1,
+    FILL_L2,
+    FILL_LLC,
+    AccessInfo,
+    FillInfo,
+    NoPrefetcher,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+__all__ = [
+    "FILL_L1",
+    "FILL_L2",
+    "FILL_LLC",
+    "AccessInfo",
+    "FillInfo",
+    "NoPrefetcher",
+    "Prefetcher",
+    "PrefetchRequest",
+]

@@ -1,0 +1,114 @@
+"""Prefetcher interface shared by Berti and all baselines.
+
+The simulator notifies a prefetcher through ChampSim-style hooks.  L1D
+prefetchers observe **virtual** line addresses and the demanding IP; L2
+prefetchers observe **physical** line addresses (plus the IP, which the
+modified ChampSim forwards).  A hook may return prefetch suggestions; the
+engine then handles translation (STLB probe for L1D prefetchers), prefetch
+queue capacity, dedup against cache contents and in-flight misses, and
+issue.
+
+Fill levels mirror the paper's watermark tiers: ``FILL_L1`` fills the line
+into every level down to L1D, ``FILL_L2`` stops at L2, ``FILL_LLC`` stops
+at the LLC (Berti disables this tier but the mechanism exists).
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+FILL_L1 = 1
+FILL_L2 = 2
+FILL_LLC = 3
+
+
+@dataclass
+class PrefetchRequest:
+    """A suggestion emitted by a prefetcher hook.
+
+    ``line`` is in the address space the prefetcher trains on (virtual for
+    L1D prefetchers, physical for L2 prefetchers).
+    """
+
+    line: int
+    fill_level: int = FILL_L1
+    # Metadata for SPP-style lookahead/filter bookkeeping.
+    confidence: float = 1.0
+
+
+@dataclass
+class AccessInfo:
+    """Everything a hook may want to know about one cache access."""
+
+    ip: int
+    line: int                 # line address in the prefetcher's address space
+    hit: bool
+    prefetch_hit: bool        # hit on a line brought in by a prefetch
+    now: int
+    is_write: bool = False
+    mshr_occupancy: float = 0.0   # fraction of MSHR entries in flight
+    pq_occupancy: float = 0.0
+
+
+@dataclass
+class FillInfo:
+    """Notification that a line was installed in the prefetcher's cache."""
+
+    line: int
+    now: int
+    latency: int              # measured fetch latency (MSHR/PQ timestamps)
+    was_prefetch: bool
+    ip: int = 0
+
+
+class Prefetcher(ABC):
+    """Base class: all hooks default to no-ops so subclasses override only
+    what they need."""
+
+    #: human-readable identifier used by the registry and reports
+    name = "none"
+    #: "l1d" or "l2" — which cache's events this prefetcher observes
+    level = "l1d"
+
+    def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
+        """Called on every demand access to the cache (hit or miss)."""
+        return []
+
+    def on_fill(self, fill: FillInfo) -> List[PrefetchRequest]:
+        """Called when a line is installed (demand or prefetch fill)."""
+        return []
+
+    def on_prefetch_hit(self, access: AccessInfo, pf_latency: int) -> None:
+        """First demand hit to a line brought in by a prefetch.
+
+        ``pf_latency`` is the stored per-line fetch latency (Berti's 12-bit
+        field); zero means the measurement overflowed.
+        """
+
+    def on_evict(self, line: int, was_useful: bool) -> None:
+        """A line tracked by this prefetcher was evicted."""
+
+    def cycle(self, now: int) -> List[PrefetchRequest]:
+        """Optional per-access housekeeping hook (degree pacing etc.)."""
+        return []
+
+    def storage_bits(self) -> int:
+        """Hardware budget of the prefetcher's tables, in bits."""
+        return 0
+
+    def storage_kb(self) -> float:
+        return self.storage_bits() / 8 / 1024
+
+    def reset(self) -> None:
+        """Clear all learned state (between warmup phases of experiments)."""
+
+
+class NoPrefetcher(Prefetcher):
+    """The no-prefetching baseline used to normalise traffic and energy."""
+
+    name = "none"
+
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,90 @@
+"""IP-stride prefetcher — the paper's baseline L1D prefetcher.
+
+Table II: "48 KB L1D ... with a 24-entry, fully associative IP-stride
+prefetcher [18]" (Intel's smart-memory-access style stride prefetcher).
+Each entry tracks, per IP, the last accessed line, the last observed
+stride, and a 2-bit confidence counter; after two confirmations it
+prefetches ``degree`` lines ahead along the stride.
+
+Every speedup in the evaluation is reported relative to a system with
+this prefetcher enabled at the L1D.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.prefetchers.base import (
+    FILL_L1,
+    AccessInfo,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+class _Entry:
+    __slots__ = ("ip", "last_line", "stride", "confidence", "lru")
+
+    def __init__(self, ip: int, line: int, lru: int) -> None:
+        self.ip = ip
+        self.last_line = line
+        self.stride = 0
+        self.confidence = 0
+        self.lru = lru
+
+
+class IPStridePrefetcher(Prefetcher):
+    """24-entry fully-associative per-IP stride detector."""
+
+    name = "ip_stride"
+    level = "l1d"
+
+    CONFIDENCE_MAX = 3
+    CONFIDENCE_THRESHOLD = 2
+
+    def __init__(self, entries: int = 24, degree: int = 2) -> None:
+        self.entries = entries
+        self.degree = degree
+        self._table: Dict[int, _Entry] = {}
+        self._clock = 0
+
+    def _lookup(self, ip: int, line: int) -> _Entry:
+        self._clock += 1
+        entry = self._table.get(ip)
+        if entry is None:
+            if len(self._table) >= self.entries:
+                victim_ip = min(self._table, key=lambda k: self._table[k].lru)
+                del self._table[victim_ip]
+            entry = _Entry(ip, line, self._clock)
+            self._table[ip] = entry
+        entry.lru = self._clock
+        return entry
+
+    def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
+        entry = self._lookup(access.ip, access.line)
+        stride = access.line - entry.last_line
+        requests: List[PrefetchRequest] = []
+        if stride != 0:
+            if stride == entry.stride:
+                if entry.confidence < self.CONFIDENCE_MAX:
+                    entry.confidence += 1
+            else:
+                entry.stride = stride
+                entry.confidence = 0
+            if entry.confidence >= self.CONFIDENCE_THRESHOLD:
+                for k in range(1, self.degree + 1):
+                    target = access.line + entry.stride * (self.degree - 1 + k)
+                    requests.append(
+                        PrefetchRequest(line=target, fill_level=FILL_L1)
+                    )
+            entry.last_line = access.line
+        return requests
+
+    def storage_bits(self) -> int:
+        # Per entry: IP tag (16) + last line (24) + stride (13) +
+        # confidence (2) + LRU (5).
+        return self.entries * (16 + 24 + 13 + 2 + 5)
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._clock = 0

@@ -1,0 +1,215 @@
+"""Instruction Pointer Classifier-based Prefetching (IPCP) —
+Pakalapati & Panda, ISCA 2020; DPC-3 winner.
+
+IPCP classifies each IP into one of three classes and drives a small
+dedicated prefetcher per class:
+
+* **CS (constant stride)** — 2-bit-confidence stride detection per IP;
+  prefetches ``cs_degree`` strided lines ahead.
+* **CPLX (complex stride)** — a signature of recent strides indexes a
+  Complex Stride Prediction Table (CSPT); predicted strides are chained
+  ("lookahead") while their confidence holds.
+* **GS (global stream)** — region-density monitoring; when the program
+  streams through a dense region, prefetch aggressively along the stream
+  direction.  This component is the main source of IPCP's useless
+  prefetches on irregular (GAP-like) workloads, which Figure 10 of the
+  paper highlights.
+
+Unclassified IPs fall back to next-line.  Per the paper (§II-B), IPCP
+ignores prefetch *timeliness* — there is no latency feedback anywhere.
+
+Configuration: 128-entry IP table (Table III), 128-entry CSPT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.prefetchers.base import (
+    FILL_L1,
+    FILL_L2,
+    AccessInfo,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+class _IPEntry:
+    __slots__ = (
+        "valid", "tag", "last_line", "stride", "cs_conf", "signature", "lru",
+    )
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.tag = 0
+        self.last_line = 0
+        self.stride = 0
+        self.cs_conf = 0
+        self.signature = 0
+        self.lru = 0
+
+
+class IPCPPrefetcher(Prefetcher):
+    """Composite CS + CPLX + GS + next-line bouquet."""
+
+    name = "ipcp"
+    level = "l1d"
+
+    SIG_BITS = 10
+    CS_CONF_MAX = 3
+    CS_THRESHOLD = 2
+    CPLX_CONF_MAX = 3
+    CPLX_THRESHOLD = 2
+
+    def __init__(
+        self,
+        ip_entries: int = 128,
+        cspt_entries: int = 128,
+        cs_degree: int = 3,
+        cplx_degree: int = 4,
+        gs_degree: int = 4,
+        region_lines: int = 32,
+    ) -> None:
+        self.ip_entries = ip_entries
+        self.cspt_entries = cspt_entries
+        self.cs_degree = cs_degree
+        self.cplx_degree = cplx_degree
+        self.gs_degree = gs_degree
+        self.region_lines = region_lines
+
+        self._ip_table = [_IPEntry() for _ in range(ip_entries)]
+        # CSPT: signature -> (stride, confidence)
+        self._cspt: List[List[int]] = [[0, 0] for _ in range(cspt_entries)]
+        # GS region monitor: region -> (touch bitmap, last line, direction)
+        self._regions: Dict[int, List[int]] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+
+    def _ip_entry(self, ip: int) -> _IPEntry:
+        index = ip % self.ip_entries
+        tag = (ip // self.ip_entries) & 0x3FF
+        entry = self._ip_table[index]
+        if not entry.valid or entry.tag != tag:
+            entry.valid = True
+            entry.tag = tag
+            entry.last_line = 0
+            entry.stride = 0
+            entry.cs_conf = 0
+            entry.signature = 0
+        return entry
+
+    def _update_signature(self, signature: int, stride: int) -> int:
+        return ((signature << 1) ^ (stride & 0x3F)) & ((1 << self.SIG_BITS) - 1)
+
+    # ------------------------------------------------------------------
+
+    def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
+        self._clock += 1
+        line = access.line
+        entry = self._ip_entry(access.ip)
+        requests: List[PrefetchRequest] = []
+
+        if entry.last_line != 0:
+            stride = line - entry.last_line
+            if stride != 0:
+                # --- train CS
+                if stride == entry.stride:
+                    if entry.cs_conf < self.CS_CONF_MAX:
+                        entry.cs_conf += 1
+                else:
+                    entry.cs_conf = max(0, entry.cs_conf - 1)
+                    if entry.cs_conf == 0:
+                        entry.stride = stride
+                # --- train CPLX: old signature predicts this stride
+                slot = self._cspt[entry.signature % self.cspt_entries]
+                if slot[0] == stride:
+                    if slot[1] < self.CPLX_CONF_MAX:
+                        slot[1] += 1
+                else:
+                    slot[1] -= 1
+                    if slot[1] <= 0:
+                        slot[0] = stride
+                        slot[1] = 0
+                entry.signature = self._update_signature(entry.signature, stride)
+
+        entry.last_line = line
+
+        # --- classify and issue
+        if entry.cs_conf >= self.CS_THRESHOLD and entry.stride != 0:
+            for k in range(1, self.cs_degree + 1):
+                requests.append(
+                    PrefetchRequest(
+                        line=line + entry.stride * k, fill_level=FILL_L1
+                    )
+                )
+        else:
+            cplx = self._cplx_chain(entry.signature, line)
+            requests.extend(cplx)
+            if not cplx:
+                gs = self._gs(line)
+                if gs:
+                    requests.extend(gs)
+                else:
+                    # next-line fallback
+                    requests.append(
+                        PrefetchRequest(line=line + 1, fill_level=FILL_L1)
+                    )
+        return requests
+
+    def _cplx_chain(self, signature: int, line: int) -> List[PrefetchRequest]:
+        """CPLX lookahead: follow predicted strides while confident."""
+        requests: List[PrefetchRequest] = []
+        target = line
+        sig = signature
+        for depth in range(self.cplx_degree):
+            stride, conf = self._cspt[sig % self.cspt_entries]
+            if conf < self.CPLX_THRESHOLD or stride == 0:
+                break
+            target += stride
+            fill = FILL_L1 if depth < 2 else FILL_L2
+            requests.append(PrefetchRequest(line=target, fill_level=fill))
+            sig = self._update_signature(sig, stride)
+        return requests
+
+    def _gs(self, line: int) -> List[PrefetchRequest]:
+        """Global-stream detection over dense regions."""
+        region = line // self.region_lines
+        state = self._regions.get(region)
+        if state is None:
+            if len(self._regions) > 64:
+                self._regions.clear()  # cheap epoch reset
+            state = [0, line, 0]
+            self._regions[region] = state
+        bitmap, last, direction = state
+        offset = line % self.region_lines
+        state[0] = bitmap | (1 << offset)
+        state[2] = 1 if line >= last else -1
+        state[1] = line
+        density = bin(state[0]).count("1")
+        if density >= self.region_lines // 3:
+            direction = state[2]
+            return [
+                PrefetchRequest(
+                    line=line + direction * k,
+                    fill_level=FILL_L1 if k <= 2 else FILL_L2,
+                )
+                for k in range(1, self.gs_degree + 1)
+            ]
+        return []
+
+    def storage_bits(self) -> int:
+        # IP table: 128 x (10 tag + 24 line + 13 stride + 2 conf + 10 sig);
+        # CSPT: 128 x (13 stride + 2 conf); region monitors: 64 x
+        # (20 tag + 32 bitmap + 2).
+        return (
+            self.ip_entries * (10 + 24 + 13 + 2 + 10)
+            + self.cspt_entries * (13 + 2)
+            + 64 * (20 + 32 + 2)
+        )
+
+    def reset(self) -> None:
+        self._ip_table = [_IPEntry() for _ in range(self.ip_entries)]
+        self._cspt = [[0, 0] for _ in range(self.cspt_entries)]
+        self._regions.clear()
+        self._clock = 0

@@ -1,0 +1,36 @@
+"""Next-line prefetcher.
+
+The simplest spatial prefetcher: on every access to line *X*, prefetch
+*X + 1* (optionally a few lines ahead).  IPCP falls back to it for IPs it
+cannot classify, and it is a useful sanity baseline for tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetchers.base import (
+    FILL_L1,
+    AccessInfo,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch the next ``degree`` sequential lines on every access."""
+
+    name = "next_line"
+    level = "l1d"
+
+    def __init__(self, degree: int = 1) -> None:
+        self.degree = degree
+
+    def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
+        return [
+            PrefetchRequest(line=access.line + k, fill_level=FILL_L1)
+            for k in range(1, self.degree + 1)
+        ]
+
+    def storage_bits(self) -> int:
+        return 0  # stateless

@@ -1,0 +1,152 @@
+"""Pythia-lite: a tabular reinforcement-learning prefetcher.
+
+The paper (§V) compares against Pythia (Bera et al., MICRO 2021), an
+online-RL L2 prefetcher, and reports that with Berti at the L1D, Pythia
+adds under 1 %.  This is a faithful-in-spirit, reduced implementation of
+Pythia's scheme:
+
+* **state** — a feature vector of the access: (PC hash, page offset,
+  last intra-page delta), hashed into a Q-table index;
+* **actions** — a fixed list of candidate prefetch offsets (including
+  "no prefetch");
+* **reward** — assigned when the outcome of an issued prefetch is known:
+  positive for a demand hit on the prefetched line (more if timely),
+  negative for an eviction without use or for polluting traffic;
+  a small positive reward for correctly choosing *no prefetch* when the
+  next access would not have been covered (approximated by decay);
+* **policy** — epsilon-greedy over Q(s, a), SARSA-style update.
+
+Like real Pythia it sits at the L2 and fills L2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.prefetchers.base import (
+    FILL_L2,
+    AccessInfo,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+_LINES_PER_PAGE = 64
+
+ACTIONS: Tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, -1, -2, -4)
+
+
+class PythiaLitePrefetcher(Prefetcher):
+    """Tabular-RL offset selection (reduced Pythia)."""
+
+    name = "pythia_lite"
+    level = "l2"
+
+    def __init__(
+        self,
+        q_entries: int = 4096,
+        epsilon: float = 0.03,
+        alpha: float = 0.25,
+        gamma: float = 0.5,
+        reward_timely: float = 2.0,
+        reward_late: float = 1.0,
+        reward_useless: float = -2.0,
+        seed: int = 0,
+    ) -> None:
+        self.q_entries = q_entries
+        self.epsilon = epsilon
+        self.alpha = alpha
+        self.gamma = gamma
+        self.reward_timely = reward_timely
+        self.reward_late = reward_late
+        self.reward_useless = reward_useless
+        self._rng = random.Random(seed)
+        # Q-table: state index -> list of action values.
+        self._q: List[List[float]] = [
+            [0.0] * len(ACTIONS) for _ in range(q_entries)
+        ]
+        # line -> (state, action) of the prefetch that fetched it.
+        self._inflight: Dict[int, Tuple[int, int]] = {}
+        # per-page last offset, for the delta feature.
+        self._last_offset: Dict[int, int] = {}
+        self._prev_sa: Tuple[int, int] | None = None
+        self.issued = 0
+
+    # ------------------------------------------------------------------
+
+    def _state(self, ip: int, line: int) -> int:
+        page = line // _LINES_PER_PAGE
+        offset = line % _LINES_PER_PAGE
+        last = self._last_offset.get(page, offset)
+        delta = (offset - last) & 0x7F
+        h = (ip * 0x9E3779B1) ^ (offset << 7) ^ (delta << 13)
+        return h % self.q_entries
+
+    def _choose(self, state: int) -> int:
+        if self._rng.random() < self.epsilon:
+            return self._rng.randrange(len(ACTIONS))
+        row = self._q[state]
+        return max(range(len(ACTIONS)), key=row.__getitem__)
+
+    def _update(self, state: int, action: int, reward: float,
+                next_state: int | None) -> None:
+        row = self._q[state]
+        target = reward
+        if next_state is not None:
+            target += self.gamma * max(self._q[next_state])
+        row[action] += self.alpha * (target - row[action])
+
+    # ------------------------------------------------------------------
+
+    def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
+        line = access.line
+        page = line // _LINES_PER_PAGE
+        offset = line % _LINES_PER_PAGE
+        state = self._state(access.ip, line)
+
+        # SARSA bootstrap from the previous decision.
+        if self._prev_sa is not None:
+            ps, pa = self._prev_sa
+            self._update(ps, pa, 0.0, state)
+
+        action = self._choose(state)
+        self._prev_sa = (state, action)
+        self._last_offset[page] = offset
+        if len(self._last_offset) > 512:
+            self._last_offset.pop(next(iter(self._last_offset)))
+
+        delta = ACTIONS[action]
+        if delta == 0:
+            return []
+        target_offset = offset + delta
+        if not 0 <= target_offset < _LINES_PER_PAGE:
+            return []
+        target = page * _LINES_PER_PAGE + target_offset
+        self._inflight[target] = (state, action)
+        if len(self._inflight) > 2048:
+            self._inflight.pop(next(iter(self._inflight)))
+        self.issued += 1
+        return [PrefetchRequest(line=target, fill_level=FILL_L2)]
+
+    def on_prefetch_hit(self, access: AccessInfo, pf_latency: int) -> None:
+        sa = self._inflight.pop(access.line, None)
+        if sa is not None:
+            reward = self.reward_timely if pf_latency else self.reward_late
+            self._update(sa[0], sa[1], reward, None)
+
+    def on_evict(self, line: int, was_useful: bool) -> None:
+        sa = self._inflight.pop(line, None)
+        if sa is not None and not was_useful:
+            self._update(sa[0], sa[1], self.reward_useless, None)
+
+    def storage_bits(self) -> int:
+        # Q-table: entries x actions x 8-bit quantised values, plus the
+        # in-flight tracker (Pythia's EQ) and feature state.
+        return self.q_entries * len(ACTIONS) * 8 + 2048 * 30 + 512 * 22
+
+    def reset(self) -> None:
+        self._q = [[0.0] * len(ACTIONS) for _ in range(self.q_entries)]
+        self._inflight.clear()
+        self._last_offset.clear()
+        self._prev_sa = None
+        self.issued = 0

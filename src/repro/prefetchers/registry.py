@@ -1,0 +1,96 @@
+"""Factory registry: build any evaluated prefetcher by name.
+
+Names match the paper's figures: ``berti``, ``berti_page``,
+``ip_stride``, ``mlop``, ``ipcp``, ``bop``, ``next_line``, ``streamer``
+at the L1D; ``spp_ppf``, ``spp``, ``bingo``, ``misb``, ``ipcp_l2``,
+``vldp``, ``pythia_lite`` at the L2; ``none`` anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.berti import BertiPrefetcher
+from repro.core.berti_page import BertiPagePrefetcher
+from repro.prefetchers.base import FILL_L1, FILL_L2, NoPrefetcher, Prefetcher
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.bop import BOPPrefetcher
+from repro.prefetchers.ip_stride import IPStridePrefetcher
+from repro.prefetchers.ipcp import IPCPPrefetcher
+from repro.prefetchers.misb import MISBPrefetcher
+from repro.prefetchers.mlop import MLOPPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.pythia_lite import PythiaLitePrefetcher
+from repro.prefetchers.spp import SPPPrefetcher
+from repro.prefetchers.streamer import StreamPrefetcher
+from repro.prefetchers.vldp import VLDPPrefetcher
+
+
+class IPCPL2Prefetcher(IPCPPrefetcher):
+    """IPCP attached at the L2 (the paper's IPCP+IPCP combination).
+
+    Identical algorithm; fills stop at L2 because that is the cache it
+    sits in, and it trains on the L2's (physical) access stream.
+    """
+
+    name = "ipcp_l2"
+    level = "l2"
+
+    def on_access(self, access):  # type: ignore[override]
+        requests = super().on_access(access)
+        for req in requests:
+            if req.fill_level == FILL_L1:
+                req.fill_level = FILL_L2
+        return requests
+
+
+_FACTORIES: Dict[str, Callable[[], Prefetcher]] = {
+    "none": NoPrefetcher,
+    "berti": BertiPrefetcher,
+    "ip_stride": IPStridePrefetcher,
+    "next_line": NextLinePrefetcher,
+    "bop": BOPPrefetcher,
+    "mlop": MLOPPrefetcher,
+    "ipcp": IPCPPrefetcher,
+    "spp_ppf": lambda: SPPPrefetcher(use_ppf=True),
+    "spp": lambda: SPPPrefetcher(use_ppf=False),
+    "bingo": BingoPrefetcher,
+    "misb": MISBPrefetcher,
+    "ipcp_l2": IPCPL2Prefetcher,
+    "berti_page": BertiPagePrefetcher,
+    "streamer": StreamPrefetcher,
+    "vldp": VLDPPrefetcher,
+    "pythia_lite": PythiaLitePrefetcher,
+}
+
+L1D_PREFETCHERS: List[str] = [
+    "none", "ip_stride", "next_line", "bop", "mlop", "ipcp", "berti",
+    "berti_page", "streamer",
+]
+L2_PREFETCHERS: List[str] = [
+    "none", "spp_ppf", "spp", "bingo", "misb", "ipcp_l2", "vldp",
+    "pythia_lite",
+]
+
+
+def available() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """Instantiate a prefetcher by its registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; choose from {available()}"
+        ) from None
+    pf = factory()
+    if name == "spp":
+        pf.name = "spp"
+    return pf
+
+
+def storage_kb(name: str) -> float:
+    """Hardware budget of a prefetcher configuration, in KB."""
+    return make_prefetcher(name).storage_kb()

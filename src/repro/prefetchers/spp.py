@@ -1,0 +1,254 @@
+"""Signature Path Prefetching with Perceptron Prefetch Filtering
+(SPP: Kim et al., MICRO 2016; PPF: Bhatia et al., ISCA 2019).
+
+SPP is an L2 delta prefetcher operating within 4 KB pages:
+
+* a **signature table** tracks, per page, the last offset seen and a
+  compressed signature (hash) of the delta history inside that page;
+* a **pattern table**, indexed by signature, holds candidate next deltas
+  with per-delta and per-signature counters;
+* prediction walks the pattern table in a **lookahead** loop: follow the
+  highest-confidence delta, multiply the path confidence, and keep
+  prefetching until the confidence drops below threshold.  High
+  confidence fills L2, low confidence fills only the LLC.
+
+**PPF** wraps SPP with a perceptron filter: each proposed prefetch is
+scored by summing weights indexed by features (signature, delta, offset,
+lookahead depth); prefetches below the threshold are rejected.  Weights
+train online: +1 when a prefetched line is demanded, −1 when it is
+evicted unused, which recovers accuracy that raw lookahead loses.
+
+The combination is the strongest L2 competitor in the paper's
+multi-level experiments (Berti+SPP-PPF is the best combo in Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.prefetchers.base import (
+    FILL_L2,
+    FILL_LLC,
+    AccessInfo,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+_LINES_PER_PAGE = 64
+
+
+class _PatternEntry:
+    __slots__ = ("c_sig", "deltas")
+
+    def __init__(self) -> None:
+        self.c_sig = 0
+        self.deltas: Dict[int, int] = {}
+
+
+class SPPPrefetcher(Prefetcher):
+    """SPP, optionally wrapped with the PPF perceptron filter."""
+
+    name = "spp_ppf"
+    level = "l2"
+
+    SIG_BITS = 12
+    SIG_SHIFT = 3
+    COUNTER_MAX = 15
+    PF_THRESHOLD = 0.25
+    FILL_THRESHOLD = 0.60
+    MAX_LOOKAHEAD = 6
+    MAX_DELTAS_PER_SIG = 4
+
+    def __init__(
+        self,
+        st_entries: int = 256,
+        pt_entries: int = 512,
+        use_ppf: bool = True,
+        ppf_threshold: int = 0,
+        ppf_weight_max: int = 15,
+    ) -> None:
+        self.st_entries = st_entries
+        self.pt_entries = pt_entries
+        self.use_ppf = use_ppf
+        self.ppf_threshold = ppf_threshold
+        self.ppf_weight_max = ppf_weight_max
+
+        # page -> (last_offset, signature); FIFO-bounded dict.
+        self._st: Dict[int, Tuple[int, int]] = {}
+        self._pt: List[_PatternEntry] = [
+            _PatternEntry() for _ in range(pt_entries)
+        ]
+        # PPF weight tables (feature -> weight).
+        self._w_sig = [0] * 4096
+        self._w_delta = [0] * 128
+        self._w_offset = [0] * 64
+        self._w_depth = [0] * 8
+        # line -> features of the prefetch that brought it (for training).
+        self._inflight_features: Dict[int, Tuple[int, int, int, int]] = {}
+        self.ppf_rejections = 0
+
+    # ------------------------------------------------------------------
+
+    def _sig_update(self, sig: int, delta: int) -> int:
+        return ((sig << self.SIG_SHIFT) ^ (delta & 0x7F)) & (
+            (1 << self.SIG_BITS) - 1
+        )
+
+    def _pt_entry(self, sig: int) -> _PatternEntry:
+        return self._pt[sig % self.pt_entries]
+
+    # ------------------------------------------------------------------
+
+    def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
+        line = access.line
+        page = line // _LINES_PER_PAGE
+        offset = line % _LINES_PER_PAGE
+
+        st = self._st
+        prev = st.get(page)
+        sig = 0
+        if prev is not None:
+            last_offset, old_sig = prev
+            delta = offset - last_offset
+            if delta != 0:
+                entry = self._pt_entry(old_sig)
+                if entry.c_sig >= self.COUNTER_MAX:
+                    # Saturation: halve everything (keeps ratios), then
+                    # count this event like any other so per-delta counts
+                    # can never exceed the signature counter.
+                    entry.c_sig //= 2
+                    for d in list(entry.deltas):
+                        entry.deltas[d] //= 2
+                entry.c_sig += 1
+                cnt = entry.deltas.get(delta, 0)
+                if cnt == 0 and len(entry.deltas) >= self.MAX_DELTAS_PER_SIG:
+                    weakest = min(entry.deltas, key=entry.deltas.get)
+                    del entry.deltas[weakest]
+                entry.deltas[delta] = min(cnt + 1, self.COUNTER_MAX)
+                sig = self._sig_update(old_sig, delta)
+            else:
+                sig = old_sig
+        st.pop(page, None)
+        st[page] = (offset, sig)
+        if len(st) > self.st_entries:
+            del st[next(iter(st))]
+
+        return self._lookahead(page, offset, sig)
+
+    def _lookahead(
+        self, page: int, offset: int, sig: int
+    ) -> List[PrefetchRequest]:
+        requests: List[PrefetchRequest] = []
+        path_conf = 1.0
+        cur_offset = offset
+        for depth in range(self.MAX_LOOKAHEAD):
+            entry = self._pt_entry(sig)
+            if entry.c_sig == 0 or not entry.deltas:
+                break
+            best_delta, best_count = max(
+                entry.deltas.items(), key=lambda kv: kv[1]
+            )
+            for delta, count in entry.deltas.items():
+                conf = min(1.0, path_conf * count / entry.c_sig)
+                if conf < self.PF_THRESHOLD:
+                    continue
+                target_offset = cur_offset + delta
+                if not 0 <= target_offset < _LINES_PER_PAGE:
+                    continue  # SPP stays within the page (physical space)
+                target = page * _LINES_PER_PAGE + target_offset
+                fill = FILL_L2 if conf >= self.FILL_THRESHOLD else FILL_LLC
+                if self._ppf_accept(sig, delta, target_offset, depth, target):
+                    requests.append(
+                        PrefetchRequest(
+                            line=target, fill_level=fill, confidence=conf
+                        )
+                    )
+            best_conf = path_conf * best_count / entry.c_sig
+            if best_conf < self.PF_THRESHOLD:
+                break
+            path_conf = best_conf
+            cur_offset += best_delta
+            if not 0 <= cur_offset < _LINES_PER_PAGE:
+                break
+            sig = self._sig_update(sig, best_delta)
+        return requests
+
+    # ------------------------------------------------------------------
+    # PPF
+    # ------------------------------------------------------------------
+
+    def _features(
+        self, sig: int, delta: int, offset: int, depth: int
+    ) -> Tuple[int, int, int, int]:
+        return (
+            sig % len(self._w_sig),
+            (delta + 64) % len(self._w_delta),
+            offset % len(self._w_offset),
+            min(depth, len(self._w_depth) - 1),
+        )
+
+    def _ppf_accept(
+        self, sig: int, delta: int, offset: int, depth: int, target: int
+    ) -> bool:
+        if not self.use_ppf:
+            return True
+        f = self._features(sig, delta, offset, depth)
+        score = (
+            self._w_sig[f[0]] + self._w_delta[f[1]]
+            + self._w_offset[f[2]] + self._w_depth[f[3]]
+        )
+        if score < self.ppf_threshold:
+            self.ppf_rejections += 1
+            return False
+        self._inflight_features[target] = f
+        if len(self._inflight_features) > 1024:
+            del self._inflight_features[next(iter(self._inflight_features))]
+        return True
+
+    def _train_ppf(self, line: int, useful: bool) -> None:
+        f = self._inflight_features.pop(line, None)
+        if f is None:
+            return
+        step = 1 if useful else -1
+        cap = self.ppf_weight_max
+        for table, idx in zip(
+            (self._w_sig, self._w_delta, self._w_offset, self._w_depth), f
+        ):
+            table[idx] = max(-cap, min(cap, table[idx] + step))
+
+    def on_prefetch_hit(self, access: AccessInfo, pf_latency: int) -> None:
+        self._train_ppf(access.line, useful=True)
+
+    def on_evict(self, line: int, was_useful: bool) -> None:
+        if not was_useful:
+            self._train_ppf(line, useful=False)
+
+    # ------------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        # ST: 256 x (page tag 16 + offset 6 + sig 12); PT: 512 x
+        # (c_sig 4 + 4 deltas x (7 + 4)); PPF weights (5-bit each) per
+        # Table III's table sizes.
+        spp = self.st_entries * (16 + 6 + 12) + self.pt_entries * (4 + 4 * 11)
+        ppf = 0
+        if self.use_ppf:
+            ppf = (4096 + 128 + 64 + 8) * 5 + 1024 * 16  # weights + inflight
+        return spp + ppf
+
+    def reset(self) -> None:
+        self._st.clear()
+        self._pt = [_PatternEntry() for _ in range(self.pt_entries)]
+        self._w_sig = [0] * 4096
+        self._w_delta = [0] * 128
+        self._w_offset = [0] * 64
+        self._w_depth = [0] * 8
+        self._inflight_features.clear()
+        self.ppf_rejections = 0
+
+
+def make_spp(use_ppf: bool = True) -> SPPPrefetcher:
+    """Factory matching the paper's Table III configuration."""
+    pf = SPPPrefetcher(use_ppf=use_ppf)
+    if not use_ppf:
+        pf.name = "spp"
+    return pf

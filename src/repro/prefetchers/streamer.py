@@ -1,0 +1,107 @@
+"""Stream prefetcher — the classic commercial design (paper §V cites
+stream prefetching [24, 28, 53] as deployed in production processors).
+
+Tracks up to N concurrent streams.  A stream is born from two nearby
+misses in the same direction; once confirmed it prefetches a run of
+lines ahead of the demand pointer, ramping its depth up with successful
+hits (the "degree ramping" production streamers use).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.prefetchers.base import (
+    FILL_L1,
+    FILL_L2,
+    AccessInfo,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+class _Stream:
+    __slots__ = ("base", "direction", "confirmed", "depth", "last", "lru")
+
+    def __init__(self, line: int, lru: int) -> None:
+        self.base = line
+        self.direction = 0
+        self.confirmed = False
+        self.depth = 1
+        self.last = line
+        self.lru = lru
+
+
+class StreamPrefetcher(Prefetcher):
+    """Multi-stream detector with depth ramping."""
+
+    name = "streamer"
+    level = "l1d"
+
+    WINDOW = 16        # lines: how close a miss must be to join a stream
+    MAX_DEPTH = 8
+
+    def __init__(self, streams: int = 16) -> None:
+        self.max_streams = streams
+        self._streams: List[_Stream] = []
+        self._clock = 0
+
+    def _find_stream(self, line: int) -> Optional[_Stream]:
+        for s in self._streams:
+            if abs(line - s.last) <= self.WINDOW:
+                return s
+        return None
+
+    def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
+        self._clock += 1
+        line = access.line
+        stream = self._find_stream(line)
+
+        if stream is None:
+            if access.hit:
+                return []
+            if len(self._streams) >= self.max_streams:
+                victim = min(self._streams, key=lambda s: s.lru)
+                self._streams.remove(victim)
+            self._streams.append(_Stream(line, self._clock))
+            return []
+
+        stream.lru = self._clock
+        step = line - stream.last
+        if step == 0:
+            return []
+        direction = 1 if step > 0 else -1
+
+        if not stream.confirmed:
+            stream.direction = direction
+            stream.confirmed = True
+            stream.last = line
+            return []
+
+        if direction != stream.direction:
+            # Direction flip: restart the stream.
+            stream.direction = direction
+            stream.depth = 1
+            stream.last = line
+            return []
+
+        # Confirmed advance: prefetch ahead, ramping depth.
+        stream.last = line
+        stream.depth = min(self.MAX_DEPTH, stream.depth + 1)
+        requests = []
+        for k in range(1, stream.depth + 1):
+            fill = FILL_L1 if k <= 2 else FILL_L2
+            requests.append(
+                PrefetchRequest(
+                    line=line + stream.direction * k, fill_level=fill
+                )
+            )
+        return requests
+
+    def storage_bits(self) -> int:
+        # 16 streams x (24-bit pointer + 4-bit depth + dir + state + LRU).
+        return self.max_streams * (24 + 4 + 1 + 1 + 5)
+
+    def reset(self) -> None:
+        self._streams.clear()
+        self._clock = 0

@@ -1,0 +1,139 @@
+"""Feedback-directed prefetch throttling (FDP) — Srinath et al., HPCA 2007.
+
+The paper's related work (§V) discusses aggressiveness controllers that
+tune prefetch degree from observed accuracy/lateness/pollution, and
+claims that Berti does not need one: *"with Berti, the accuracy is
+significantly higher than prior prefetching techniques, and the implicit
+confidence mechanism acts like a prefetch throttler."*
+
+:class:`FDPThrottle` wraps any L1D prefetcher with the classic FDP
+control loop so the claim can be tested (see
+``benchmarks/test_ablation_throttling.py``):
+
+* an epoch counter tracks issued/useful/late outcomes;
+* at each epoch end the measured accuracy and lateness select an
+  aggressiveness level per Srinath's decision table;
+* the level scales how many of the wrapped prefetcher's requests are
+  forwarded (its effective degree) and how deep they fill.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetchers.base import (
+    FILL_L1,
+    FILL_L2,
+    AccessInfo,
+    FillInfo,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+# Aggressiveness levels: (max requests forwarded per access, allow L1 fill)
+_LEVELS = [
+    (1, False),   # very conservative
+    (2, False),
+    (4, True),
+    (8, True),
+    (16, True),   # very aggressive
+]
+
+
+class FDPThrottle(Prefetcher):
+    """Classic accuracy/lateness feedback throttle around a prefetcher."""
+
+    level = "l1d"
+
+    HIGH_ACCURACY = 0.75
+    LOW_ACCURACY = 0.40
+    HIGH_LATENESS = 0.40
+    EPOCH = 256  # issued prefetches per evaluation epoch
+
+    def __init__(self, inner: Prefetcher, start_level: int = 2) -> None:
+        self.inner = inner
+        self.name = f"fdp({inner.name})"
+        self._level = start_level
+        # Epoch counters (fed by the hierarchy's feedback hooks).
+        self._issued = 0
+        self._useful = 0
+        self._late = 0
+        self._useless = 0
+        self.level_changes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def aggressiveness(self) -> int:
+        return self._level
+
+    def _epoch_update(self) -> None:
+        resolved = self._useful + self._useless
+        if resolved == 0:
+            return
+        accuracy = self._useful / resolved
+        lateness = self._late / max(1, self._useful)
+        old = self._level
+        if accuracy >= self.HIGH_ACCURACY:
+            if lateness >= self.HIGH_LATENESS:
+                self._level = min(len(_LEVELS) - 1, self._level + 1)
+            # accurate and timely: keep the level
+        elif accuracy <= self.LOW_ACCURACY:
+            self._level = max(0, self._level - 1)
+        else:
+            if lateness >= self.HIGH_LATENESS:
+                self._level = min(len(_LEVELS) - 1, self._level + 1)
+            else:
+                self._level = max(0, self._level - 1)
+        if self._level != old:
+            self.level_changes += 1
+        self._issued = 0
+        self._useful = 0
+        self._late = 0
+        self._useless = 0
+
+    def _filter(self, requests: List[PrefetchRequest]) -> List[PrefetchRequest]:
+        max_requests, allow_l1 = _LEVELS[self._level]
+        out = []
+        for req in requests[:max_requests]:
+            if not allow_l1 and req.fill_level == FILL_L1:
+                req.fill_level = FILL_L2
+            out.append(req)
+        self._issued += len(out)
+        if self._issued >= self.EPOCH:
+            self._epoch_update()
+        return out
+
+    # ------------------------------------------------------------------
+    # Prefetcher interface: delegate, filter outgoing requests.
+    # ------------------------------------------------------------------
+
+    def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
+        return self._filter(self.inner.on_access(access))
+
+    def on_fill(self, fill: FillInfo) -> List[PrefetchRequest]:
+        return self._filter(self.inner.on_fill(fill))
+
+    def on_prefetch_hit(self, access: AccessInfo, pf_latency: int) -> None:
+        self._useful += 1
+        if pf_latency == 0:
+            self._late += 1
+        self.inner.on_prefetch_hit(access, pf_latency)
+
+    def on_evict(self, line: int, was_useful: bool) -> None:
+        if not was_useful:
+            self._useless += 1
+        self.inner.on_evict(line, was_useful)
+
+    def cycle(self, now: int) -> List[PrefetchRequest]:
+        return self._filter(self.inner.cycle(now))
+
+    def storage_bits(self) -> int:
+        # Inner tables + four 16-bit epoch counters and the level.
+        return self.inner.storage_bits() + 4 * 16 + 3
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._level = 2
+        self._issued = self._useful = self._late = self._useless = 0
+        self.level_changes = 0

@@ -1,0 +1,168 @@
+"""Variable Length Delta Prefetching (VLDP) — Shevgoor et al., MICRO 2015.
+
+VLDP (paper §II-A) predicts the next delta within an OS page from
+*histories of deltas* of increasing length: a table indexed by the last
+delta, one by the last two deltas, one by the last three.  Longer
+histories take precedence when they hit, which lets VLDP cover repeating
+multi-delta patterns that a single-delta predictor aliases.
+
+Structures:
+
+* **DHB** (delta history buffer) — per-page last offset plus the last
+  three deltas;
+* **DPT[k]** (delta prediction tables) — map a tuple of the last *k*
+  deltas to the most likely next delta with a 2-bit confidence;
+* **OPT** (offset prediction table) — first-access prediction per page
+  offset (first access has no delta history yet).
+
+The paper positions VLDP below SPP-PPF in coverage; it serves here as an
+additional L2 baseline and as a reference point for the delta-history
+design space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.prefetchers.base import (
+    FILL_L2,
+    AccessInfo,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+_LINES_PER_PAGE = 64
+
+
+class _PageState:
+    __slots__ = ("last_offset", "deltas")
+
+    def __init__(self, offset: int) -> None:
+        self.last_offset = offset
+        self.deltas: List[int] = []
+
+
+class VLDPPrefetcher(Prefetcher):
+    """Multi-length delta-history prediction at the L2."""
+
+    name = "vldp"
+    level = "l2"
+
+    CONF_MAX = 3
+    CONF_THRESHOLD = 1
+
+    def __init__(
+        self,
+        dhb_entries: int = 64,
+        dpt_entries: int = 256,
+        max_history: int = 3,
+        degree: int = 4,
+    ) -> None:
+        self.dhb_entries = dhb_entries
+        self.dpt_entries = dpt_entries
+        self.max_history = max_history
+        self.degree = degree
+        # page -> state
+        self._dhb: Dict[int, _PageState] = {}
+        # One prediction table per history length: key tuple -> [delta, conf]
+        self._dpt: List[Dict[Tuple[int, ...], List[int]]] = [
+            {} for _ in range(max_history)
+        ]
+        # First-access offset predictor: offset -> [delta, conf]
+        self._opt: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _train(self, history: List[int], delta: int, first_offset: int) -> None:
+        for k in range(1, min(len(history), self.max_history) + 1):
+            key = tuple(history[-k:])
+            table = self._dpt[k - 1]
+            slot = table.get(key)
+            if slot is None:
+                if len(table) >= self.dpt_entries:
+                    table.pop(next(iter(table)))
+                table[key] = [delta, 1]
+            elif slot[0] == delta:
+                slot[1] = min(self.CONF_MAX, slot[1] + 1)
+            else:
+                slot[1] -= 1
+                if slot[1] <= 0:
+                    slot[0] = delta
+                    slot[1] = 1
+        if not history:
+            slot = self._opt.get(first_offset)
+            if slot is None:
+                self._opt[first_offset] = [delta, 1]
+            elif slot[0] == delta:
+                slot[1] = min(self.CONF_MAX, slot[1] + 1)
+            else:
+                slot[1] -= 1
+                if slot[1] <= 0:
+                    self._opt[first_offset] = [delta, 1]
+
+    def _predict_next(self, history: List[int], offset: int) -> int:
+        """Longest-match lookup across the DPTs; 0 means no prediction."""
+        for k in range(min(len(history), self.max_history), 0, -1):
+            slot = self._dpt[k - 1].get(tuple(history[-k:]))
+            if slot is not None and slot[1] >= self.CONF_THRESHOLD:
+                return slot[0]
+        slot = self._opt.get(offset)
+        if slot is not None and slot[1] >= self.CONF_THRESHOLD:
+            return slot[0]
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
+        line = access.line
+        page = line // _LINES_PER_PAGE
+        offset = line % _LINES_PER_PAGE
+
+        state = self._dhb.get(page)
+        if state is None:
+            if len(self._dhb) >= self.dhb_entries:
+                self._dhb.pop(next(iter(self._dhb)))
+            state = _PageState(offset)
+            self._dhb[page] = state
+        else:
+            delta = offset - state.last_offset
+            if delta != 0:
+                self._train(state.deltas, delta, state.last_offset)
+                state.deltas.append(delta)
+                if len(state.deltas) > self.max_history:
+                    state.deltas.pop(0)
+                state.last_offset = offset
+
+        # Chained prediction: walk predicted deltas up to the degree.
+        requests: List[PrefetchRequest] = []
+        history = list(state.deltas)
+        cur = offset
+        for __ in range(self.degree):
+            nxt = self._predict_next(history, cur)
+            if nxt == 0:
+                break
+            cur += nxt
+            if not 0 <= cur < _LINES_PER_PAGE:
+                break
+            requests.append(
+                PrefetchRequest(
+                    line=page * _LINES_PER_PAGE + cur, fill_level=FILL_L2
+                )
+            )
+            history.append(nxt)
+            history = history[-self.max_history:]
+        return requests
+
+    def storage_bits(self) -> int:
+        # DHB: 64 x (page tag 16 + offset 6 + 3 deltas x 7);
+        # DPTs: 3 x 256 x (key ~21 + delta 7 + conf 2); OPT: 64 x 9.
+        return (
+            self.dhb_entries * (16 + 6 + 3 * 7)
+            + self.max_history * self.dpt_entries * (21 + 7 + 2)
+            + 64 * 9
+        )
+
+    def reset(self) -> None:
+        self._dhb.clear()
+        self._dpt = [{} for _ in range(self.max_history)]
+        self._opt.clear()

@@ -1,0 +1,17 @@
+"""Simulation engines (single-core and multi-core) and result records."""
+
+from repro.simulator.config import SystemConfig, default_config
+from repro.simulator.engine import build_hierarchy, simulate
+from repro.simulator.multicore import simulate_multicore, weighted_speedup
+from repro.simulator.stats import PrefetchSummary, SimResult
+
+__all__ = [
+    "SystemConfig",
+    "default_config",
+    "build_hierarchy",
+    "simulate",
+    "simulate_multicore",
+    "weighted_speedup",
+    "PrefetchSummary",
+    "SimResult",
+]

@@ -1,0 +1,68 @@
+"""System configuration mirroring Table II of the paper.
+
+The defaults reproduce the baseline system: a Sunny Cove-like 4 GHz core,
+48 KB L1D with a 24-entry IP-stride prefetcher as the *baseline* L1D
+prefetcher, 512 KB SRRIP L2, 2 MB/core DRRIP LLC, one DDR5-6400 channel
+per four cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cpu.core_model import CoreConfig
+from repro.memory.dram import DRAMConfig
+
+
+@dataclass
+class CacheConfig:
+    size_bytes: int
+    ways: int
+    latency: int
+    replacement: str = "lru"
+
+
+@dataclass
+class SystemConfig:
+    """All Table II knobs in one place."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(48 * 1024, 12, 5, "lru")
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(512 * 1024, 8, 10, "srrip")
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * 1024 * 1024, 16, 20, "drrip")
+    )
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    l1d_mshr: int = 16
+    l2_mshr: int = 32
+    pq_size: int = 16
+
+    dtlb_entries: int = 64
+    dtlb_ways: int = 4
+    dtlb_latency: int = 1
+    stlb_entries: int = 2048
+    stlb_ways: int = 16
+    stlb_latency: int = 8
+    page_walk_latency: int = 60
+
+    num_cores: int = 1
+    llc_per_core: bool = True  # 2 MB/core: multi-core scales LLC size
+
+    def with_dram_mtps(self, mtps: int) -> "SystemConfig":
+        """A copy with a different DRAM transfer rate (Fig. 16/17)."""
+        return replace(self, dram=replace(self.dram, mtps=mtps))
+
+    def scaled_llc_size(self) -> int:
+        if self.llc_per_core:
+            return self.llc.size_bytes * self.num_cores
+        return self.llc.size_bytes
+
+
+def default_config() -> SystemConfig:
+    """The paper's baseline single-core configuration."""
+    return SystemConfig()

@@ -1,0 +1,19 @@
+"""Workload generators standing in for the paper's trace suites."""
+
+from repro.workloads.cloudsuite_like import cloudsuite_suite
+from repro.workloads.gap import gap_suite, gap_trace
+from repro.workloads.mixes import random_mixes
+from repro.workloads.spec_like import spec17_suite, stream_trace
+from repro.workloads.trace import Trace, concatenate, interleave
+
+__all__ = [
+    "Trace",
+    "concatenate",
+    "interleave",
+    "spec17_suite",
+    "stream_trace",
+    "gap_suite",
+    "gap_trace",
+    "cloudsuite_suite",
+    "random_mixes",
+]

@@ -1,0 +1,37 @@
+"""Heterogeneous multi-core mixes (paper §IV-I).
+
+The paper simulates 200 random 4-core mixes drawn from the
+memory-intensive SPEC CPU2017 and GAP traces; each core replays its
+trace until all cores finish their instruction budget.  We reproduce the
+procedure over our suites with a deterministic seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.workloads.gap import gap_suite
+from repro.workloads.spec_like import spec17_suite
+from repro.workloads.trace import Trace
+
+
+def random_mixes(
+    num_mixes: int,
+    cores: int = 4,
+    scale: float = 1.0,
+    seed: int = 0,
+    pool: Sequence[Trace] | None = None,
+) -> List[List[Trace]]:
+    """Draw ``num_mixes`` random ``cores``-wide trace mixes.
+
+    The pool defaults to the SPEC-like plus GAP-like suites, as in the
+    paper's multi-core methodology.
+    """
+    if pool is None:
+        pool = list(spec17_suite(scale)) + list(gap_suite(scale))
+    rng = random.Random(seed)
+    mixes = []
+    for _ in range(num_mixes):
+        mixes.append([rng.choice(list(pool)) for _ in range(cores)])
+    return mixes

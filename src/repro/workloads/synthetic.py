@@ -1,0 +1,178 @@
+"""Synthetic access-pattern building blocks.
+
+Every SPEC-/GAP-/CloudSuite-like generator is assembled from these
+primitives.  Each primitive emits records for **one** instruction pointer
+so that local-delta structure (what Berti learns) is explicit and
+controllable; suite generators interleave them into realistic streams.
+
+All primitives take a ``base`` byte address and emit line-aligned
+accesses; ``gap`` is the non-memory instruction count between records.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.workloads.trace import Trace, TraceRecord
+
+LINE = 64
+
+
+def strided_stream(
+    ip: int,
+    base: int,
+    stride_lines: int,
+    count: int,
+    gap: int = 10,
+    is_write: bool = False,
+    region_lines: Optional[int] = None,
+) -> List[TraceRecord]:
+    """A constant-stride stream: the pattern IP-stride covers perfectly.
+
+    ``region_lines`` bounds the footprint: the stream wraps around the
+    region, revisiting its pages the way a real array sweep does (keeps
+    the STLB warm and the working set finite).
+    """
+    if region_lines is None:
+        region_lines = max(1, abs(stride_lines)) * count
+    return [
+        (ip, base + (i * stride_lines) % region_lines * LINE, is_write, gap, 0)
+        for i in range(count)
+    ]
+
+
+def pattern_stream(
+    ip: int,
+    base: int,
+    stride_pattern: Sequence[int],
+    count: int,
+    gap: int = 10,
+    dep: int = 0,
+    region_lines: Optional[int] = None,
+) -> List[TraceRecord]:
+    """A repeating stride *pattern* (e.g. lbm's +1, +2, +1, +2 ...).
+
+    IP-stride gains no confidence on it, but the deltas across one period
+    are constant — exactly what a local-delta prefetcher exploits.
+    """
+    if region_lines is None:
+        period = sum(stride_pattern)
+        region_lines = max(1, period) * (count // len(stride_pattern) + 1)
+    records: List[TraceRecord] = []
+    base_line = base // LINE
+    offset = 0
+    for i in range(count):
+        records.append((ip, (base_line + offset) * LINE, False, gap, dep))
+        offset = (offset + stride_pattern[i % len(stride_pattern)]) % region_lines
+    return records
+
+
+def pointer_chase(
+    ip: int,
+    base: int,
+    delta_choices: Sequence[int],
+    count: int,
+    gap: int = 10,
+    seed: int = 0,
+    weights: Optional[Sequence[float]] = None,
+    region_lines: Optional[int] = None,
+) -> List[TraceRecord]:
+    """A dependent chase whose step is drawn from ``delta_choices``.
+
+    Each access depends on the previous one (``dep=1``), so the chain is
+    latency-bound: this is the mcf-style pattern where timely prefetching
+    pays most.  A dominant delta (via ``weights``) gives Berti a
+    high-coverage local delta while leaving the stride inconsistent.
+    """
+    rng = random.Random(seed)
+    records: List[TraceRecord] = []
+    base_line = base // LINE
+    offset = 0
+    for _ in range(count):
+        records.append((ip, (base_line + offset) * LINE, False, gap, 1))
+        if weights is not None:
+            step = rng.choices(list(delta_choices), weights=list(weights))[0]
+        else:
+            step = rng.choice(list(delta_choices))
+        if region_lines is None:
+            offset += step
+        else:
+            offset = (offset + step) % region_lines
+    return records
+
+
+def random_access(
+    ip: int,
+    base: int,
+    region_lines: int,
+    count: int,
+    gap: int = 10,
+    seed: int = 0,
+    dep: int = 0,
+) -> List[TraceRecord]:
+    """Uniform random lines within a region: unprefetchable noise."""
+    rng = random.Random(seed)
+    return [
+        (ip, base + rng.randrange(region_lines) * LINE, False, gap, dep)
+        for _ in range(count)
+    ]
+
+
+def gather_indices(
+    ip: int,
+    base: int,
+    indices: Iterable[int],
+    gap: int = 10,
+    dep: int = 0,
+    is_write: bool = False,
+) -> List[TraceRecord]:
+    """Element accesses driven by an explicit index sequence (A[idx[i]])."""
+    return [
+        (ip, base + idx * LINE, is_write, gap, dep) for idx in indices
+    ]
+
+
+def temporal_sequence(
+    ip: int,
+    lines: Sequence[int],
+    repetitions: int,
+    gap: int = 14,
+    dep: int = 0,
+) -> List[TraceRecord]:
+    """A fixed irregular line sequence replayed several times.
+
+    Spatially random but temporally repeating — the stream a temporal
+    prefetcher (MISB) covers and spatial/delta prefetchers cannot.
+    """
+    records: List[TraceRecord] = []
+    for _ in range(repetitions):
+        for line in lines:
+            records.append((ip, line * LINE, False, gap, dep))
+    return records
+
+
+def make_trace(
+    name: str,
+    parts: Sequence[List[TraceRecord]],
+    suite: str = "",
+    description: str = "",
+    interleave_chunk: int = 1,
+) -> Trace:
+    """Round-robin interleave primitive streams into one trace."""
+    trace = Trace(name=name, suite=suite, description=description)
+    iters = [iter(p) for p in parts]
+    live = list(range(len(iters)))
+    while live:
+        still = []
+        for idx in live:
+            taken = 0
+            for rec in iters[idx]:
+                trace.records.append(rec)
+                taken += 1
+                if taken >= interleave_chunk:
+                    break
+            if taken >= interleave_chunk:
+                still.append(idx)
+        live = still
+    return trace

@@ -1,0 +1,187 @@
+"""Trace containers: the unit of work every experiment consumes.
+
+A trace is an ordered sequence of memory accesses annotated with the
+number of non-memory instructions preceding each access — the same
+information a ChampSim trace carries after decoding.  Records:
+
+``(ip, vaddr, is_write, gap, dep)``
+
+* ``ip``   — instruction pointer of the memory instruction
+* ``vaddr``— virtual byte address accessed
+* ``is_write`` — store vs. load
+* ``gap``  — non-memory instructions between the previous access and this
+* ``dep``  — 0, or *d* when the address depends on the value loaded by the
+  *d*-th previous memory record (pointer chasing / indirect indexing)
+
+Traces are deliberately plain (lists of tuples) for simulation speed; the
+:class:`Trace` wrapper adds metadata, statistics and (de)serialisation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+TraceRecord = Tuple[int, int, bool, int, int]
+
+
+@dataclass
+class Trace:
+    """A named memory-access trace plus bookkeeping."""
+
+    name: str
+    records: List[TraceRecord] = field(default_factory=list)
+    suite: str = ""           # "spec17", "gap", "cloudsuite", ...
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        ip: int,
+        vaddr: int,
+        is_write: bool = False,
+        gap: int = 0,
+        dep: int = 0,
+    ) -> None:
+        self.records.append((ip, vaddr, is_write, gap, dep))
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        self.records.extend(records)
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions (memory + the gaps between them)."""
+        return len(self.records) + sum(r[3] for r in self.records)
+
+    @property
+    def unique_ips(self) -> int:
+        return len({r[0] for r in self.records})
+
+    @property
+    def unique_lines(self) -> int:
+        return len({r[1] >> 6 for r in self.records})
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r[2]) / len(self.records)
+
+    def footprint_bytes(self) -> int:
+        """Approximate data footprint (unique lines × 64 B)."""
+        return self.unique_lines * 64
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace over record indices [start, stop)."""
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]",
+            records=self.records[start:stop],
+            suite=self.suite,
+            description=self.description,
+        )
+
+    def repeated(self, times: int) -> "Trace":
+        """The trace concatenated ``times`` times (multi-core replay)."""
+        return Trace(
+            name=self.name,
+            records=self.records * times,
+            suite=self.suite,
+            description=self.description,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation (npz + json sidecar)
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        n = len(self.records)
+        ips = np.empty(n, dtype=np.int64)
+        addrs = np.empty(n, dtype=np.int64)
+        writes = np.empty(n, dtype=np.bool_)
+        gaps = np.empty(n, dtype=np.int32)
+        deps = np.empty(n, dtype=np.int32)
+        for i, (ip, va, w, g, d) in enumerate(self.records):
+            ips[i], addrs[i], writes[i], gaps[i], deps[i] = ip, va, w, g, d
+        np.savez_compressed(
+            path, ips=ips, addrs=addrs, writes=writes, gaps=gaps, deps=deps
+        )
+        meta = {
+            "name": self.name,
+            "suite": self.suite,
+            "description": self.description,
+        }
+        Path(str(path) + ".json").write_text(json.dumps(meta))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        path = Path(path)
+        data = np.load(path if path.suffix == ".npz" else str(path) + ".npz")
+        meta_path = Path(str(path) + ".json")
+        meta = json.loads(meta_path.read_text()) if meta_path.exists() else {}
+        records = [
+            (int(ip), int(va), bool(w), int(g), int(d))
+            for ip, va, w, g, d in zip(
+                data["ips"], data["addrs"], data["writes"], data["gaps"],
+                data["deps"],
+            )
+        ]
+        return cls(
+            name=meta.get("name", path.stem),
+            records=records,
+            suite=meta.get("suite", ""),
+            description=meta.get("description", ""),
+        )
+
+
+def interleave(traces: Sequence[Trace], name: str, chunk: int = 1) -> Trace:
+    """Round-robin interleave several traces at ``chunk``-record granularity.
+
+    Used to build patterns like CactuBSSN's hundreds of interleaved strided
+    instructions, and heterogeneous phases within one synthetic benchmark.
+    """
+    out = Trace(name=name, suite=traces[0].suite if traces else "")
+    iters = [iter(t.records) for t in traces]
+    live = list(range(len(iters)))
+    while live:
+        next_live = []
+        for idx in live:
+            taken = 0
+            for rec in iters[idx]:
+                out.records.append(rec)
+                taken += 1
+                if taken >= chunk:
+                    break
+            if taken >= chunk:
+                next_live.append(idx)
+        live = next_live
+    return out
+
+
+def concatenate(traces: Sequence[Trace], name: str) -> Trace:
+    """Phases executed back to back (program phase changes)."""
+    out = Trace(name=name, suite=traces[0].suite if traces else "")
+    for t in traces:
+        out.records.extend(t.records)
+    return out

@@ -1,0 +1,83 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import address as addr
+
+
+class TestLineHelpers:
+    def test_line_of_zero(self):
+        assert addr.line_of(0) == 0
+
+    def test_line_of_within_first_line(self):
+        assert addr.line_of(63) == 0
+
+    def test_line_of_boundary(self):
+        assert addr.line_of(64) == 1
+
+    def test_line_addr_roundtrip(self):
+        assert addr.line_addr(addr.line_of(0x12345)) == 0x12340
+
+    def test_line_addr_is_aligned(self):
+        assert addr.line_addr(7) % addr.LINE_SIZE == 0
+
+
+class TestPageHelpers:
+    def test_page_of_boundary(self):
+        assert addr.page_of(4095) == 0
+        assert addr.page_of(4096) == 1
+
+    def test_lines_per_page(self):
+        assert addr.LINES_PER_PAGE == 64
+
+    def test_page_of_line(self):
+        assert addr.page_of_line(63) == 0
+        assert addr.page_of_line(64) == 1
+
+    def test_line_offset_in_page(self):
+        assert addr.line_offset_in_page(0) == 0
+        assert addr.line_offset_in_page(65) == 1
+
+    def test_same_page_true(self):
+        assert addr.same_page(0, 63)
+
+    def test_same_page_false(self):
+        assert not addr.same_page(63, 64)
+
+    def test_page_addr(self):
+        assert addr.page_addr(2) == 8192
+
+
+class TestSignExtend:
+    def test_positive_small(self):
+        assert addr.sign_extend(5, 13) == 5
+
+    def test_negative(self):
+        assert addr.sign_extend((1 << 13) - 1, 13) == -1
+
+    def test_max_positive(self):
+        assert addr.sign_extend((1 << 12) - 1, 13) == (1 << 12) - 1
+
+    def test_min_negative(self):
+        assert addr.sign_extend(1 << 12, 13) == -(1 << 12)
+
+    def test_masks_upper_bits(self):
+        assert addr.sign_extend(0xFFFF0005, 13) == 5
+
+    @given(st.integers(min_value=-(1 << 12), max_value=(1 << 12) - 1))
+    def test_roundtrip_13bit(self, value):
+        assert addr.sign_extend(value & 0x1FFF, 13) == value
+
+
+class TestFitsInSigned:
+    def test_bounds(self):
+        assert addr.fits_in_signed(-4096, 13)
+        assert addr.fits_in_signed(4095, 13)
+        assert not addr.fits_in_signed(4096, 13)
+        assert not addr.fits_in_signed(-4097, 13)
+
+    @given(st.integers(min_value=2, max_value=24), st.integers())
+    def test_consistent_with_sign_extend(self, bits, value):
+        if addr.fits_in_signed(value, bits):
+            assert addr.sign_extend(value & ((1 << bits) - 1), bits) == value

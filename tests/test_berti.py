@@ -1,0 +1,148 @@
+"""Unit and behavioural tests for the Berti prefetcher itself."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.core.berti import BertiPrefetcher
+from repro.core.config import BertiConfig
+from repro.core.delta_table import L1D_PREF
+from repro.prefetchers.base import FILL_L1, FILL_L2, AccessInfo, FillInfo
+
+IP = 0x402DC7
+
+
+def access(line, hit=False, now=0, mshr=0.0, ip=IP, prefetch_hit=False):
+    return AccessInfo(
+        ip=ip, line=line, hit=hit, prefetch_hit=prefetch_hit, now=now,
+        mshr_occupancy=mshr,
+    )
+
+
+def train_stride(pf, stride=2, count=40, period=400, latency=100, start=0):
+    """Feed a miss stream with inter-miss spacing > latency so several
+    deltas are timely, driving full learning phases."""
+    line = start
+    for i in range(count):
+        now = i * period
+        pf.on_access(access(line, hit=False, now=now))
+        pf.on_fill(FillInfo(line=line, now=now + latency, latency=latency,
+                            was_prefetch=False, ip=IP))
+        line += stride
+
+
+class TestTraining:
+    def test_learns_stride_deltas(self):
+        pf = BertiPrefetcher()
+        train_stride(pf, stride=2)
+        snapshot = dict(
+            (d, s) for d, __, s in pf.deltas.entry_snapshot(IP)
+        )
+        assert snapshot.get(2) == L1D_PREF
+
+    def test_prediction_after_training(self):
+        pf = BertiPrefetcher()
+        train_stride(pf, stride=2)
+        reqs = pf.on_access(access(1000, hit=True, now=100_000))
+        targets = {r.line for r in reqs}
+        assert 1002 in targets
+
+    def test_prefetch_fill_does_not_train(self):
+        pf = BertiPrefetcher()
+        pf.on_access(access(10, hit=False, now=0))
+        before = pf.history.searches
+        pf.on_fill(FillInfo(line=10, now=100, latency=100,
+                            was_prefetch=True, ip=IP))
+        assert pf.history.searches == before
+
+    def test_zero_latency_fill_skipped(self):
+        """Latency 0 marks a 12-bit overflow: no search (paper §III-C)."""
+        pf = BertiPrefetcher()
+        pf.on_access(access(10, hit=False, now=0))
+        before = pf.history.searches
+        pf.on_fill(FillInfo(line=12, now=100, latency=0,
+                            was_prefetch=False, ip=IP))
+        assert pf.history.searches == before
+
+    def test_latency_overflow_clamped(self):
+        pf = BertiPrefetcher()
+        assert pf._clamp_latency(5000) == 0
+        assert pf._clamp_latency(4095) == 4095
+        assert pf._clamp_latency(-3) == 0
+
+    def test_prefetch_hit_trains(self):
+        pf = BertiPrefetcher()
+        pf.history.insert(IP, 0, 0)
+        before = pf.history.searches
+        pf.on_prefetch_hit(access(10, hit=True, now=500, prefetch_hit=True),
+                           pf_latency=100)
+        assert pf.history.searches == before + 1
+        assert pf.history.occupancy() >= 2  # the hit was also recorded
+
+
+class TestPredictionGating:
+    def test_mshr_watermark_degrades_to_l2(self):
+        pf = BertiPrefetcher()
+        train_stride(pf, stride=2)
+        low = pf.on_access(access(500, hit=True, now=99_000, mshr=0.1))
+        high = pf.on_access(access(600, hit=True, now=99_500, mshr=0.9))
+        assert any(r.fill_level == FILL_L1 for r in low)
+        assert all(r.fill_level == FILL_L2 for r in high)
+
+    def test_untrained_ip_predicts_nothing(self):
+        pf = BertiPrefetcher()
+        train_stride(pf, stride=2)
+        assert pf.on_access(access(100, hit=True, ip=IP + 8)) == []
+
+    def test_negative_target_suppressed(self):
+        pf = BertiPrefetcher()
+        train_stride(pf, stride=-2, start=10_000)
+        reqs = pf.on_access(access(1, hit=True, now=99_000))
+        assert all(r.line >= 0 for r in reqs)
+
+
+class TestCrossPage:
+    def test_cross_page_enabled_by_default(self):
+        pf = BertiPrefetcher()
+        train_stride(pf, stride=40)  # large delta crosses 4 KB pages
+        reqs = pf.on_access(access(60, hit=True, now=99_000))
+        assert any(r.line // 64 != 60 // 64 for r in reqs)
+
+    def test_cross_page_suppression(self):
+        cfg = replace(BertiConfig(), cross_page=False)
+        pf = BertiPrefetcher(cfg)
+        train_stride(pf, stride=40)
+        reqs = pf.on_access(access(60, hit=True, now=99_000))
+        assert all(r.line // 64 == 60 // 64 for r in reqs)
+        assert pf.cross_page_suppressed > 0
+
+
+class TestHardwareBudget:
+    def test_storage_matches_config(self):
+        pf = BertiPrefetcher()
+        assert pf.storage_bits() == BertiConfig().storage_bits()
+
+    def test_reset_clears_learning(self):
+        pf = BertiPrefetcher()
+        train_stride(pf)
+        pf.reset()
+        assert pf.on_access(access(100, hit=True)) == []
+
+
+class TestOutOfOrderRobustness:
+    def test_reordered_stream_still_learned(self):
+        """Paper §II-B: timely deltas see past accesses in any order, so a
+        locally shuffled +1 stream still trains Berti."""
+        pf = BertiPrefetcher()
+        order = []
+        base = 0
+        for blk in range(30):
+            a, b = base + blk * 2, base + blk * 2 + 1
+            order.extend([b, a] if blk % 2 else [a, b])  # local swaps
+        for i, line in enumerate(order):
+            now = i * 400
+            pf.on_access(access(line, hit=False, now=now))
+            pf.on_fill(FillInfo(line=line, now=now + 100, latency=100,
+                                was_prefetch=False, ip=IP))
+        statuses = dict((d, s) for d, __, s in pf.deltas.entry_snapshot(IP))
+        assert any(s == L1D_PREF for s in statuses.values())

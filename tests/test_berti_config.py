@@ -1,0 +1,89 @@
+"""Tests for BertiConfig, including the Table I storage accounting."""
+
+import pytest
+
+from repro.core.config import BertiConfig
+
+
+class TestTableI:
+    """Table I of the paper: per-structure storage and the 2.55 KB total."""
+
+    def test_history_table_storage(self):
+        kb = BertiConfig().storage_breakdown_kb()["history_table"]
+        assert kb == pytest.approx(0.74, abs=0.02)
+
+    def test_delta_table_storage(self):
+        kb = BertiConfig().storage_breakdown_kb()["table_of_deltas"]
+        assert kb == pytest.approx(0.62, abs=0.02)
+
+    def test_queue_timestamp_storage(self):
+        kb = BertiConfig().storage_breakdown_kb()["pq_mshr_timestamps"]
+        assert kb == pytest.approx(0.06, abs=0.01)
+
+    def test_l1d_latency_field_storage(self):
+        kb = BertiConfig().storage_breakdown_kb()["l1d_latency_fields"]
+        assert kb == pytest.approx(1.13, abs=0.01)
+
+    def test_total_is_2_55_kb(self):
+        assert BertiConfig().storage_kb() == pytest.approx(2.55, abs=0.02)
+
+
+class TestScaling:
+    def test_scaled_up(self):
+        cfg = BertiConfig().scaled(2.0)
+        assert cfg.history_sets == 16
+        assert cfg.delta_table_entries == 32
+        assert cfg.storage_bits() > BertiConfig().storage_bits()
+
+    def test_scaled_down(self):
+        cfg = BertiConfig().scaled(0.25)
+        assert cfg.history_sets == 2
+        assert cfg.delta_table_entries == 4
+
+    def test_scaled_never_zero(self):
+        cfg = BertiConfig().scaled(0.01)
+        assert cfg.history_sets >= 1
+        assert cfg.delta_table_entries >= 1
+
+    def test_with_deltas_per_entry(self):
+        cfg = BertiConfig().with_deltas_per_entry(4)
+        assert cfg.deltas_per_entry == 4
+        assert cfg.delta_table_bits() < BertiConfig().delta_table_bits()
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BertiConfig().history_sets = 2
+
+
+class TestWatermarks:
+    def test_defaults_match_paper(self):
+        cfg = BertiConfig()
+        assert cfg.high_watermark == 0.65
+        assert cfg.medium_watermark == 0.35
+        assert cfg.low_watermark == cfg.medium_watermark  # LLC tier disabled
+        assert cfg.warmup_watermark == 0.80
+        assert cfg.mshr_watermark == 0.70
+
+    def test_with_watermarks(self):
+        cfg = BertiConfig().with_watermarks(0.8, 0.5)
+        assert cfg.high_watermark == 0.8
+        assert cfg.medium_watermark == 0.5
+
+    @pytest.mark.parametrize("high,medium", [(0.3, 0.6), (1.2, 0.5), (0.5, -0.1)])
+    def test_invalid_combinations(self, high, medium):
+        with pytest.raises(ValueError):
+            BertiConfig().with_watermarks(high, medium)
+
+
+class TestStructuralDefaults:
+    def test_paper_geometry(self):
+        cfg = BertiConfig()
+        assert cfg.history_sets * cfg.history_ways == 128
+        assert cfg.delta_table_entries == 16
+        assert cfg.deltas_per_entry == 16
+        assert cfg.max_prefetch_deltas == 12
+        assert cfg.counter_max == 16
+        assert cfg.max_deltas_per_search == 8
+        assert cfg.delta_bits == 13
+        assert cfg.latency_bits == 12
+        assert cfg.timestamp_bits == 16

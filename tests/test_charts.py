@@ -1,0 +1,75 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import (
+    bar_chart,
+    grouped_bar_chart,
+    series_chart,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        out = bar_chart({"berti": 1.2, "mlop": 0.9}, title="T")
+        assert out.startswith("T")
+        assert "berti" in out and "1.200" in out
+
+    def test_longest_bar_is_max(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = {ln.split()[0]: ln for ln in out.splitlines()}
+        assert lines["b"].count("█") > lines["a"].count("█")
+
+    def test_baseline_marker(self):
+        out = bar_chart({"a": 2.0, "b": 0.5}, baseline=1.0, width=20)
+        assert "|" in out.splitlines()[1]  # marker visible in short bar
+
+    def test_empty(self):
+        assert bar_chart({}, title="E") == "E"
+
+    def test_zero_values_do_not_crash(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out
+
+    def test_custom_format(self):
+        out = bar_chart({"a": 0.5}, fmt="{:.0%}")
+        assert "50%" in out
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        out = grouped_bar_chart(
+            {"SPEC": {"berti": 1.2}, "GAP": {"berti": 1.0}}, title="G"
+        )
+        assert out.splitlines()[0] == "G"
+        assert "SPEC:" in out and "GAP:" in out
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_downsampling(self):
+        s = sparkline(list(range(100)), width=10)
+        assert len(s) == 10
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestSeriesChart:
+    def test_ranges_shown(self):
+        out = series_chart({"berti": [(1, 1.0), (2, 1.5)]}, title="S")
+        assert "[1.000, 1.500]" in out
+
+    def test_empty(self):
+        assert series_chart({}, title="S") == "S"

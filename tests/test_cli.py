@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import all_trace_names, build_parser, main, resolve_trace
+
+
+class TestResolveTrace:
+    def test_spec_trace(self):
+        t = resolve_trace("mcf_s-1554B", 0.1)
+        assert t.name == "mcf_s-1554B"
+
+    def test_gap_trace(self):
+        t = resolve_trace("bfs-kron", 0.05)
+        assert t.name == "bfs-kron"
+
+    def test_cloudsuite_trace(self):
+        t = resolve_trace("cassandra", 0.1)
+        assert t.name == "cassandra"
+
+    def test_unknown_exits(self):
+        with pytest.raises(SystemExit):
+            resolve_trace("not-a-trace", 0.1)
+
+    def test_all_names_resolve(self):
+        for name in all_trace_names():
+            assert resolve_trace(name, 0.02) is not None
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--trace", "x"])
+        assert args.l1d == "berti" and args.l2 == "none"
+
+    def test_suite_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--suite", "bogus"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "berti" in out and "mcf_s-1554B" in out
+
+    def test_trace_info(self, capsys):
+        assert main(["trace-info", "--trace", "lbm_s-2676B",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--trace", "lbm_s-2676B", "--l1d", "berti",
+                     "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "accuracy" in out
+
+    def test_run_with_mtps(self, capsys):
+        assert main(["run", "--trace", "lbm_s-2676B", "--l1d", "ip_stride",
+                     "--scale", "0.05", "--mtps", "1600"]) == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--trace", "lbm_s-2676B",
+                     "--l1d", "ip_stride,berti", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs ip_stride" in out
+
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "2.55" in out

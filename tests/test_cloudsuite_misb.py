@@ -1,0 +1,76 @@
+"""CloudSuite-like workloads and their interaction with MISB (§IV-G/H)."""
+
+import pytest
+
+from repro import simulate
+from repro.prefetchers.registry import make_prefetcher
+from repro.workloads.cloudsuite_like import (
+    cassandra_like,
+    classification_like,
+    cloud9_like,
+    nutch_like,
+)
+from repro.workloads.spec_like import mcf_s_1554
+
+SCALE = 0.3
+
+
+class TestLowIntensity:
+    def test_cloudsuite_mpki_below_spec(self):
+        """§IV-G: CloudSuite L1D MPKI (6.9 avg) far below SPEC (42.2)."""
+        cs = simulate(cloud9_like(SCALE))
+        spec = simulate(mcf_s_1554(SCALE))
+        assert cs.l1d_mpki < spec.l1d_mpki / 2
+
+    def test_speedups_muted(self):
+        """Little headroom: no prefetcher moves cloud9 much."""
+        t = cloud9_like(SCALE)
+        base = simulate(t, l1d_prefetcher=make_prefetcher("ip_stride"))
+        for name in ("mlop", "ipcp", "berti"):
+            r = simulate(t, l1d_prefetcher=make_prefetcher(name))
+            assert 0.85 < r.speedup_over(base) < 1.2, name
+
+
+class TestClassification:
+    def test_berti_best_on_classification(self):
+        """§IV-G: Classification is where only Berti's accuracy pays."""
+        t = classification_like(SCALE)
+        base = simulate(t, l1d_prefetcher=make_prefetcher("ip_stride"))
+        speeds = {
+            name: simulate(
+                t, l1d_prefetcher=make_prefetcher(name)
+            ).speedup_over(base)
+            for name in ("mlop", "ipcp", "berti")
+        }
+        assert speeds["berti"] == max(speeds.values())
+        assert speeds["berti"] > 1.0
+
+
+class TestTemporalStructure:
+    def test_misb_predicts_episode_replays(self):
+        """The recurring request episodes are temporal structure: MISB
+        recognises replays and predicts their successors (§IV-H).
+
+        At unit-test trace lengths the episode footprint still fits the
+        L2, so the predictions resolve as already-resident duplicates;
+        the observable property is that MISB *recognises* the replayed
+        streams (its predictions target valid successors) and never
+        hurts.  EXPERIMENTS.md records the corresponding muted Fig. 19
+        magnitudes at harness scale.
+        """
+        t = cassandra_like(SCALE)
+        base = simulate(t, l1d_prefetcher=make_prefetcher("ip_stride"))
+        with_misb = simulate(
+            t,
+            l1d_prefetcher=make_prefetcher("ip_stride"),
+            l2_prefetcher=make_prefetcher("misb"),
+        )
+        predictions = (
+            with_misb.pf_l2.issued + with_misb.pf_l2.dropped_duplicate
+        )
+        assert predictions > 100  # the replayed streams were recognised
+        assert with_misb.speedup_over(base) > 0.9
+
+    def test_nutch_generator_deterministic(self):
+        a, b = nutch_like(SCALE), nutch_like(SCALE)
+        assert a.records == b.records

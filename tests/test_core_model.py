@@ -1,0 +1,115 @@
+"""Unit tests for the out-of-order core timing model."""
+
+import pytest
+
+from repro.cpu.core_model import CoreConfig, CoreModel
+
+
+class TestBandwidthBounds:
+    def test_ipc_capped_by_retire_width(self):
+        core = CoreModel(CoreConfig(issue_width=6, retire_width=4))
+        for _ in range(500):
+            core.advance_nonmem(9)
+            core.issue_memory(lambda now: 1)
+        assert core.ipc <= 4.0 + 1e-9
+
+    def test_nonmem_only_frontend_bound(self):
+        core = CoreModel(CoreConfig(issue_width=6, retire_width=8))
+        core.advance_nonmem(600)
+        assert core.cycles == pytest.approx(100.0)
+
+    def test_instruction_count(self):
+        core = CoreModel()
+        core.advance_nonmem(10)
+        core.issue_memory(lambda now: 5)
+        assert core.instructions == 11
+
+
+class TestLatencyHiding:
+    def test_independent_loads_overlap(self):
+        """Independent loads within the ROB overlap: total time is far
+        below the serial sum of latencies."""
+        core = CoreModel()
+        n, lat = 200, 100
+        for _ in range(n):
+            core.advance_nonmem(3)
+            core.issue_memory(lambda now: lat)
+        assert core.cycles < n * lat / 4
+
+    def test_dependent_loads_serialise(self):
+        core = CoreModel()
+        n, lat = 50, 100
+        for _ in range(n):
+            core.issue_memory(lambda now: lat, dep=1)
+        assert core.cycles >= n * lat * 0.9
+
+    def test_dependency_distance(self):
+        """dep=2 chains through every other load: two parallel chains
+        finish in about half the time of one serial chain."""
+        serial = CoreModel()
+        for _ in range(40):
+            serial.issue_memory(lambda now: 100, dep=1)
+        paired = CoreModel()
+        for _ in range(40):
+            paired.issue_memory(lambda now: 100, dep=2)
+        assert paired.cycles < serial.cycles * 0.7
+
+    def test_rob_limits_overlap(self):
+        """With a tiny ROB, long-latency loads cannot all overlap."""
+        big = CoreModel(CoreConfig(rob_size=352))
+        small = CoreModel(CoreConfig(rob_size=8))
+        for core in (big, small):
+            for _ in range(100):
+                core.advance_nonmem(1)
+                core.issue_memory(lambda now: 200)
+        assert small.cycles > big.cycles
+
+    def test_lower_latency_higher_ipc(self):
+        fast = CoreModel()
+        slow = CoreModel()
+        for core, lat in ((fast, 10), (slow, 400)):
+            for _ in range(150):
+                core.advance_nonmem(2)
+                core.issue_memory(lambda now, lat=lat: lat, dep=1)
+        assert fast.ipc > slow.ipc
+
+
+class TestStores:
+    def test_stores_do_not_stall_retirement(self):
+        loads = CoreModel()
+        stores = CoreModel()
+        for _ in range(100):
+            loads.issue_memory(lambda now: 300, is_write=False)
+            stores.issue_memory(lambda now: 300, is_write=True)
+        assert stores.cycles < loads.cycles
+
+    def test_stores_not_in_dependency_window(self):
+        core = CoreModel()
+        core.issue_memory(lambda now: 500, is_write=True)
+        # dep=1 should look past the store... there is no prior load, so
+        # the next load issues immediately.
+        t = core.issue_memory(lambda now: 10, dep=1)
+        assert t < 100
+
+
+class TestClock:
+    def test_now_monotonic_with_frontend(self):
+        core = CoreModel()
+        t0 = core.now()
+        core.advance_nonmem(60)
+        assert core.now() >= t0
+
+    def test_latency_fn_receives_issue_cycle(self):
+        core = CoreModel()
+        seen = []
+        core.advance_nonmem(60)
+        core.issue_memory(lambda now: seen.append(now) or 1)
+        assert seen[0] >= 10  # 60 instr / 6-issue = 10 cycles
+
+    def test_snapshot_monotone(self):
+        core = CoreModel()
+        core.issue_memory(lambda now: 100)
+        i1, c1 = core.snapshot()
+        core.issue_memory(lambda now: 100)
+        i2, c2 = core.snapshot()
+        assert i2 > i1 and c2 >= c1

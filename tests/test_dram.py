@@ -1,0 +1,113 @@
+"""Unit tests for the DRAM model."""
+
+import pytest
+
+from repro.memory.dram import DRAM, DRAMConfig
+
+
+class TestTiming:
+    def test_first_access_is_row_miss(self):
+        d = DRAM()
+        done = d.read(0, now=0)
+        cfg = d.config
+        expected_min = cfg.trcd_cycles + cfg.tcas_cycles
+        assert done >= expected_min
+        assert d.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        d = DRAM()
+        d.read(0, 0)
+        before = d.stats.row_hits
+        d.read(1, 1000)  # same 4 KB row
+        assert d.stats.row_hits == before + 1
+
+    def test_row_hit_faster_than_miss(self):
+        d = DRAM()
+        t_miss = d.read(0, 0) - 0
+        t_hit = d.read(1, 10_000) - 10_000
+        assert t_hit < t_miss
+
+    def test_row_conflict_slowest(self):
+        cfg = DRAMConfig(banks=1)
+        d = DRAM(cfg)
+        d.read(0, 0)
+        lines_per_row = cfg.row_size_bytes // 64
+        t_conflict = d.read(lines_per_row, 10_000) - 10_000
+        t_hit = d.read(lines_per_row + 1, 20_000) - 20_000
+        assert d.stats.row_conflicts >= 1
+        assert t_conflict > t_hit
+
+    def test_row_hits_pipeline_at_burst_rate(self):
+        """Back-to-back row hits should stream near the bus rate, not
+        serialise at CAS latency (the bug class that throttled all
+        prefetching in early development)."""
+        d = DRAM()
+        d.read(0, 0)
+        t1 = d.read(1, 500)
+        t2 = d.read(2, 500)
+        per_line = t2 - t1
+        assert per_line <= d.config.transfer_cycles_per_line + 1
+
+
+class TestBandwidth:
+    def test_transfer_cycles_scale_with_mtps(self):
+        fast = DRAMConfig(mtps=6400)
+        slow = DRAMConfig(mtps=1600)
+        assert slow.transfer_cycles_per_line == pytest.approx(
+            4 * fast.transfer_cycles_per_line
+        )
+
+    def test_bus_serialises_concurrent_reads(self):
+        d = DRAM()
+        # Saturate: many reads at the same instant to different banks.
+        dones = sorted(d.read(i * 64, 0) for i in range(16))
+        gaps = [b - a for a, b in zip(dones, dones[1:])]
+        assert min(gaps) >= int(d.config.transfer_cycles_per_line) - 1
+
+    def test_slower_dram_longer_completion(self):
+        fast = DRAM(DRAMConfig(mtps=6400))
+        slow = DRAMConfig(mtps=1600)
+        d_slow = DRAM(slow)
+        done_fast = max(fast.read(i * 64, 0) for i in range(32))
+        done_slow = max(d_slow.read(i * 64, 0) for i in range(32))
+        assert done_slow > done_fast
+
+
+class TestWrites:
+    def test_writes_are_buffered(self):
+        d = DRAM()
+        d.write(0, 0)
+        assert d.stats.writes == 1
+        assert len(d._pending_writes) == 1
+
+    def test_write_queue_drains_at_capacity(self):
+        d = DRAM()
+        for i in range(d.config.write_queue):
+            d.write(i, 0)
+        assert len(d._pending_writes) == 0
+
+    def test_reads_trigger_drain_above_watermark(self):
+        d = DRAM()
+        watermark = int(d.config.write_queue * d.config.write_watermark)
+        for i in range(watermark):
+            d.write(i, 0)
+        d.read(1000, 0)
+        assert len(d._pending_writes) == 0
+
+
+class TestStats:
+    def test_avg_read_latency(self):
+        d = DRAM()
+        d.read(0, 0)
+        assert d.stats.avg_read_latency > 0
+
+    def test_reset_clears_state(self):
+        d = DRAM()
+        d.read(0, 0)
+        d.write(5, 0)
+        d.reset()
+        assert d.stats.reads == 0
+        assert d._banks[0].open_row == -1
+        # After reset a fresh read is a row miss again.
+        d.read(0, 0)
+        assert d.stats.row_misses == 1

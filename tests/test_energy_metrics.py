@@ -1,0 +1,123 @@
+"""Tests for the energy model, metrics, and report helpers."""
+
+import pytest
+
+from repro import simulate
+from repro.analysis.metrics import (
+    average_accuracy,
+    average_mpki,
+    geomean,
+    geomean_speedup,
+    traffic_normalised,
+)
+from repro.analysis.report import format_series, format_table
+from repro.energy import EnergyModel, EnergyParams
+from repro.prefetchers.registry import make_prefetcher
+from repro.workloads.synthetic import make_trace, pointer_chase, random_access
+
+
+@pytest.fixture(scope="module")
+def runs():
+    # A half-random workload: the random part is unprefetchable, so
+    # spraying prefetchers (IPCP's NL/GS) pay for junk there while a
+    # coverage-gated prefetcher (Berti) stays quiet.
+    t = make_trace(
+        "e",
+        [
+            pointer_chase(0x402, 0x1000000, [-1], 1500, gap=10,
+                          region_lines=4096),
+            random_access(0x517, 0x2000000, 1 << 14, 1500, gap=10, seed=4),
+        ],
+    )
+    return {
+        "none": simulate(t),
+        "berti": simulate(t, l1d_prefetcher=make_prefetcher("berti")),
+        "ipcp": simulate(t, l1d_prefetcher=make_prefetcher("ipcp")),
+    }
+
+
+class TestEnergyModel:
+    def test_positive_components(self, runs):
+        b = EnergyModel().evaluate(runs["none"])
+        assert b.l1d_nj > 0 and b.dram_nj > 0
+        assert b.total_nj == pytest.approx(
+            b.l1d_nj + b.l2_nj + b.llc_nj + b.dram_nj
+        )
+
+    def test_dram_dominates_for_miss_heavy(self, runs):
+        b = EnergyModel().evaluate(runs["none"])
+        assert b.dram_nj > b.l1d_nj
+
+    def test_normalised_baseline_is_one(self, runs):
+        em = EnergyModel()
+        assert em.normalised(runs["none"], runs["none"]) == pytest.approx(1.0)
+
+    def test_prefetching_adds_energy(self, runs):
+        em = EnergyModel()
+        assert em.normalised(runs["berti"], runs["none"]) >= 1.0
+
+    def test_accurate_prefetcher_cheaper_than_sprayer(self, runs):
+        """Figure 15's core claim: Berti's energy overhead is the lowest
+        because its accuracy is the highest."""
+        em = EnergyModel()
+        e_berti = em.normalised(runs["berti"], runs["none"])
+        e_ipcp = em.normalised(runs["ipcp"], runs["none"])
+        assert e_berti < e_ipcp
+
+    def test_custom_params(self, runs):
+        em = EnergyModel(EnergyParams(dram_column_access_pj=0.0,
+                                      dram_row_activate_pj=0.0,
+                                      dram_write_pj=0.0))
+        assert em.evaluate(runs["none"]).dram_nj == 0.0
+
+    def test_as_dict(self, runs):
+        d = EnergyModel().evaluate(runs["none"]).as_dict()
+        assert set(d) == {"l1d", "l2", "llc", "dram", "total"}
+
+
+class TestMetrics:
+    def test_geomean_basics(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([0, -1]) == 0.0
+
+    def test_geomean_speedup(self, runs):
+        per_trace = {"e": {"ip_stride": runs["none"], "berti": runs["berti"]}}
+        out = geomean_speedup(per_trace, baseline_name="ip_stride")
+        assert out["ip_stride"] == pytest.approx(1.0)
+        assert out["berti"] == pytest.approx(
+            runs["berti"].ipc / runs["none"].ipc
+        )
+
+    def test_average_mpki(self, runs):
+        vals = [runs["none"], runs["berti"]]
+        assert average_mpki(vals, "l1d") == pytest.approx(
+            (runs["none"].l1d_mpki + runs["berti"].l1d_mpki) / 2
+        )
+        assert average_mpki([], "l2") == 0.0
+
+    def test_average_accuracy(self, runs):
+        assert 0 <= average_accuracy([runs["berti"]]) <= 1
+
+    def test_traffic_normalised(self, runs):
+        t = traffic_normalised(runs["berti"], runs["none"])
+        assert set(t) == {"l1d_l2", "l2_llc", "llc_dram"}
+        assert all(v >= 0 for v in t.values())
+
+
+class TestReport:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in out and "3.250" in out
+
+    def test_format_series(self):
+        out = format_series("S", {"berti": {"x1": 1.0, "x2": 2.0},
+                                  "mlop": {"x1": 0.5}})
+        assert "berti" in out and "x2" in out
+
+    def test_empty_table(self):
+        out = format_table(["h"], [])
+        assert "h" in out

@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed
+end-to-end so the documented quickstart path cannot rot.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+class TestCompile:
+    @pytest.mark.parametrize(
+        "script",
+        sorted(p.name for p in EXAMPLES.glob("*.py")),
+    )
+    def test_compiles(self, script):
+        py_compile.compile(str(EXAMPLES / script), doraise=True)
+
+    def test_at_least_five_examples(self):
+        assert len(list(EXAMPLES.glob("*.py"))) >= 5
+
+
+class TestRun:
+    def _run(self, script, timeout=120):
+        return subprocess.run(
+            [sys.executable, str(EXAMPLES / script)],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+
+    def test_inspect_berti_runs(self):
+        proc = self._run("inspect_berti.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "l1d_pref" in proc.stdout
+        # The paper's lbm deltas +3/+6 must surface.
+        assert "+3" in proc.stdout or "(3," in proc.stdout
+
+    def test_quickstart_runs(self):
+        proc = self._run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "speedup over IP-stride" in proc.stdout
+        assert "2.55 KB" in proc.stdout

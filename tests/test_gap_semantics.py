@@ -1,0 +1,104 @@
+"""Semantic tests for the GAP kernel recorders: the traces must reflect
+what the kernels actually do."""
+
+import pytest
+
+from repro.workloads import gap as g
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return g.GRAPHS["kron"](0.05)
+
+
+class TestRecorderSemantics:
+    def test_bfs_visits_only_reachable(self, kron):
+        offsets, edges = kron
+        trace = g.bfs_trace(kron, "t", 3000)
+        # Every recorded edge index must be a valid CSR position.
+        for ip, vaddr, __, ___, ____ in trace.records:
+            if ip == g.IP_EDGES:
+                e = (vaddr - 0x2800_0000) // 64 * 16
+                assert 0 <= e <= len(edges)
+
+    def test_value_gathers_are_dependent(self, kron):
+        trace = g.pagerank_trace(kron, "t", 2000)
+        values = [r for r in trace.records if r[0] == g.IP_VALUES]
+        assert values and all(r[4] == 1 for r in values)
+
+    def test_updates_are_writes(self, kron):
+        trace = g.cc_trace(kron, "t", 2000)
+        updates = [r for r in trace.records if r[0] == g.IP_UPDATE]
+        assert updates and all(r[2] for r in updates)
+
+    def test_frontier_is_sequential_per_round(self, kron):
+        trace = g.bc_trace(kron, "t", 2000)
+        lines = [r[1] >> 6 for r in trace.records if r[0] == g.IP_FRONTIER]
+        deltas = [b - a for a, b in zip(lines, lines[1:])]
+        # Mostly 0 (8 entries/line) or +1 with occasional resets.
+        regular = sum(1 for d in deltas if d in (0, 1))
+        assert regular >= len(deltas) * 0.8
+
+    def test_region_separation(self, kron):
+        """Each logical array lives in its own address region (updates
+        write the values array, so those two IPs share one region)."""
+        trace = g.sssp_trace(kron, "t", 2000)
+        regions = {}
+        for ip, vaddr, *_ in trace.records:
+            regions.setdefault(ip, set()).add(vaddr >> 27)
+        distinct_ips = [g.IP_OFFSETS, g.IP_EDGES, g.IP_VALUES,
+                        g.IP_PARENT, g.IP_FRONTIER]
+        seen = [frozenset(regions[ip]) for ip in distinct_ips
+                if ip in regions]
+        assert len(set(seen)) == len(seen)
+        if g.IP_UPDATE in regions:
+            assert regions[g.IP_UPDATE] == regions[g.IP_VALUES]
+
+    def test_distinct_history_sets_for_hot_ips(self):
+        """The kernel IPs were chosen to avoid Berti history-set
+        collisions (a representative, documented choice)."""
+        from repro.core.history_table import HistoryTable
+        h = HistoryTable()
+        ips = [g.IP_OFFSETS, g.IP_EDGES, g.IP_VALUES, g.IP_PARENT,
+               g.IP_FRONTIER, g.IP_UPDATE]
+        sets = {h._set_index(ip) for ip in ips}
+        assert len(sets) == len(ips)
+
+
+class TestGraphShapes:
+    def test_kron_is_skewed(self, kron):
+        offsets, edges = kron
+        degrees = sorted(
+            (offsets[i + 1] - offsets[i] for i in range(len(offsets) - 1)),
+            reverse=True,
+        )
+        # Power-law-ish: the top 1% of vertices hold a large share.
+        top = sum(degrees[: max(1, len(degrees) // 100)])
+        assert top > len(edges) * 0.05
+
+    def test_urand_is_flat(self):
+        offsets, edges = g.GRAPHS["urand"](0.05)
+        degrees = [offsets[i + 1] - offsets[i]
+                   for i in range(len(offsets) - 1)]
+        assert max(degrees) < 40  # no power-law hubs
+
+    def test_road_is_local(self):
+        offsets, edges = g.GRAPHS["road"](0.05)
+        n = len(offsets) - 1
+        local = 0
+        total = 0
+        for u in range(0, n, 7):
+            for e in range(offsets[u], offsets[u + 1]):
+                total += 1
+                if abs(edges[e] - u) <= 2:
+                    local += 1
+        assert total and local / total > 0.8
+
+    def test_scramble_spreads_hubs(self, kron):
+        """Graph500-style label scrambling: hub ids must not cluster at
+        the low end of the id space."""
+        offsets, __ = kron
+        n = len(offsets) - 1
+        degrees = [(offsets[i + 1] - offsets[i], i) for i in range(n)]
+        top_ids = [i for __, i in sorted(degrees, reverse=True)[:50]]
+        assert max(top_ids) > n // 2

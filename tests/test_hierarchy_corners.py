@@ -1,0 +1,84 @@
+"""Corner-case tests for the hierarchy: writeback cascades, per-core LLC
+attribution, and stat-reset semantics."""
+
+import pytest
+
+from repro.memory.cache import Cache
+from repro.memory.dram import DRAM
+from repro.prefetchers.registry import make_prefetcher
+from repro.simulator.config import default_config
+from repro.simulator.engine import build_hierarchy
+
+
+class TestWritebacks:
+    def test_dirty_cascade_reaches_dram(self):
+        """A dirty line evicted from every level must become a DRAM write."""
+        h = build_hierarchy(default_config())
+        h.demand_access(0x400, 0x10000, 0, is_write=True)
+        # Flood the whole hierarchy with conflicting clean lines.
+        now = 10_000
+        for i in range(1, 40_000):
+            h.demand_access(0x400, 0x10000 + i * h.llc.num_sets * 64, now)
+            now += 200
+            if h.dram.stats.writes > 0:
+                break
+        assert h.dram.stats.writes > 0
+
+    def test_clean_eviction_no_writeback(self):
+        h = build_hierarchy(default_config())
+        h.demand_access(0x400, 0x10000, 0)  # clean
+        sets = h.l1d.num_sets
+        for i in range(1, h.l1d.ways + 2):
+            h.demand_access(0x400, 0x10000 + i * sets * 64, i * 3000)
+        assert h.traffic_l1d_l2.writeback == 0
+
+
+class TestPerCoreAttribution:
+    def test_llc_counters_are_per_hierarchy(self):
+        cfg = default_config()
+        llc = Cache("llc", cfg.llc.size_bytes, cfg.llc.ways, cfg.llc.latency)
+        dram = DRAM(cfg.dram)
+        a = build_hierarchy(cfg, dram=dram, llc=llc, asid=1)
+        b = build_hierarchy(cfg, dram=dram, llc=llc, asid=2)
+        a.demand_access(0x400, 0x10000, 0)
+        a.demand_access(0x400, 0x20000, 1000)
+        b.demand_access(0x400, 0x10000, 2000)
+        assert a.llc_demand_misses == 2
+        assert b.llc_demand_misses == 1
+        # The shared cache's own stats pool both cores.
+        assert llc.stats.demand_misses == 3
+
+    def test_dram_demand_reads_tracked(self):
+        h = build_hierarchy(default_config())
+        h.demand_access(0x400, 0x10000, 0)
+        assert h.dram_demand_reads == 1
+        # A hit adds nothing.
+        h.demand_access(0x400, 0x10000, 100_000)
+        assert h.dram_demand_reads == 1
+
+
+class TestStatReset:
+    def test_reset_preserves_contents(self):
+        h = build_hierarchy(default_config())
+        h.demand_access(0x400, 0x10000, 0)
+        h.reset_stats()
+        # Contents survive: the next access is a hit.
+        h.demand_access(0x400, 0x10000, 100_000)
+        assert h.l1d.stats.demand_hits == 1
+        assert h.l1d.stats.demand_misses == 0
+
+    def test_reset_clears_per_core_counters(self):
+        h = build_hierarchy(default_config())
+        h.demand_access(0x400, 0x10000, 0)
+        h.reset_stats()
+        assert h.llc_demand_misses == 0
+        assert h.dram_demand_reads == 0
+
+    def test_prefetcher_state_survives_reset(self):
+        pf = make_prefetcher("berti")
+        h = build_hierarchy(default_config(), pf)
+        for i in range(40):
+            h.demand_access(0x400, 0x10000 + i * 128, i * 500)
+        inserts = pf.history.inserts
+        h.reset_stats()
+        assert pf.history.inserts == inserts  # learning is not reset

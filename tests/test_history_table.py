@@ -1,0 +1,162 @@
+"""Unit tests for Berti's history table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import BertiConfig
+from repro.core.history_table import HistoryTable
+
+
+IP = 0x402DC7
+
+
+class TestInsertSearch:
+    def test_empty_search_finds_nothing(self):
+        h = HistoryTable()
+        assert h.search_timely(IP, 100, demand_time=1000, latency=10) == []
+
+    def test_timely_delta_found(self):
+        """Figure 4b: address 2 at t=0, address 12 demanded later with a
+        latency smaller than the gap -> delta +10 is timely."""
+        h = HistoryTable()
+        h.insert(IP, 2, now=0)
+        deltas = h.search_timely(IP, 12, demand_time=500, latency=100)
+        assert deltas == [10]
+
+    def test_too_recent_access_is_not_timely(self):
+        h = HistoryTable()
+        h.insert(IP, 2, now=450)
+        deltas = h.search_timely(IP, 12, demand_time=500, latency=100)
+        assert deltas == []
+
+    def test_boundary_age_equal_latency_is_timely(self):
+        h = HistoryTable()
+        h.insert(IP, 2, now=400)
+        assert h.search_timely(IP, 12, demand_time=500, latency=100) == [10]
+
+    def test_multiple_timely_deltas_figure4c(self):
+        """Figure 4c: accessing 15, both +10 and +13 are timely."""
+        h = HistoryTable()
+        h.insert(IP, 2, now=0)
+        h.insert(IP, 5, now=100)
+        h.insert(IP, 10, now=600)
+        deltas = h.search_timely(IP, 15, demand_time=700, latency=150)
+        assert set(deltas) == {13, 10}
+
+    def test_youngest_first_order(self):
+        h = HistoryTable()
+        h.insert(IP, 2, now=0)
+        h.insert(IP, 5, now=10)
+        deltas = h.search_timely(IP, 15, demand_time=700, latency=100)
+        assert deltas == [10, 13]
+
+    def test_zero_delta_excluded(self):
+        h = HistoryTable()
+        h.insert(IP, 12, now=0)
+        assert h.search_timely(IP, 12, demand_time=500, latency=10) == []
+
+    def test_delta_beyond_13_bits_excluded(self):
+        h = HistoryTable()
+        h.insert(IP, 0, now=0)
+        assert h.search_timely(IP, 5000, demand_time=500, latency=10) == []
+
+    def test_negative_delta(self):
+        h = HistoryTable()
+        h.insert(IP, 100, now=0)
+        assert h.search_timely(IP, 90, demand_time=500, latency=10) == [-10]
+
+    def test_max_eight_deltas_per_search(self):
+        cfg = BertiConfig()
+        h = HistoryTable(cfg)
+        for i in range(12):
+            h.insert(IP, i, now=i)
+        deltas = h.search_timely(IP, 100, demand_time=5000, latency=10)
+        assert len(deltas) == cfg.max_deltas_per_search
+
+
+class TestIsolation:
+    def test_different_ips_do_not_mix(self):
+        h = HistoryTable()
+        other = IP + 1
+        h.insert(other, 2, now=0)
+        assert h.search_timely(IP, 12, demand_time=500, latency=10) == []
+
+    def test_fifo_replacement_evicts_oldest(self):
+        cfg = BertiConfig()
+        h = HistoryTable(cfg)
+        for i in range(cfg.history_ways + 1):
+            h.insert(IP, i * 2, now=i)
+        # line 0 (oldest) evicted: delta to it cannot be found.
+        deltas = h.search_timely(IP, 100, demand_time=10_000, latency=1)
+        assert 100 not in deltas
+
+    def test_set_index_spreads_aligned_ips(self):
+        """Aligned IPs (x86 code is byte-addressed but our synthetic IPs
+        are multiples of 8/16) must not all land in one set."""
+        h = HistoryTable()
+        sets = {h._set_index(0x430000 + 16 * k) for k in range(16)}
+        assert len(sets) > 2
+
+
+class TestTimestampWraparound:
+    def test_wrapped_timestamp_age(self):
+        h = HistoryTable()
+        mask = (1 << 16) - 1
+        h.insert(IP, 2, now=mask - 10)  # just before wrap
+        deltas = h.search_timely(IP, 12, demand_time=(1 << 16) + 50,
+                                 latency=20)
+        assert deltas == [10]  # age 60 >= 20 despite the wrap
+
+    def test_stale_entries_beyond_half_range_ignored(self):
+        h = HistoryTable()
+        h.insert(IP, 2, now=0)
+        deltas = h.search_timely(IP, 12, demand_time=40_000, latency=10)
+        assert deltas == []
+
+
+class TestBookkeeping:
+    def test_counters(self):
+        h = HistoryTable()
+        h.insert(IP, 1, 0)
+        h.search_timely(IP, 2, 100, 10)
+        assert h.inserts == 1 and h.searches == 1
+
+    def test_occupancy_and_reset(self):
+        h = HistoryTable()
+        for i in range(5):
+            h.insert(IP, i, i)
+        assert h.occupancy() == 5
+        h.reset()
+        assert h.occupancy() == 0 and h.inserts == 0
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),   # line
+                st.integers(min_value=0, max_value=20_000),  # time
+            ),
+            min_size=1, max_size=40,
+        ),
+        st.integers(min_value=1, max_value=500),  # latency
+    )
+    def test_all_returned_deltas_are_timely_and_bounded(self, inserts, latency):
+        h = HistoryTable()
+        for line, ts in inserts:
+            h.insert(IP, line, ts)
+        demand_time = 25_000
+        cur = 1500
+        deltas = h.search_timely(IP, cur, demand_time, latency)
+        cfg = h.config
+        assert len(deltas) <= cfg.max_deltas_per_search
+        for d in deltas:
+            assert d != 0
+            assert -(1 << 12) <= d <= (1 << 12) - 1
+            # The delta corresponds to some inserted line old enough.
+            src = cur - d
+            assert any(
+                line == src and demand_time - ts >= latency
+                for line, ts in inserts
+            )

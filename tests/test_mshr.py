@@ -1,0 +1,111 @@
+"""Unit tests for the MSHR model."""
+
+import pytest
+
+from repro.memory.mshr import MSHR
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        m = MSHR(4)
+        e = m.allocate(line=10, now=0, ready_cycle=100, is_prefetch=False)
+        assert m.lookup(10, 50) is e
+
+    def test_entry_expires_at_ready(self):
+        m = MSHR(4)
+        m.allocate(10, 0, 100, False)
+        assert m.lookup(10, 100) is None
+
+    def test_occupancy_counts_outstanding(self):
+        m = MSHR(4)
+        m.allocate(1, 0, 100, False)
+        m.allocate(2, 0, 200, False)
+        assert m.occupancy(50) == 2
+        assert m.occupancy(150) == 1
+        assert m.occupancy(250) == 0
+
+    def test_occupancy_fraction(self):
+        m = MSHR(4)
+        m.allocate(1, 0, 100, False)
+        assert m.occupancy_fraction(0) == 0.25
+
+    def test_full_raises(self):
+        m = MSHR(1)
+        m.allocate(1, 0, 100, False)
+        with pytest.raises(RuntimeError):
+            m.allocate(2, 0, 100, False)
+        assert m.full_rejections == 1
+
+    def test_can_allocate_after_expiry(self):
+        m = MSHR(1)
+        m.allocate(1, 0, 100, False)
+        assert not m.can_allocate(50)
+        assert m.can_allocate(100)
+
+    def test_allocation_counter(self):
+        m = MSHR(8)
+        for i in range(5):
+            m.allocate(i, 0, 10 + i, False)
+        assert m.allocations == 5
+
+
+class TestMerging:
+    def test_merge_returns_remaining_latency(self):
+        m = MSHR(4)
+        e = m.allocate(5, 0, 100, False)
+        assert m.merge_demand(e, 40) == 60
+        assert m.merges == 1
+
+    def test_merge_after_ready_is_zero(self):
+        m = MSHR(4)
+        e = m.allocate(5, 0, 100, False)
+        assert m.merge_demand(e, 100) == 0
+
+    def test_merged_demand_count(self):
+        m = MSHR(4)
+        e = m.allocate(5, 0, 100, True)
+        m.merge_demand(e, 10)
+        m.merge_demand(e, 20)
+        assert e.merged_demands == 2
+
+
+class TestEarliestReady:
+    def test_empty_returns_now(self):
+        m = MSHR(4)
+        assert m.earliest_ready(123) == 123
+
+    def test_returns_minimum(self):
+        m = MSHR(4)
+        m.allocate(1, 0, 300, False)
+        m.allocate(2, 0, 150, False)
+        m.allocate(3, 0, 200, False)
+        assert m.earliest_ready(0) == 150
+
+    def test_min_tracks_expiry(self):
+        m = MSHR(4)
+        m.allocate(1, 0, 100, False)
+        m.allocate(2, 0, 200, False)
+        assert m.earliest_ready(120) == 200
+
+
+class TestMetadata:
+    def test_timestamp_and_flags_stored(self):
+        m = MSHR(4)
+        e = m.allocate(7, now=42, ready_cycle=99, is_prefetch=True, ip=0xAB, vline=77)
+        assert e.alloc_cycle == 42
+        assert e.is_prefetch
+        assert e.ip == 0xAB
+        assert e.vline == 77
+
+    def test_reset_clears_everything(self):
+        m = MSHR(4)
+        m.allocate(1, 0, 100, False)
+        m.reset()
+        assert m.occupancy(0) == 0
+        assert m.allocations == 0
+
+    def test_outstanding_snapshot(self):
+        m = MSHR(4)
+        m.allocate(1, 0, 100, False)
+        m.allocate(2, 0, 50, False)
+        assert {e.line for e in m.outstanding(60)} == {1}

@@ -1,0 +1,221 @@
+"""Unit tests for MLOP, IPCP, SPP-PPF, Bingo, and MISB."""
+
+import pytest
+
+from repro.prefetchers.base import FILL_L1, FILL_L2, AccessInfo
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.ipcp import IPCPPrefetcher
+from repro.prefetchers.misb import MISBPrefetcher
+from repro.prefetchers.mlop import MLOPPrefetcher
+from repro.prefetchers.spp import SPPPrefetcher
+
+
+def acc(line, ip=0x400, hit=False, now=0, prefetch_hit=False):
+    return AccessInfo(ip=ip, line=line, hit=hit, prefetch_hit=prefetch_hit,
+                      now=now)
+
+
+class TestMLOP:
+    def test_selects_global_offset_on_stream(self):
+        pf = MLOPPrefetcher(update_period=100)
+        for i in range(150):
+            pf.on_access(acc(i * 2, hit=False, now=i))
+        assert 2 in pf.selected
+
+    def test_prefetches_selected_offsets(self):
+        pf = MLOPPrefetcher()
+        pf.selected = [4, 8] + [0] * (pf.num_lookaheads - 2)
+        targets = {r.line for r in pf.on_access(acc(100, hit=True))}
+        assert {104, 108} <= targets
+
+    def test_no_selection_below_threshold(self):
+        import random
+        rng = random.Random(3)
+        pf = MLOPPrefetcher(update_period=100)
+        for i in range(150):
+            pf.on_access(acc(rng.randrange(10**6), hit=False, now=i))
+        assert all(d == 0 for d in pf.selected)
+
+    def test_interleaved_streams_confuse_global_deltas(self):
+        """§II-B: per-IP strides interleaved -> global deltas degrade."""
+        pf = MLOPPrefetcher(update_period=200)
+        line_a, line_b = 0, 10**6
+        for i in range(300):
+            if i % 2:
+                line_a += 3
+                pf.on_access(acc(line_a, ip=1, hit=False, now=i))
+            else:
+                line_b += 5
+                pf.on_access(acc(line_b, ip=2, hit=False, now=i))
+        # The per-IP strides 3 and 5 are invisible; only their global
+        # interleave is scored, so neither pure stride is dominant.
+        assert pf.selected.count(3) + pf.selected.count(5) < pf.num_lookaheads
+
+    def test_deduplicated_targets(self):
+        pf = MLOPPrefetcher()
+        pf.selected = [4, 4, 4] + [0] * (pf.num_lookaheads - 3)
+        reqs = pf.on_access(acc(0, hit=True))
+        assert len(reqs) == 1
+
+    def test_storage_reasonable(self):
+        assert 1.0 < MLOPPrefetcher().storage_kb() < 20.0
+
+
+class TestIPCP:
+    def test_cs_class_covers_constant_stride(self):
+        pf = IPCPPrefetcher()
+        reqs = []
+        for i in range(6):
+            reqs = pf.on_access(acc(i * 4, ip=0x77))
+        targets = [r.line for r in reqs]
+        # Last access at line 20: CS prefetches the strided lines ahead.
+        assert targets == [24, 28, 32]
+
+    def test_cplx_class_covers_stride_pattern(self):
+        pf = IPCPPrefetcher()
+        pattern = [1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2]
+        line = 0
+        reqs = []
+        for s in pattern * 4:
+            reqs = pf.on_access(acc(line, ip=0x88))
+            line += s
+        assert reqs, "CPLX should chain predictions on a stable signature"
+
+    def test_nl_fallback_for_unclassified(self):
+        pf = IPCPPrefetcher()
+        reqs = pf.on_access(acc(500, ip=0x99))
+        assert [r.line for r in reqs] == [501]
+
+    def test_gs_fires_on_dense_region(self):
+        pf = IPCPPrefetcher()
+        reqs = []
+        import random
+        rng = random.Random(1)
+        # Dense ascending walk with enough irregularity to defeat CS/CPLX.
+        line = 0
+        for i in range(64):
+            line += rng.choice([1, 1, 2])
+            reqs = pf.on_access(acc(line, ip=0xAA + i % 7))
+        assert reqs, "GS or NL should fire on a dense stream"
+
+    def test_separate_ips_tracked(self):
+        pf = IPCPPrefetcher()
+        for i in range(6):
+            pf.on_access(acc(i * 4, ip=0x11))
+        reqs = pf.on_access(acc(1000, ip=0x22))
+        # New IP: no CS confidence, falls back (no strided targets).
+        assert all(r.line != 1000 + 4 for r in reqs)
+
+    def test_storage_small(self):
+        assert IPCPPrefetcher().storage_kb() < 2.0
+
+
+class TestSPP:
+    def _train_pages(self, pf, pages=range(10, 40), delta=2, steps=20):
+        """SPP generalises across pages: walk many pages with one delta."""
+        for page in pages:
+            line = page * 64
+            for __ in range(steps):
+                pf.on_access(acc(line, ip=0x1))
+                line += delta
+
+    def test_learns_intra_page_delta(self):
+        pf = SPPPrefetcher(use_ppf=False)
+        self._train_pages(pf)
+        # Fresh page, two accesses to rebuild the signature path.
+        pf.on_access(acc(100 * 64, ip=0x1))
+        reqs = pf.on_access(acc(100 * 64 + 2, ip=0x1))
+        assert any(r.line == 100 * 64 + 4 for r in reqs)
+
+    def test_stays_within_page(self):
+        pf = SPPPrefetcher(use_ppf=False)
+        self._train_pages(pf)
+        pf.on_access(acc(100 * 64 + 58, ip=0x1))
+        reqs = pf.on_access(acc(100 * 64 + 60, ip=0x1))
+        assert all(100 * 64 <= r.line < 101 * 64 for r in reqs)
+
+    def test_lookahead_produces_multiple_targets(self):
+        pf = SPPPrefetcher(use_ppf=False)
+        self._train_pages(pf, steps=30)
+        pf.on_access(acc(100 * 64, ip=0x1))
+        reqs = pf.on_access(acc(100 * 64 + 2, ip=0x1))
+        assert len({r.line for r in reqs}) >= 2
+
+    def test_ppf_rejects_after_negative_training(self):
+        pf = SPPPrefetcher(use_ppf=True, ppf_threshold=0)
+        self._train_pages(pf)
+        # Punish every issued prefetch until the perceptron flips.
+        for round_ in range(50):
+            pf.on_access(acc(100 * 64, ip=0x1))
+            reqs = pf.on_access(acc(100 * 64 + 2, ip=0x1))
+            for r in reqs:
+                pf.on_evict(r.line, was_useful=False)
+        assert pf.ppf_rejections > 0
+
+    def test_signature_tables_bounded(self):
+        pf = SPPPrefetcher(st_entries=8)
+        for page in range(50):
+            pf.on_access(acc(page * 64, ip=0x1))
+        assert len(pf._st) <= 8
+
+    def test_storage_larger_than_ipcp(self):
+        assert SPPPrefetcher().storage_kb() > IPCPPrefetcher().storage_kb()
+
+
+class TestBingo:
+    def test_replays_recorded_footprint(self):
+        pf = BingoPrefetcher(accumulation_entries=1)
+        region0 = 0
+        # Record a footprint in region 0 (trigger + three more lines).
+        pf.on_access(acc(region0 * 32 + 4, ip=0x9))
+        for off in (6, 9, 20):
+            pf.on_access(acc(region0 * 32 + off, ip=0x9))
+        # Touch another region: evicts region 0 into the PHT.
+        pf.on_access(acc(50 * 32 + 4, ip=0x9))
+        # Re-trigger with the same short event (PC+offset) in a new region.
+        reqs = pf.on_access(acc(80 * 32 + 4, ip=0x9))
+        offsets = {r.line - 80 * 32 for r in reqs}
+        assert {6, 9, 20} <= offsets
+
+    def test_no_prediction_without_history(self):
+        pf = BingoPrefetcher()
+        assert pf.on_access(acc(1000, ip=0x9)) == []
+
+    def test_long_event_takes_priority(self):
+        pf = BingoPrefetcher(accumulation_entries=1)
+        region = 7
+        pf.on_access(acc(region * 32 + 1, ip=0x9))
+        pf.on_access(acc(region * 32 + 5, ip=0x9))
+        pf.on_access(acc(999 * 32, ip=0x9))  # flush region 7 footprint
+        reqs = pf.on_access(acc(region * 32 + 1, ip=0x9))
+        assert {r.line - region * 32 for r in reqs} == {5}
+
+    def test_storage_is_heavy(self):
+        assert BingoPrefetcher().storage_kb() > 20.0
+
+
+class TestMISB:
+    def test_temporal_stream_replay(self):
+        pf = MISBPrefetcher()
+        lines = [100, 9000, 42, 77777, 1234]
+        # First pass: misses train structural mapping.
+        for i, ln in enumerate(lines):
+            pf.on_access(acc(ln, ip=0x5, hit=False, now=i))
+        # Second pass: accessing the first line prefetches successors.
+        reqs = pf.on_access(acc(lines[0], ip=0x5, hit=True, now=100))
+        assert 9000 in {r.line for r in reqs}
+
+    def test_spatial_prefetchers_cannot_see_this(self):
+        """The stream is spatially random: deltas exceed any delta field."""
+        lines = [100, 9000, 42]
+        deltas = [b - a for a, b in zip(lines, lines[1:])]
+        assert all(abs(d) > (1 << 12) or d < 0 for d in deltas)
+
+    def test_metadata_bounded(self):
+        pf = MISBPrefetcher(metadata_entries=8)
+        for i in range(100):
+            pf.on_access(acc(i * 999, ip=0x5, hit=False, now=i))
+        assert len(pf._ps) <= 8
+
+    def test_storage_heaviest(self):
+        assert MISBPrefetcher().storage_kb() > 90.0

@@ -1,0 +1,118 @@
+"""Unit tests for the simple baseline prefetchers (IP-stride, next-line,
+BOP)."""
+
+import pytest
+
+from repro.prefetchers.base import FILL_L1, AccessInfo, FillInfo, NoPrefetcher
+from repro.prefetchers.bop import BOPPrefetcher
+from repro.prefetchers.ip_stride import IPStridePrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+
+
+def acc(line, ip=0x400, hit=False, now=0):
+    return AccessInfo(ip=ip, line=line, hit=hit, prefetch_hit=False, now=now)
+
+
+class TestNoPrefetcher:
+    def test_emits_nothing(self):
+        pf = NoPrefetcher()
+        assert pf.on_access(acc(1)) == []
+        assert pf.storage_bits() == 0
+
+
+class TestNextLine:
+    def test_prefetches_next(self):
+        pf = NextLinePrefetcher()
+        reqs = pf.on_access(acc(100))
+        assert [r.line for r in reqs] == [101]
+
+    def test_degree(self):
+        pf = NextLinePrefetcher(degree=3)
+        assert [r.line for r in pf.on_access(acc(10))] == [11, 12, 13]
+
+
+class TestIPStride:
+    def test_requires_confidence(self):
+        pf = IPStridePrefetcher()
+        assert pf.on_access(acc(0)) == []
+        assert pf.on_access(acc(2)) == []       # first stride observed
+        assert pf.on_access(acc(4)) == []       # conf 1
+        assert pf.on_access(acc(6)) != []       # conf 2 -> prefetch
+
+    def test_prefetch_targets_follow_stride(self):
+        pf = IPStridePrefetcher(degree=2)
+        for line in (0, 3, 6, 9):
+            reqs = pf.on_access(acc(line))
+        targets = [r.line for r in reqs]
+        assert targets == [9 + 3 * 2, 9 + 3 * 3]
+
+    def test_stride_change_resets_confidence(self):
+        pf = IPStridePrefetcher()
+        for line in (0, 2, 4, 6):
+            pf.on_access(acc(line))
+        assert pf.on_access(acc(11)) == []  # stride changed to 5
+        assert pf.on_access(acc(16)) == []  # conf rebuilding
+
+    def test_ips_tracked_separately(self):
+        pf = IPStridePrefetcher()
+        for line in (0, 2, 4, 6):
+            pf.on_access(acc(line, ip=0x100))
+        assert pf.on_access(acc(50, ip=0x200)) == []
+
+    def test_capacity_lru_eviction(self):
+        pf = IPStridePrefetcher(entries=2)
+        for ip in (1, 2, 3):
+            pf.on_access(acc(0, ip=ip))
+        assert len(pf._table) == 2
+        assert 1 not in pf._table
+
+    def test_zero_stride_ignored(self):
+        pf = IPStridePrefetcher()
+        for __ in range(5):
+            pf.on_access(acc(7))
+        # repeated same-line accesses never build stride confidence
+        assert pf.on_access(acc(7)) == []
+
+    def test_storage_positive(self):
+        assert 0 < IPStridePrefetcher().storage_kb() < 1.0
+
+
+class TestBOP:
+    def test_learns_dominant_offset(self):
+        pf = BOPPrefetcher()
+        # Feed fills then accesses exhibiting offset +8.
+        for i in range(3000):
+            line = i * 8
+            pf.on_fill(FillInfo(line=line, now=i, latency=10,
+                                was_prefetch=False))
+            pf.on_access(acc(line + 8, hit=False, now=i))
+        assert pf.best_offset == 8
+
+    def test_prefetches_best_offset(self):
+        pf = BOPPrefetcher()
+        pf.best_offset = 16
+        reqs = pf.on_access(acc(100, hit=True))
+        assert [r.line for r in reqs] == [116]
+
+    def test_turns_off_on_bad_score(self):
+        pf = BOPPrefetcher()
+        import random
+        rng = random.Random(0)
+        for i in range(6000):
+            pf.on_fill(FillInfo(line=rng.randrange(10**7), now=i,
+                                latency=10, was_prefetch=False))
+            pf.on_access(acc(rng.randrange(10**7), hit=False, now=i))
+        assert not pf._prefetch_on
+
+    def test_rr_table_bounded(self):
+        pf = BOPPrefetcher(rr_entries=16)
+        for i in range(100):
+            pf.on_fill(FillInfo(line=i * 1000, now=i, latency=1,
+                                was_prefetch=False))
+        assert len(pf._rr) <= 16
+
+    def test_reset(self):
+        pf = BOPPrefetcher()
+        pf.best_offset = 99
+        pf.reset()
+        assert pf.best_offset == 1 and pf._prefetch_on

@@ -1,0 +1,112 @@
+"""System-level property tests: invariants under randomised request
+storms (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetchers.registry import make_prefetcher
+from repro.simulator.config import default_config
+from repro.simulator.engine import build_hierarchy, simulate
+from repro.workloads.trace import Trace
+
+
+def _storm(seed_accesses, l1d="berti", l2="spp_ppf"):
+    h = build_hierarchy(
+        default_config(),
+        make_prefetcher(l1d),
+        make_prefetcher(l2),
+    )
+    now = 0
+    for ip, line, is_write, gap in seed_accesses:
+        now += gap
+        h.demand_access(0x400 + ip, line << 6, now, is_write)
+    return h
+
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=12),       # ip selector
+        st.integers(min_value=0, max_value=4000),     # line
+        st.booleans(),                                 # write
+        st.integers(min_value=1, max_value=50),       # time gap
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestHierarchyInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(accesses)
+    def test_demand_accounting_consistent(self, seq):
+        h = _storm(seq)
+        s = h.l1d.stats
+        assert s.demand_hits + s.demand_misses == s.demand_accesses
+        assert s.demand_accesses == len(seq)
+
+    @settings(max_examples=25, deadline=None)
+    @given(accesses)
+    def test_prefetch_outcomes_bounded_by_fills(self, seq):
+        h = _storm(seq)
+        for origin in ("l1d", "l2"):
+            st_ = h.pf_stats[origin]
+            assert st_.useful + st_.useless <= st_.fills
+            assert st_.late <= st_.useful
+            assert st_.issued == st_.fills
+
+    @settings(max_examples=25, deadline=None)
+    @given(accesses)
+    def test_cache_capacity_never_exceeded(self, seq):
+        h = _storm(seq)
+        for cache in (h.l1d, h.l2, h.llc):
+            assert cache.occupancy() <= cache.num_lines
+
+    @settings(max_examples=25, deadline=None)
+    @given(accesses)
+    def test_latency_always_positive(self, seq):
+        h = build_hierarchy(default_config(), make_prefetcher("berti"))
+        now = 0
+        for ip, line, w, gap in seq:
+            now += gap
+            lat = h.demand_access(0x400 + ip, line << 6, now, w)
+            assert lat >= h.l1d.latency
+
+    @settings(max_examples=15, deadline=None)
+    @given(accesses, st.sampled_from(["ip_stride", "mlop", "ipcp", "berti",
+                                      "streamer", "next_line"]))
+    def test_every_prefetcher_survives_storm(self, seq, pf_name):
+        h = _storm(seq, l1d=pf_name, l2="none")
+        assert h.l1d.stats.demand_accesses == len(seq)
+
+    @settings(max_examples=15, deadline=None)
+    @given(accesses, st.sampled_from(["spp_ppf", "bingo", "misb", "vldp",
+                                      "pythia_lite"]))
+    def test_every_l2_prefetcher_survives_storm(self, seq, pf_name):
+        h = _storm(seq, l1d="ip_stride", l2=pf_name)
+        assert h.l1d.stats.demand_accesses == len(seq)
+
+
+class TestEngineInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(accesses)
+    def test_simulate_metrics_consistent(self, seq):
+        t = Trace("prop")
+        for ip, line, w, gap in seq:
+            t.append(0x400 + ip, line << 6, is_write=w, gap=gap % 10)
+        r = simulate(t, l1d_prefetcher=make_prefetcher("berti"),
+                     warmup_fraction=0.0)
+        assert r.instructions == t.instruction_count
+        assert r.cycles > 0
+        assert 0 <= r.pf_l1d.accuracy <= 1.0
+        assert r.l1d_demand_misses <= r.l1d_demand_accesses
+
+    @settings(max_examples=10, deadline=None)
+    @given(accesses)
+    def test_prefetching_never_changes_instruction_count(self, seq):
+        t = Trace("prop")
+        for ip, line, w, gap in seq:
+            t.append(0x400 + ip, line << 6, is_write=w, gap=gap % 10)
+        a = simulate(t, warmup_fraction=0.0)
+        b = simulate(t, l1d_prefetcher=make_prefetcher("ipcp"),
+                     warmup_fraction=0.0)
+        assert a.instructions == b.instructions

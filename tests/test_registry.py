@@ -1,0 +1,79 @@
+"""Tests for the prefetcher registry."""
+
+import pytest
+
+from repro.prefetchers.base import FILL_L1, FILL_L2, AccessInfo, Prefetcher
+from repro.prefetchers.registry import (
+    L1D_PREFETCHERS,
+    L2_PREFETCHERS,
+    IPCPL2Prefetcher,
+    available,
+    make_prefetcher,
+    storage_kb,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", [
+        "none", "berti", "ip_stride", "next_line", "bop", "mlop", "ipcp",
+        "spp_ppf", "spp", "bingo", "misb", "ipcp_l2",
+    ])
+    def test_all_names_construct(self, name):
+        pf = make_prefetcher(name)
+        assert isinstance(pf, Prefetcher)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            make_prefetcher("bogus")
+
+    def test_instances_are_fresh(self):
+        assert make_prefetcher("berti") is not make_prefetcher("berti")
+
+    def test_spp_variants_differ(self):
+        assert make_prefetcher("spp").use_ppf is False
+        assert make_prefetcher("spp_ppf").use_ppf is True
+
+    def test_available_sorted(self):
+        names = available()
+        assert names == sorted(names)
+        assert "berti" in names
+
+
+class TestLevels:
+    def test_l1d_list_levels(self):
+        for name in L1D_PREFETCHERS:
+            assert make_prefetcher(name).level == "l1d"
+
+    def test_l2_list_levels(self):
+        for name in L2_PREFETCHERS:
+            if name == "none":
+                continue
+            assert make_prefetcher(name).level == "l2"
+
+
+class TestIPCPL2:
+    def test_fill_levels_capped_at_l2(self):
+        pf = IPCPL2Prefetcher()
+        for i in range(6):
+            reqs = pf.on_access(AccessInfo(
+                ip=0x77, line=i * 4, hit=False, prefetch_hit=False, now=i,
+            ))
+        assert reqs
+        assert all(r.fill_level != FILL_L1 for r in reqs)
+
+
+class TestStorageBudgets:
+    def test_berti_smallest_competitive(self):
+        """Figure 7's storage axis: Berti ~2.55 KB, IPCP similar, MLOP a
+        few KB, SPP-PPF and Bingo tens of KB, MISB ~100 KB."""
+        kb = {n: storage_kb(n) for n in
+              ["berti", "ipcp", "mlop", "spp_ppf", "bingo", "misb"]}
+        assert kb["berti"] == pytest.approx(2.55, abs=0.05)
+        assert kb["ipcp"] < 5
+        assert kb["mlop"] < 15
+        assert kb["spp_ppf"] > 5
+        assert kb["bingo"] > 20
+        assert kb["misb"] > 90
+
+    def test_none_is_free(self):
+        assert storage_kb("none") == 0.0

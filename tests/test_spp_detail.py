@@ -1,0 +1,113 @@
+"""Deeper unit tests for SPP internals (signatures, counters, lookahead
+confidence) and the PPF perceptron."""
+
+import pytest
+
+from repro.prefetchers.base import FILL_L2, FILL_LLC, AccessInfo
+from repro.prefetchers.spp import SPPPrefetcher
+
+
+def acc(line, ip=0x1):
+    return AccessInfo(ip=ip, line=line, hit=False, prefetch_hit=False, now=0)
+
+
+class TestSignatures:
+    def test_signature_update_deterministic(self):
+        pf = SPPPrefetcher()
+        assert pf._sig_update(0, 2) == pf._sig_update(0, 2)
+
+    def test_signature_depends_on_history(self):
+        pf = SPPPrefetcher()
+        a = pf._sig_update(pf._sig_update(0, 1), 2)
+        b = pf._sig_update(pf._sig_update(0, 2), 1)
+        assert a != b
+
+    def test_signature_bounded(self):
+        pf = SPPPrefetcher()
+        sig = 0
+        for d in range(-60, 60):
+            sig = pf._sig_update(sig, d)
+            assert 0 <= sig < (1 << pf.SIG_BITS)
+
+
+class TestPatternTable:
+    def test_counter_saturation_halves(self):
+        pf = SPPPrefetcher(use_ppf=False)
+        # Drive one signature far past the counter max.
+        for page in range(40):
+            line = page * 64
+            for __ in range(30):
+                pf.on_access(acc(line))
+                line += 1
+        for entry in pf._pt:
+            assert entry.c_sig <= pf.COUNTER_MAX
+            for count in entry.deltas.values():
+                assert count <= pf.COUNTER_MAX
+
+    def test_delta_slots_bounded(self):
+        pf = SPPPrefetcher(use_ppf=False)
+        import random
+        rng = random.Random(5)
+        for page in range(30):
+            line = page * 64
+            for __ in range(40):
+                pf.on_access(acc(line))
+                line = page * 64 + rng.randrange(64)
+        for entry in pf._pt:
+            assert len(entry.deltas) <= pf.MAX_DELTAS_PER_SIG
+
+
+class TestFillLevels:
+    def test_low_confidence_targets_llc(self):
+        pf = SPPPrefetcher(use_ppf=False)
+        # Mix two deltas 60/40 so confidences land between thresholds.
+        for page in range(10, 40):
+            line = page * 64
+            for i in range(20):
+                pf.on_access(acc(line))
+                line += 2 if i % 5 else 4
+        pf.on_access(acc(100 * 64))
+        reqs = pf.on_access(acc(100 * 64 + 2))
+        levels = {r.fill_level for r in reqs}
+        assert levels <= {FILL_L2, FILL_LLC}
+
+    def test_confidence_attached_to_requests(self):
+        pf = SPPPrefetcher(use_ppf=False)
+        for page in range(10, 40):
+            line = page * 64
+            for __ in range(20):
+                pf.on_access(acc(line))
+                line += 2
+        pf.on_access(acc(100 * 64))
+        reqs = pf.on_access(acc(100 * 64 + 2))
+        assert reqs and all(0 < r.confidence <= 1.0 for r in reqs)
+
+
+class TestPPF:
+    def test_weights_clamped(self):
+        pf = SPPPrefetcher(use_ppf=True, ppf_weight_max=3)
+        f = pf._features(1, 2, 3, 0)
+        for __ in range(20):
+            pf._inflight_features[99] = f
+            pf._train_ppf(99, useful=True)
+        assert pf._w_sig[f[0]] <= 3
+
+    def test_training_requires_inflight_record(self):
+        pf = SPPPrefetcher(use_ppf=True)
+        before = list(pf._w_delta)
+        pf._train_ppf(12345, useful=True)  # unknown line: no-op
+        assert pf._w_delta == before
+
+    def test_positive_feedback_raises_score(self):
+        pf = SPPPrefetcher(use_ppf=True)
+        f = pf._features(7, 3, 9, 1)
+        pf._inflight_features[50] = f
+        pf._train_ppf(50, useful=True)
+        score = (pf._w_sig[f[0]] + pf._w_delta[f[1]]
+                 + pf._w_offset[f[2]] + pf._w_depth[f[3]])
+        assert score > 0
+
+    def test_spp_without_ppf_never_rejects(self):
+        pf = SPPPrefetcher(use_ppf=False)
+        assert pf._ppf_accept(1, 2, 3, 0, 99)
+        assert pf.ppf_rejections == 0

@@ -1,0 +1,67 @@
+"""Unit tests for SimResult and PrefetchSummary."""
+
+import pytest
+
+from repro.simulator.stats import PrefetchSummary, SimResult
+
+
+class TestPrefetchSummary:
+    def test_accuracy_resolved_only(self):
+        s = PrefetchSummary(fills=100, useful=40, late=5, useless=10)
+        assert s.resolved == 50
+        assert s.accuracy == pytest.approx(0.8)
+
+    def test_accuracy_empty(self):
+        assert PrefetchSummary().accuracy == 0.0
+
+    def test_timely_late_split(self):
+        s = PrefetchSummary(fills=10, useful=8, late=3, useless=2)
+        assert s.timely == 5
+        assert s.timely_fraction == pytest.approx(0.5)
+        assert s.late_fraction == pytest.approx(0.3)
+
+    def test_timely_never_negative(self):
+        s = PrefetchSummary(useful=2, late=5)
+        assert s.timely == 0
+
+
+class TestSimResult:
+    def _result(self, **kw):
+        base = dict(trace_name="t", prefetcher_l1d="a", prefetcher_l2="b",
+                    instructions=10_000, cycles=5_000.0)
+        base.update(kw)
+        return SimResult(**base)
+
+    def test_ipc(self):
+        assert self._result().ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert self._result(cycles=0.0).ipc == 0.0
+
+    def test_mpki(self):
+        r = self._result(l1d_demand_misses=50, l2_demand_misses=20,
+                         llc_demand_misses=10)
+        assert r.l1d_mpki == pytest.approx(5.0)
+        assert r.l2_mpki == pytest.approx(2.0)
+        assert r.llc_mpki == pytest.approx(1.0)
+
+    def test_mpki_zero_instructions(self):
+        r = self._result(instructions=0, l1d_demand_misses=5)
+        assert r.l1d_mpki == 0.0
+
+    def test_speedup(self):
+        fast = self._result(cycles=2_500.0)
+        slow = self._result(cycles=5_000.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_zero_baseline(self):
+        assert self._result().speedup_over(self._result(cycles=0.0)) == 0.0
+
+    def test_summary_line_contains_key_fields(self):
+        line = self._result().summary_line()
+        assert "t" in line and "IPC" in line
+
+    def test_extra_dict(self):
+        r = self._result()
+        r.extra["custom"] = 1.5
+        assert r.extra["custom"] == 1.5

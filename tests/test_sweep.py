@@ -1,0 +1,103 @@
+"""Tests for the parameter-sweep helper."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.analysis.sweep import knob_sweep, sweep
+from repro.core.berti import BertiPrefetcher
+from repro.core.config import BertiConfig
+from repro.prefetchers.registry import make_prefetcher
+from repro.workloads.synthetic import make_trace, pattern_stream
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [
+        make_trace(
+            f"t{k}",
+            [pattern_stream(0x400 + 9 * k, 0x1000000 * (k + 1), [1, 2],
+                            900, gap=18, dep=1, region_lines=4096)],
+        )
+        for k in range(2)
+    ]
+
+
+class TestSweep:
+    def test_speedups_per_variant(self, traces):
+        res = sweep(
+            traces,
+            baseline=lambda: make_prefetcher("ip_stride"),
+            variants={
+                "berti": lambda: BertiPrefetcher(),
+                "none": lambda: None,
+            },
+        )
+        assert set(res.speedups) == {"berti", "none"}
+        assert res.speedups["berti"] > res.speedups["none"]
+
+    def test_best(self, traces):
+        res = sweep(
+            traces,
+            baseline=lambda: make_prefetcher("ip_stride"),
+            variants={
+                "berti": lambda: BertiPrefetcher(),
+                "none": lambda: None,
+            },
+        )
+        assert res.best() == "berti"
+
+    def test_per_trace_results_recorded(self, traces):
+        res = sweep(
+            traces,
+            baseline=lambda: None,
+            variants={"berti": lambda: BertiPrefetcher()},
+        )
+        for t in traces:
+            assert "baseline" in res.per_trace[t.name]
+            assert "berti" in res.per_trace[t.name]
+
+    def test_to_table(self, traces):
+        res = sweep(
+            traces,
+            baseline=lambda: None,
+            variants={"berti": lambda: BertiPrefetcher()},
+        )
+        out = res.to_table("T")
+        assert "berti" in out and out.startswith("T")
+
+    def test_l2_factories(self, traces):
+        res = sweep(
+            traces,
+            baseline=lambda: make_prefetcher("ip_stride"),
+            variants={"berti+spp": lambda: BertiPrefetcher()},
+            l2_factories={"berti+spp": lambda: make_prefetcher("spp_ppf")},
+        )
+        run = res.per_trace[traces[0].name]["berti+spp"]
+        assert run.prefetcher_l2 == "spp_ppf"
+
+
+class TestKnobSweep:
+    def test_watermark_knob(self, traces):
+        res = knob_sweep(
+            traces,
+            baseline=lambda: make_prefetcher("ip_stride"),
+            make_variant=lambda v: BertiPrefetcher(
+                BertiConfig().with_watermarks(v, min(v, 0.35))
+            ),
+            values=[0.65, 0.95],
+            label="high",
+        )
+        assert set(res.speedups) == {"high=0.65", "high=0.95"}
+
+    def test_values_bound_late(self, traces):
+        """Each variant factory must capture its own value (no late
+        binding bug)."""
+        seen = []
+        knob_sweep(
+            traces[:1],
+            baseline=lambda: None,
+            make_variant=lambda v: seen.append(v) or None,
+            values=[1.0, 2.0],
+        )
+        assert seen == [1.0, 2.0]

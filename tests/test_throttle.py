@@ -1,0 +1,102 @@
+"""Unit tests for the FDP throttle wrapper."""
+
+import pytest
+
+from repro.prefetchers.base import (
+    FILL_L1,
+    FILL_L2,
+    AccessInfo,
+    Prefetcher,
+    PrefetchRequest,
+)
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.throttle import _LEVELS, FDPThrottle
+
+
+def acc(line, hit=False):
+    return AccessInfo(ip=0x1, line=line, hit=hit, prefetch_hit=False, now=0)
+
+
+class _Flood(Prefetcher):
+    name = "flood"
+
+    def on_access(self, access):
+        return [PrefetchRequest(line=access.line + k, fill_level=FILL_L1)
+                for k in range(1, 17)]
+
+
+class TestFiltering:
+    def test_caps_requests_per_level(self):
+        t = FDPThrottle(_Flood(), start_level=0)
+        assert len(t.on_access(acc(0))) == _LEVELS[0][0]
+        t._level = 4
+        assert len(t.on_access(acc(100))) == _LEVELS[4][0]
+
+    def test_conservative_levels_demote_l1_fills(self):
+        t = FDPThrottle(_Flood(), start_level=0)
+        reqs = t.on_access(acc(0))
+        assert all(r.fill_level == FILL_L2 for r in reqs)
+
+    def test_aggressive_levels_keep_l1_fills(self):
+        t = FDPThrottle(_Flood(), start_level=4)
+        reqs = t.on_access(acc(0))
+        assert any(r.fill_level == FILL_L1 for r in reqs)
+
+    def test_name_reflects_inner(self):
+        assert FDPThrottle(NextLinePrefetcher()).name == "fdp(next_line)"
+
+
+class TestFeedbackLoop:
+    def _run_epoch(self, t, useful_ratio):
+        """Issue one epoch's worth of prefetches with a given outcome."""
+        issued = 0
+        line = 0
+        while issued < FDPThrottle.EPOCH:
+            reqs = t.on_access(acc(line))
+            for r in reqs:
+                if issued * 1.0 / FDPThrottle.EPOCH < useful_ratio:
+                    t.on_prefetch_hit(acc(r.line), pf_latency=10)
+                else:
+                    t.on_evict(r.line, was_useful=False)
+                issued += 1
+            line += 100
+
+    def test_low_accuracy_backs_off(self):
+        t = FDPThrottle(_Flood(), start_level=3)
+        self._run_epoch(t, useful_ratio=0.1)
+        assert t.aggressiveness < 3
+
+    def test_high_accuracy_holds_or_grows(self):
+        t = FDPThrottle(_Flood(), start_level=2)
+        self._run_epoch(t, useful_ratio=0.95)
+        assert t.aggressiveness >= 2
+
+    def test_level_bounded(self):
+        t = FDPThrottle(_Flood(), start_level=0)
+        for __ in range(3):
+            self._run_epoch(t, useful_ratio=0.0)
+        assert t.aggressiveness == 0
+        t2 = FDPThrottle(_Flood(), start_level=len(_LEVELS) - 1)
+        # All useful but late: pressure upward, stays at max.
+        issued = 0
+        line = 0
+        while issued < FDPThrottle.EPOCH:
+            for r in t2.on_access(acc(line)):
+                t2.on_prefetch_hit(acc(r.line), pf_latency=0)  # late
+                issued += 1
+            line += 100
+        assert t2.aggressiveness == len(_LEVELS) - 1
+
+    def test_reset(self):
+        t = FDPThrottle(_Flood(), start_level=4)
+        self._run_epoch(t, useful_ratio=0.0)
+        t.reset()
+        assert t.aggressiveness == 2
+        assert t.level_changes == 0
+
+
+class TestStorage:
+    def test_storage_adds_counters(self):
+        inner = NextLinePrefetcher()
+        t = FDPThrottle(inner)
+        assert t.storage_bits() > inner.storage_bits()
