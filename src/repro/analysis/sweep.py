@@ -15,6 +15,12 @@ module packages that shape so new studies are one function call:
         },
     )
     print(result.to_table())
+
+Runs execute through :class:`repro.runner.ExperimentRunner` (inline by
+default, since factories are usually closures and can't cross a process
+boundary): a variant that crashes on one trace is recorded in
+``result.failures`` and excluded from that variant's geomean instead of
+killing the whole sweep.
 """
 
 from __future__ import annotations
@@ -25,6 +31,13 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from repro.analysis.metrics import geomean
 from repro.analysis.report import format_table
 from repro.prefetchers.base import Prefetcher
+from repro.runner import (
+    CallableJob,
+    ExperimentRunner,
+    FailedRun,
+    RunnerConfig,
+    run_callable,
+)
 from repro.simulator.config import SystemConfig
 from repro.simulator.engine import simulate
 from repro.simulator.stats import SimResult
@@ -39,6 +52,7 @@ class SweepResult:
 
     speedups: Dict[str, float] = field(default_factory=dict)
     per_trace: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+    failures: List[FailedRun] = field(default_factory=list)
 
     def best(self) -> str:
         return max(self.speedups, key=self.speedups.get)
@@ -53,6 +67,10 @@ class SweepResult:
         return format_table(["variant", "geomean speedup"], rows, title=title)
 
 
+def _job_key(trace_name: str, variant: str) -> str:
+    return f"{trace_name}::{variant}"
+
+
 def sweep(
     traces: Sequence[Trace],
     baseline: PrefetcherFactory,
@@ -60,38 +78,64 @@ def sweep(
     l2_factories: Optional[Mapping[str, PrefetcherFactory]] = None,
     config: Optional[SystemConfig] = None,
     warmup_fraction: float = 0.2,
+    runner: Optional[ExperimentRunner] = None,
 ) -> SweepResult:
     """Run every variant over every trace against a shared baseline.
 
     ``baseline`` and each variant are *factories* so every run gets a
     fresh, untrained prefetcher.  ``l2_factories`` optionally pairs a
-    variant name with an L2 prefetcher factory.
+    variant name with an L2 prefetcher factory.  A custom ``runner``
+    can add retries or a checkpoint journal; the default runs inline
+    with one retry and fault isolation.
     """
     result = SweepResult()
-    bases: Dict[str, SimResult] = {}
-    for trace in traces:
-        bases[trace.name] = simulate(
-            trace,
-            l1d_prefetcher=baseline(),
-            config=config,
-            warmup_fraction=warmup_fraction,
-        )
-        result.per_trace[trace.name] = {"baseline": bases[trace.name]}
+    runner = runner or ExperimentRunner(RunnerConfig(workers=0))
 
-    for name, factory in variants.items():
-        ratios: List[float] = []
-        l2_factory = (l2_factories or {}).get(name)
-        for trace in traces:
-            run = simulate(
+    def make_job(trace: Trace, variant: str,
+                 factory: PrefetcherFactory,
+                 l2_factory: Optional[PrefetcherFactory]) -> CallableJob:
+        def thunk() -> SimResult:
+            return simulate(
                 trace,
                 l1d_prefetcher=factory(),
                 l2_prefetcher=l2_factory() if l2_factory else None,
                 config=config,
                 warmup_fraction=warmup_fraction,
             )
+        return CallableJob(key=_job_key(trace.name, variant), fn=thunk)
+
+    jobs: List[CallableJob] = []
+    for trace in traces:
+        jobs.append(make_job(trace, "baseline", baseline, None))
+    for name, factory in variants.items():
+        l2_factory = (l2_factories or {}).get(name)
+        for trace in traces:
+            jobs.append(make_job(trace, name, factory, l2_factory))
+
+    suite = runner.run(jobs, run_fn=run_callable)
+    result.failures = suite.failures
+    by_key = suite.results_by_key()
+
+    bases: Dict[str, SimResult] = {}
+    for trace in traces:
+        base = by_key.get(_job_key(trace.name, "baseline"))
+        if base is not None:
+            bases[trace.name] = base
+            result.per_trace[trace.name] = {"baseline": base}
+        else:
+            result.per_trace[trace.name] = {}
+
+    for name in variants:
+        ratios: List[float] = []
+        for trace in traces:
+            run = by_key.get(_job_key(trace.name, name))
+            if run is None:
+                continue  # failed job: recorded in result.failures
             result.per_trace[trace.name][name] = run
-            ratios.append(run.speedup_over(bases[trace.name]))
-        result.speedups[name] = geomean(ratios)
+            base = bases.get(trace.name)
+            if base is not None:
+                ratios.append(run.speedup_over(base))
+        result.speedups[name] = geomean(ratios) if ratios else 0.0
     return result
 
 

@@ -6,8 +6,15 @@ Examples::
     python -m repro trace-info --trace mcf_s-1554B
     python -m repro run --trace mcf_s-1554B --l1d berti
     python -m repro compare --trace bc-kron --l1d ip_stride,ipcp,berti
-    python -m repro suite --suite spec17 --l1d mlop,ipcp,berti --scale 0.3
+    python -m repro suite --suite spec17 --l1d mlop,ipcp,berti --scale 0.3 \
+        --workers 4 --journal suite.jsonl --resume
     python -m repro storage
+
+``suite`` and ``compare`` execute through the resilient runner
+(:mod:`repro.runner`): jobs run in parallel worker processes, crashes
+and hangs fail one job instead of the campaign, and a ``--journal``
+makes an interrupted suite resumable with ``--resume``.  See
+``docs/runner.md``.
 """
 
 from __future__ import annotations
@@ -18,40 +25,61 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import geomean_speedup
 from repro.analysis.report import format_table
+from repro.errors import ConfigError, ReproError
 from repro.prefetchers.registry import available, make_prefetcher, storage_kb
-from repro.simulator.config import default_config
-from repro.simulator.engine import simulate
-from repro.workloads.cloudsuite_like import GENERATORS as CS_GENERATORS
-from repro.workloads.gap import GRAPHS, KERNELS, gap_trace
-from repro.workloads.spec_like import GENERATORS as SPEC_GENERATORS
-from repro.workloads.trace import Trace
+from repro.runner import (
+    ExperimentRunner,
+    FaultSpec,
+    JobSpec,
+    RunnerConfig,
+    build_matrix_jobs,
+    per_trace_results,
+    run_job,
+)
+from repro.workloads.catalog import (
+    all_trace_names,
+    resolve_trace,
+    suite_trace_names,
+)
+
+__all__ = [
+    "all_trace_names", "build_parser", "main", "resolve_trace",
+]
 
 
-def resolve_trace(name: str, scale: float) -> Trace:
-    """Find a trace generator by name across all suites."""
-    if name in SPEC_GENERATORS:
-        return SPEC_GENERATORS[name](scale)
-    if name in CS_GENERATORS:
-        return CS_GENERATORS[name](scale)
-    if "-" in name:
-        kernel, __, graph = name.partition("-")
-        if kernel in KERNELS and graph in GRAPHS:
-            return gap_trace(kernel, graph, scale)
-    raise SystemExit(
-        f"unknown trace {name!r}; run `python -m repro list` for options"
+def _runner_config(args, n_jobs: int) -> RunnerConfig:
+    workers = args.workers
+    if workers < 0:  # --workers -1: one worker per job, bounded by the host
+        import os
+        workers = max(1, min(os.cpu_count() or 1, n_jobs))
+    return RunnerConfig(
+        workers=workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        journal_path=args.journal,
+        resume=args.resume,
+        verbose=True,
     )
 
 
-def all_trace_names() -> List[str]:
-    gap_names = [f"{k}-{g}" for k in KERNELS for g in GRAPHS]
-    return list(SPEC_GENERATORS) + gap_names + list(CS_GENERATORS)
-
-
-def _config(args) -> object:
-    cfg = default_config()
-    if getattr(args, "mtps", None):
-        cfg = cfg.with_dram_mtps(args.mtps)
-    return cfg
+def _parse_faults(args) -> Dict[str, FaultSpec]:
+    """``--inject kind:trace[:period]`` flags → trace-keyed fault specs."""
+    faults: Dict[str, FaultSpec] = {}
+    for item in args.inject or []:
+        parts = item.split(":")
+        if len(parts) not in (2, 3):
+            raise ConfigError(
+                f"bad --inject {item!r}; expected kind:trace[:period]",
+                field="inject",
+            )
+        kind, trace = parts[0], parts[1]
+        period = int(parts[2]) if len(parts) == 3 else 3
+        if kind == "hang":
+            faults[trace] = FaultSpec(kind=kind, period=period,
+                                      hang_seconds=3600.0)
+        else:
+            faults[trace] = FaultSpec(kind=kind, period=period)
+    return faults
 
 
 def cmd_list(args) -> int:
@@ -80,13 +108,11 @@ def cmd_trace_info(args) -> int:
 
 
 def cmd_run(args) -> int:
-    t = resolve_trace(args.trace, args.scale)
-    result = simulate(
-        t,
-        l1d_prefetcher=make_prefetcher(args.l1d),
-        l2_prefetcher=make_prefetcher(args.l2),
-        config=_config(args),
-    )
+    # One job, run inline through the typed worker: trace/prefetcher
+    # errors arrive classified and the result is invariant-checked.
+    spec = JobSpec(trace=args.trace, l1d=args.l1d, l2=args.l2,
+                   scale=args.scale, mtps=args.mtps)
+    result = run_job(spec)
     pf = result.pf_l1d
     print(result.summary_line())
     print(f"  IPC              {result.ipc:.3f}")
@@ -101,60 +127,70 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    t = resolve_trace(args.trace, args.scale)
+    t = resolve_trace(args.trace, args.scale)  # fail fast on a bad name
     names = args.l1d.split(",")
-    cfg = _config(args)
-    results = {
-        n: simulate(t, l1d_prefetcher=make_prefetcher(n), config=cfg)
-        for n in names
-    }
-    base = results.get(args.baseline) or simulate(
-        t, l1d_prefetcher=make_prefetcher(args.baseline), config=cfg
+    if args.baseline not in names:
+        names = [args.baseline] + names
+    jobs = build_matrix_jobs(
+        [args.trace], names, scale=args.scale, mtps=args.mtps,
+        faults=_parse_faults(args),
     )
-    rows = [
-        [n, r.ipc, r.speedup_over(base), r.l1d_mpki, r.pf_l1d.accuracy]
-        for n, r in results.items()
-    ]
+    runner = ExperimentRunner(_runner_config(args, len(jobs)))
+    suite = runner.run(jobs)
+    print(suite.banner(), file=sys.stderr)
+
+    results = per_trace_results(jobs, suite).get(args.trace, {})
+    base = results.get(args.baseline)
+    if base is None:
+        print(f"error: baseline {args.baseline!r} failed on {args.trace}; "
+              f"no speedups to report", file=sys.stderr)
+        return 2
+    failed = {f.key: f for f in suite.failures}
+    rows = []
+    for job in jobs:
+        n = job.l1d
+        if n in results:
+            r = results[n]
+            rows.append([n, r.ipc, r.speedup_over(base), r.l1d_mpki,
+                         r.pf_l1d.accuracy])
+        else:
+            f = failed.get(job.key)
+            rows.append([n, f"FAILED ({f.kind})" if f else "FAILED",
+                         "-", "-", "-"])
     print(format_table(
         ["prefetcher", "IPC", f"speedup vs {args.baseline}", "L1D MPKI",
          "accuracy"],
         rows, title=f"{t.name} ({len(t)} accesses)",
     ))
-    return 0
+    return 0 if not suite.failures else 3
 
 
 def cmd_suite(args) -> int:
-    if args.suite == "spec17":
-        traces = [g(args.scale) for g in SPEC_GENERATORS.values()]
-    elif args.suite == "gap":
-        traces = [
-            gap_trace(k, g, args.scale) for k in KERNELS for g in
-            (GRAPHS if args.all_graphs else ["kron", "urand"])
-        ]
-    elif args.suite == "cloudsuite":
-        traces = [g(args.scale) for g in CS_GENERATORS.values()]
-    else:
-        raise SystemExit(f"unknown suite {args.suite!r}")
-
+    trace_names = suite_trace_names(args.suite, args.all_graphs)
     names = args.l1d.split(",")
     if args.baseline not in names:
         names = [args.baseline] + names
-    cfg = _config(args)
-    per_trace: Dict[str, Dict[str, object]] = {}
-    for t in traces:
-        print(f"simulating {t.name}...", file=sys.stderr)
-        per_trace[t.name] = {
-            n: simulate(t, l1d_prefetcher=make_prefetcher(n), config=cfg)
-            for n in names
-        }
+    jobs = build_matrix_jobs(
+        trace_names, names, scale=args.scale, mtps=args.mtps,
+        faults=_parse_faults(args),
+    )
+    runner = ExperimentRunner(_runner_config(args, len(jobs)))
+    suite = runner.run(jobs)
+
+    per_trace = per_trace_results(jobs, suite)
+    survivors = [t for t in trace_names if args.baseline in per_trace.get(t, {})]
     speeds = geomean_speedup(per_trace, baseline_name=args.baseline)
-    rows = [[n, speeds[n]] for n in names]
+    rows = [[n, speeds.get(n, 0.0)] for n in names]
+
+    print(suite.banner(), file=sys.stderr)
+    for f in suite.failures:
+        print(f"  FAILED [{f.kind}] {f.key}: {f.message}", file=sys.stderr)
     print(format_table(
         ["prefetcher", "geomean speedup"], rows,
-        title=f"suite {args.suite} ({len(traces)} traces, "
-              f"scale {args.scale})",
+        title=f"suite {args.suite} ({len(survivors)}/{len(trace_names)} "
+              f"traces, scale {args.scale})",
     ))
-    return 0
+    return 0 if not suite.failures else 3
 
 
 def cmd_storage(args) -> int:
@@ -170,6 +206,25 @@ def cmd_storage(args) -> int:
     for k, v in BertiConfig().storage_breakdown_kb().items():
         print(f"  {k:22s} {v:5.2f} KB")
     return 0
+
+
+def _add_runner_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("runner (resilience/parallelism)")
+    g.add_argument("--workers", type=int, default=0,
+                   help="worker processes; 0 = in-process serial, "
+                        "-1 = one per CPU (default 0)")
+    g.add_argument("--timeout", type=float, default=None,
+                   help="per-job wall-clock seconds (requires --workers >= 1)")
+    g.add_argument("--retries", type=int, default=1,
+                   help="extra attempts for transient failures (default 1)")
+    g.add_argument("--journal", default=None,
+                   help="JSONL checkpoint journal path")
+    g.add_argument("--resume", action="store_true",
+                   help="replay completed jobs from --journal")
+    g.add_argument("--inject", action="append", default=None,
+                   metavar="KIND:TRACE[:PERIOD]",
+                   help="inject a fault (crash/hang/corrupt/mshr_full/"
+                        "pq_full/flaky) into every job of TRACE")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--baseline", default="ip_stride")
     cmp_.add_argument("--scale", type=float, default=0.5)
     cmp_.add_argument("--mtps", type=int, default=None)
+    _add_runner_args(cmp_)
 
     suite = sub.add_parser("suite", help="geomean speedups over a suite")
     suite.add_argument("--suite", default="spec17",
@@ -208,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--scale", type=float, default=0.4)
     suite.add_argument("--all-graphs", action="store_true")
     suite.add_argument("--mtps", type=int, default=None)
+    _add_runner_args(suite)
 
     sub.add_parser("storage", help="hardware budgets incl. Table I")
     return p
@@ -225,7 +282,11 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -10,6 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.errors import ConfigError
+
+
+def _pow2_floor(n: int) -> int:
+    """Largest power of two <= max(1, n)."""
+    n = max(1, n)
+    return 1 << (n.bit_length() - 1)
+
 
 @dataclass(frozen=True)
 class BertiConfig:
@@ -56,16 +64,44 @@ class BertiConfig:
 
     # ------------------------------------------------------------------
 
+    def __post_init__(self) -> None:
+        if self.history_sets < 1 or self.history_sets & (self.history_sets - 1):
+            raise ConfigError(
+                f"history_sets must be a power of two, got {self.history_sets}",
+                field="history_sets",
+            )
+        for name in ("history_ways", "delta_table_entries", "deltas_per_entry",
+                     "max_deltas_per_search", "max_prefetch_deltas",
+                     "counter_max", "latency_bits", "pq_entries",
+                     "mshr_entries", "l1d_lines"):
+            if getattr(self, name) < 1:
+                raise ConfigError(
+                    f"{name} must be >= 1, got {getattr(self, name)}",
+                    field=name,
+                )
+        if not 0.0 <= self.medium_watermark <= self.high_watermark <= 1.0:
+            raise ConfigError(
+                "watermarks must satisfy 0 <= medium <= high <= 1, got "
+                f"medium={self.medium_watermark} high={self.high_watermark}",
+                field="medium_watermark",
+            )
+        if not 0.0 <= self.low_watermark <= 1.0:
+            raise ConfigError(
+                f"low_watermark must be in [0, 1], got {self.low_watermark}",
+                field="low_watermark",
+            )
+
     def scaled(self, factor: float) -> "BertiConfig":
         """History/delta tables scaled by ``factor`` (Figure 22 sweep).
 
-        Scales the history table's set count and the number of delta-table
-        entries; the per-entry delta count is scaled separately via
-        :meth:`with_deltas_per_entry`.
+        Scales the history table's set count (rounded down to a power of
+        two, the only legal geometry for an index) and the number of
+        delta-table entries; the per-entry delta count is scaled
+        separately via :meth:`with_deltas_per_entry`.
         """
         return replace(
             self,
-            history_sets=max(1, int(self.history_sets * factor)),
+            history_sets=_pow2_floor(int(self.history_sets * factor)),
             delta_table_entries=max(1, int(self.delta_table_entries * factor)),
         )
 
@@ -74,7 +110,11 @@ class BertiConfig:
 
     def with_watermarks(self, high: float, medium: float) -> "BertiConfig":
         if not 0.0 <= medium <= high <= 1.0:
-            raise ValueError("watermarks must satisfy 0 <= medium <= high <= 1")
+            raise ConfigError(
+                "watermarks must satisfy 0 <= medium <= high <= 1, got "
+                f"medium={medium} high={high}",
+                field="medium_watermark",
+            )
         return replace(
             self, high_watermark=high, medium_watermark=medium,
             low_watermark=medium,

@@ -1,0 +1,122 @@
+"""Structured exception hierarchy for the reproduction toolkit.
+
+Every failure the experiment pipeline can encounter is classified under
+:class:`ReproError`, carrying the (trace, prefetcher) context of the job
+that produced it.  The resilient runner (:mod:`repro.runner`) uses the
+class of an exception to decide whether a job is retryable:
+
+* :class:`TraceError` / :class:`ConfigError` — *permanent*: the job is
+  malformed and re-running it cannot help.
+* :class:`SimulationError` — a run crashed mid-flight; retried a bounded
+  number of times in case the failure was environmental (a worker OOM,
+  a flaky filesystem), then recorded as a failed run.
+* :class:`JobTimeout` — the job exceeded its wall-clock budget; not
+  retried by default (a hang will usually hang again).
+
+Exceptions cross process boundaries (``concurrent.futures`` pickles
+them back to the parent), so the context travels via ``__reduce__``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ReproError(Exception):
+    """Base class for all toolkit errors, with job context attached."""
+
+    #: Whether the runner may retry a job that raised this error.
+    retryable: bool = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        trace: Optional[str] = None,
+        prefetcher: Optional[str] = None,
+        field: Optional[str] = None,
+    ) -> None:
+        self.message = message
+        self.trace = trace
+        self.prefetcher = prefetcher
+        self.field = field
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        parts = []
+        if self.trace:
+            parts.append(f"trace={self.trace}")
+        if self.prefetcher:
+            parts.append(f"prefetcher={self.prefetcher}")
+        if self.field:
+            parts.append(f"field={self.field}")
+        if parts:
+            return f"{self.message} [{' '.join(parts)}]"
+        return self.message
+
+    def context(self) -> Dict[str, Any]:
+        """The job context as a plain dict (for journal records)."""
+        return {
+            "trace": self.trace,
+            "prefetcher": self.prefetcher,
+            "field": self.field,
+        }
+
+    def __reduce__(self):
+        # Preserve keyword context across pickling (process boundaries).
+        return (
+            _rebuild,
+            (self.__class__, self.message, self.trace, self.prefetcher,
+             self.field),
+        )
+
+
+def _rebuild(cls, message, trace, prefetcher, field):
+    return cls(message, trace=trace, prefetcher=prefetcher, field=field)
+
+
+class TraceError(ReproError):
+    """A trace could not be resolved, loaded, or failed validation."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is out of its legal range.
+
+    Also a :class:`ValueError` so existing ``with_watermarks``-style
+    call sites (and their tests) keep working unchanged.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation crashed or produced internally inconsistent stats."""
+
+    retryable = True
+
+
+class JobTimeout(ReproError):
+    """A job exceeded its wall-clock budget and was killed."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        trace: Optional[str] = None,
+        prefetcher: Optional[str] = None,
+        field: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.timeout = timeout
+        super().__init__(message, trace=trace, prefetcher=prefetcher,
+                         field=field)
+
+    def __reduce__(self):
+        return (
+            _rebuild_timeout,
+            (self.__class__, self.message, self.trace, self.prefetcher,
+             self.field, self.timeout),
+        )
+
+
+def _rebuild_timeout(cls, message, trace, prefetcher, field, timeout):
+    return cls(message, trace=trace, prefetcher=prefetcher, field=field,
+               timeout=timeout)

@@ -69,6 +69,7 @@ class PrefetcherStats:
     useful: int = 0             # prefetched lines later demanded
     late: int = 0               # ... demanded before the data arrived
     useless: int = 0            # evicted without a demand touch
+    promoted: int = 0           # in-flight prefetches promoted by a demand
 
     def reset(self) -> None:
         for name in vars(self):
@@ -238,6 +239,7 @@ class Hierarchy:
                 origin = "l1d"
                 self.pf_stats[origin].useful += 1
                 self.pf_stats[origin].late += 1
+                self.pf_stats[origin].promoted += 1
                 self._notify_l1d_prefetch_hit(
                     ip, vline, t, max(1, inflight.ready_cycle - inflight.alloc_cycle)
                 )
@@ -315,6 +317,7 @@ class Hierarchy:
                 origin = "l2"
                 self.pf_stats[origin].useful += 1
                 self.pf_stats[origin].late += 1
+                self.pf_stats[origin].promoted += 1
             return now + self.l2.latency + wait
 
         miss_time = now + self.l2.latency
@@ -595,6 +598,28 @@ class Hierarchy:
         if latency <= 0 or latency >= (1 << LATENCY_FIELD_BITS):
             return 0
         return latency
+
+    def prefetched_line_counts(self) -> Dict[str, int]:
+        """Resident or in-flight prefetched lines, by issuing prefetcher.
+
+        Captured at the warmup→measurement boundary: these lines were
+        issued before the stats reset but can still be demanded (and
+        credited as useful) afterwards, so ``useful`` may legitimately
+        exceed ``issued`` by up to this count.
+        """
+        counts = {"l1d": 0, "l2": 0}
+        for cache in (self.l1d, self.l2, self.llc):
+            for cset in cache.sets:
+                for cl in cset:
+                    if cl.valid and cl.prefetched and cl.pf_origin in counts:
+                        counts[cl.pf_origin] += 1
+        # In-flight prefetch misses promoted by a later demand are
+        # credited to the MSHR's level ("l1d"/"l2" respectively).
+        for origin, mshr in (("l1d", self.l1d_mshr), ("l2", self.l2_mshr)):
+            counts[origin] += sum(
+                1 for e in mshr._entries.values() if e.is_prefetch
+            )
+        return counts
 
     def reset_stats(self) -> None:
         """Clear all counters (but not cache contents) after warmup."""

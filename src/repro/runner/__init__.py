@@ -1,0 +1,64 @@
+"""Resilient experiment runner: fault-isolated parallel execution with
+retry, timeout, and checkpoint/resume.
+
+Quick use::
+
+    from repro.runner import ExperimentRunner, RunnerConfig, JobSpec
+
+    jobs = [JobSpec(trace="mcf_s-1554B", l1d=pf, scale=0.3)
+            for pf in ("ip_stride", "mlop", "berti")]
+    runner = ExperimentRunner(RunnerConfig(
+        workers=4, timeout=300, retries=1, journal_path="suite.jsonl",
+    ))
+    suite = runner.run(jobs)
+    print(suite.banner())            # e.g. "3/3 jobs completed"
+    for run in suite.completed:
+        print(run.key, run.result.ipc)
+
+See ``docs/runner.md`` for the journal format, the failure taxonomy,
+and the fault-injection harness.
+"""
+
+from repro.errors import (
+    ConfigError,
+    JobTimeout,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.runner.executor import ExperimentRunner, RunnerConfig
+from repro.runner.faultinject import FaultSpec
+from repro.runner.invariants import check_invariants
+from repro.runner.jobs import (
+    CallableJob,
+    CompletedRun,
+    FailedRun,
+    JobSpec,
+    SuiteResult,
+    run_callable,
+)
+from repro.runner.journal import Journal
+from repro.runner.suite import build_matrix_jobs, per_trace_results
+from repro.runner.worker import run_job
+
+__all__ = [
+    "CallableJob",
+    "CompletedRun",
+    "ConfigError",
+    "ExperimentRunner",
+    "FailedRun",
+    "FaultSpec",
+    "JobSpec",
+    "JobTimeout",
+    "Journal",
+    "ReproError",
+    "RunnerConfig",
+    "SimulationError",
+    "SuiteResult",
+    "TraceError",
+    "build_matrix_jobs",
+    "check_invariants",
+    "per_trace_results",
+    "run_callable",
+    "run_job",
+]

@@ -1,0 +1,359 @@
+"""Fault-isolated experiment executor.
+
+Runs a batch of jobs either inline (``workers=0``) or across a
+``concurrent.futures.ProcessPoolExecutor`` (``workers >= 1``), with:
+
+* **fault isolation** — an exception (even a hard worker death) fails
+  one job, not the campaign;
+* **per-job wall-clock timeouts** — a hung job is recorded as a
+  :class:`~repro.errors.JobTimeout` and its worker process is killed;
+* **bounded retry with exponential backoff** — transient failures
+  (``SimulationError``, lost workers, optionally timeouts) are retried
+  up to ``retries`` extra attempts; trace/config errors never are;
+* **checkpoint journaling** — every outcome is appended to a JSONL
+  journal the moment it is known, and ``resume=True`` replays completed
+  jobs instead of re-running them.
+
+Scheduling detail: at most ``workers`` jobs are ever in flight, so a
+submitted future starts executing immediately and its wall-clock
+deadline can be measured from submission.  When a job times out or a
+worker dies, the pool is rebuilt (hung processes are killed) and the
+unaffected in-flight jobs are resubmitted — their results are
+deterministic, so a resubmission cannot change the campaign's output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError, JobTimeout
+from repro.runner import worker
+from repro.runner.jobs import (
+    CompletedRun,
+    FailedRun,
+    RunOutcome,
+    SuiteResult,
+    failed_run_from,
+)
+from repro.runner.journal import Journal
+
+
+@dataclass
+class RunnerConfig:
+    """All resilience knobs in one place."""
+
+    workers: int = 0                 # 0 = inline (no subprocess)
+    timeout: Optional[float] = None  # per-job wall-clock seconds (pool mode)
+    retries: int = 1                 # extra attempts for transient failures
+    retry_timeouts: bool = False     # a hang usually hangs again
+    backoff_base: float = 0.25      # seconds; doubles per attempt
+    backoff_factor: float = 2.0
+    journal_path: Optional[Union[str, Path]] = None
+    resume: bool = False
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigError(
+                f"workers must be >= 0, got {self.workers}", field="workers"
+            )
+        if self.retries < 0:
+            raise ConfigError(
+                f"retries must be >= 0, got {self.retries}", field="retries"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError(
+                f"timeout must be positive, got {self.timeout}",
+                field="timeout",
+            )
+        if self.resume and not self.journal_path:
+            raise ConfigError(
+                "resume=True requires a journal_path", field="resume"
+            )
+
+
+class ExperimentRunner:
+    """Executes jobs with isolation, retry, timeout, and checkpointing.
+
+    ``run_fn(job, attempt)`` produces a job's result; the default is
+    :func:`repro.runner.worker.run_job` (jobs are then
+    :class:`~repro.runner.jobs.JobSpec`).  In pool mode both the jobs
+    and ``run_fn`` must be picklable; inline mode has no such
+    constraint (``analysis.sweep`` passes closures).
+    """
+
+    def __init__(
+        self,
+        config: Optional[RunnerConfig] = None,
+        run_fn: Callable = worker.run_job,
+    ) -> None:
+        self.config = config or RunnerConfig()
+        self._run_fn = run_fn
+        self._journal = (
+            Journal(self.config.journal_path)
+            if self.config.journal_path else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, jobs: Sequence, run_fn: Optional[Callable] = None
+    ) -> SuiteResult:
+        """Run every job; never raises for individual job failures.
+
+        ``run_fn`` overrides the constructor's job function for this
+        batch (``analysis.sweep`` passes a thunk-caller for its
+        :class:`~repro.runner.jobs.CallableJob` jobs).
+        """
+        if run_fn is not None:
+            previous, self._run_fn = self._run_fn, run_fn
+            try:
+                return self.run(jobs)
+            finally:
+                self._run_fn = previous
+        keys = [job.key for job in jobs]
+        if len(set(keys)) != len(keys):
+            dup = next(k for k in keys if keys.count(k) > 1)
+            raise ConfigError(
+                f"duplicate job key {dup!r}; every job needs a unique key",
+                field="jobs",
+            )
+
+        outcomes: Dict[str, RunOutcome] = {}
+        pending: List = list(jobs)
+
+        if self._journal is not None and self.config.resume:
+            replayed = self._replay_journal(pending, outcomes)
+            pending = [job for job in pending if job.key not in outcomes]
+            if self.config.verbose and replayed:
+                print(
+                    f"[runner] resumed {replayed} completed jobs from "
+                    f"{self._journal.path}", file=sys.stderr,
+                )
+
+        if pending:
+            if self.config.workers == 0:
+                self._run_inline(pending, outcomes)
+            else:
+                self._run_pool(pending, outcomes)
+
+        return SuiteResult(outcomes=[outcomes[k] for k in keys])
+
+    # ------------------------------------------------------------------
+
+    def _replay_journal(self, jobs: Sequence, outcomes: Dict) -> int:
+        records = self._journal.load()
+        replayed = 0
+        for job in jobs:
+            rec = records.get(job.key)
+            if rec and rec.get("status") == "ok":
+                done = Journal.decode_completed(rec)
+                if done is not None:
+                    outcomes[job.key] = done
+                    replayed += 1
+        return replayed
+
+    def _record(self, outcomes: Dict, outcome: RunOutcome) -> None:
+        outcomes[outcome.key] = outcome
+        if self._journal is not None:
+            self._journal.append(outcome)
+        if self.config.verbose:
+            if outcome.ok:
+                print(f"[runner] ok     {outcome.key} "
+                      f"({outcome.elapsed:.1f}s)", file=sys.stderr)
+            else:
+                print(f"[runner] FAILED {outcome.key} "
+                      f"[{outcome.kind}] {outcome.message}", file=sys.stderr)
+
+    def _backoff(self, attempt: int) -> float:
+        return self.config.backoff_base * (
+            self.config.backoff_factor ** (attempt - 1)
+        )
+
+    def _may_retry(self, kind: str, attempt: int) -> bool:
+        if attempt > self.config.retries:
+            return False
+        if kind in ("trace", "config"):
+            return False  # deterministic job defects: retry cannot help
+        if kind == "timeout":
+            return self.config.retry_timeouts
+        return True  # crash / worker-lost
+
+    # ------------------------------------------------------------------
+    # Inline backend (workers=0): isolation + retry, no preemption
+    # ------------------------------------------------------------------
+
+    def _run_inline(self, jobs: Sequence, outcomes: Dict) -> None:
+        for job in jobs:
+            attempt = 1
+            start = time.monotonic()
+            while True:
+                try:
+                    result = self._run_fn(job, attempt)
+                except KeyboardInterrupt:
+                    raise  # journal already holds the finished jobs
+                except BaseException as exc:  # noqa: BLE001 — isolation point
+                    if isinstance(exc, (SystemExit, GeneratorExit)):
+                        raise
+                    failed = failed_run_from(
+                        job.key, exc, attempt, time.monotonic() - start
+                    )
+                    if self._may_retry(failed.kind, attempt):
+                        time.sleep(self._backoff(attempt))
+                        attempt += 1
+                        continue
+                    self._record(outcomes, failed)
+                    break
+                else:
+                    self._record(outcomes, CompletedRun(
+                        key=job.key, result=result, attempts=attempt,
+                        elapsed=time.monotonic() - start,
+                    ))
+                    break
+
+    # ------------------------------------------------------------------
+    # Process-pool backend (workers >= 1)
+    # ------------------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            ctx = multiprocessing.get_context()
+        return ProcessPoolExecutor(
+            max_workers=self.config.workers, mp_context=ctx
+        )
+
+    @staticmethod
+    def _kill_pool(executor: ProcessPoolExecutor) -> None:
+        """Tear a pool down even if a worker is wedged."""
+        procs = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+
+    def _run_pool(self, jobs: Sequence, outcomes: Dict) -> None:
+        cfg = self.config
+        queue = deque((job, 1) for job in jobs)  # (job, attempt)
+        delayed: List[Tuple[float, object, int]] = []  # (ready_at, job, att)
+        inflight: Dict = {}  # future -> (job, attempt, deadline, started_at)
+        executor = self._new_pool()
+
+        def submit(job, attempt: int) -> None:
+            now = time.monotonic()
+            fut = executor.submit(self._run_fn, job, attempt)
+            deadline = now + cfg.timeout if cfg.timeout else None
+            inflight[fut] = (job, attempt, deadline, now)
+
+        def fail_or_retry(job, attempt, exc, elapsed, kind=None) -> None:
+            failed = failed_run_from(job.key, exc, attempt, elapsed, kind=kind)
+            if self._may_retry(failed.kind, attempt):
+                delayed.append(
+                    (time.monotonic() + self._backoff(attempt), job,
+                     attempt + 1)
+                )
+            else:
+                self._record(outcomes, failed)
+
+        def rebuild_pool() -> None:
+            """Kill the pool; resubmit unaffected in-flight jobs."""
+            nonlocal executor
+            for fut, (job, attempt, _dl, _t0) in list(inflight.items()):
+                queue.appendleft((job, attempt))
+            inflight.clear()
+            self._kill_pool(executor)
+            executor = self._new_pool()
+
+        try:
+            while queue or inflight or delayed:
+                now = time.monotonic()
+                still_delayed = []
+                for ready_at, job, attempt in delayed:
+                    if ready_at <= now:
+                        queue.append((job, attempt))
+                    else:
+                        still_delayed.append((ready_at, job, attempt))
+                delayed = still_delayed
+
+                while queue and len(inflight) < cfg.workers:
+                    job, attempt = queue.popleft()
+                    submit(job, attempt)
+
+                waits = []
+                if delayed:
+                    waits.append(min(r for r, _, _ in delayed) - now)
+                deadlines = [d for (_, _, d, _) in inflight.values()
+                             if d is not None]
+                if deadlines:
+                    waits.append(min(deadlines) - now)
+                wait_for = max(0.01, min(waits)) if waits else None
+
+                if inflight:
+                    done, _ = wait(
+                        set(inflight), timeout=wait_for,
+                        return_when=FIRST_COMPLETED,
+                    )
+                else:
+                    if wait_for:
+                        time.sleep(wait_for)
+                    done = set()
+
+                pool_broken = False
+                for fut in done:
+                    entry = inflight.pop(fut, None)
+                    if entry is None:  # already handled via a pool rebuild
+                        continue
+                    job, attempt, _deadline, started = entry
+                    elapsed = time.monotonic() - started
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool as exc:
+                        fail_or_retry(job, attempt, exc, elapsed,
+                                      kind="worker-lost")
+                        pool_broken = True
+                    except BaseException as exc:  # noqa: BLE001
+                        if isinstance(exc, KeyboardInterrupt):
+                            raise
+                        fail_or_retry(job, attempt, exc, elapsed)
+                    else:
+                        self._record(outcomes, CompletedRun(
+                            key=job.key, result=result, attempts=attempt,
+                            elapsed=elapsed,
+                        ))
+
+                now = time.monotonic()
+                expired = [
+                    fut for fut, (_j, _a, deadline, _t0) in inflight.items()
+                    if deadline is not None and deadline <= now
+                    and not fut.done()
+                ]
+                for fut in expired:
+                    job, attempt, _deadline, started = inflight.pop(fut)
+                    exc = JobTimeout(
+                        f"job exceeded {cfg.timeout:.1f}s wall-clock budget",
+                        trace=getattr(job, "trace", None),
+                        prefetcher=getattr(job, "l1d", None),
+                        timeout=cfg.timeout,
+                    )
+                    fail_or_retry(job, attempt, exc,
+                                  now - started, kind="timeout")
+                if expired or pool_broken:
+                    rebuild_pool()
+
+            executor.shutdown(wait=True)
+        except BaseException:
+            # Flush nothing further — the journal is already up to date
+            # for every finished job; kill stragglers and propagate.
+            self._kill_pool(executor)
+            raise

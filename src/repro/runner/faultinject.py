@@ -1,0 +1,185 @@
+"""Deterministic fault injection for the simulator.
+
+The resilient runner must be *provably* resilient, so this module can
+perturb a job in every way the error taxonomy classifies:
+
+* ``crash``      — the L1D prefetcher's ``on_access`` raises after N calls
+                   (→ :class:`~repro.errors.SimulationError`, kind "crash").
+* ``hang``       — the worker sleeps past any reasonable timeout
+                   (→ :class:`~repro.errors.JobTimeout`, kind "timeout").
+* ``corrupt``    — every N-th trace record gets a negative address, which
+                   :meth:`Trace.validate` rejects (→ ``TraceError``).
+* ``mshr_full``  — MSHR occupancy queries report "full" every N-th call,
+                   exercising the prefetch-drop and demand-stall paths.
+* ``pq_full``    — the prefetch queue rejects every N-th push, exercising
+                   ``dropped_queue_full``.
+* ``flaky``      — the job crashes on its first ``fail_attempts`` attempts
+                   and then succeeds (exercises retry with backoff).
+
+All faults are deterministic (counter-based, no randomness), so an
+injected run is exactly reproducible — and the *surviving* jobs of a
+faulted campaign are bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.memory.hierarchy import Hierarchy, _FIFOQueue
+from repro.memory.mshr import MSHR
+from repro.workloads.trace import Trace
+
+FAULT_KINDS = ("crash", "hang", "corrupt", "mshr_full", "pq_full", "flaky")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A picklable description of one injected fault.
+
+    ``period`` means: for ``crash``, crash on the N-th prefetcher
+    invocation; for ``corrupt``, corrupt every N-th record; for
+    ``mshr_full``/``pq_full``, fail every N-th allocation query.
+    """
+
+    kind: str
+    period: int = 3
+    hang_seconds: float = 3600.0
+    fail_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}",
+                field="kind",
+            )
+        if self.period < 1:
+            raise ConfigError(
+                f"fault period must be >= 1, got {self.period}",
+                field="period",
+            )
+
+
+class InjectedCrash(RuntimeError):
+    """The marker exception the ``crash`` fault raises."""
+
+
+class CrashingPrefetcher:
+    """Wraps a prefetcher; ``on_access`` raises on the N-th invocation.
+
+    Everything else delegates to the wrapped prefetcher, so the crash
+    happens mid-simulation with realistic state behind it.
+    """
+
+    def __init__(self, inner, crash_on: int = 100) -> None:
+        self._inner = inner
+        self._crash_on = crash_on
+        self._calls = 0
+        self.name = inner.name
+        self.level = inner.level
+
+    def on_access(self, info):
+        self._calls += 1
+        if self._calls >= self._crash_on:
+            raise InjectedCrash(
+                f"injected prefetcher crash on access #{self._calls}"
+            )
+        return self._inner.on_access(info)
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)
+
+
+class FaultyMSHR(MSHR):
+    """An MSHR whose capacity queries report "full" every N-th call.
+
+    ``allocate`` itself only fails on *real* fullness, so the injected
+    refusals exercise the graceful paths (prefetch drops, demand stalls)
+    without corrupting the simulation.
+    """
+
+    def __init__(self, size: int, period: int) -> None:
+        super().__init__(size)
+        self.period = period
+        self._queries = 0
+        self._suspended = False
+        self.injected_failures = 0
+
+    def _inject(self) -> bool:
+        if self._suspended:
+            return False
+        self._queries += 1
+        if self._queries % self.period == 0:
+            self.injected_failures += 1
+            return True
+        return False
+
+    def occupancy(self, now: int) -> int:
+        if self._inject():
+            return self.size
+        return super().occupancy(now)
+
+    def can_allocate(self, now: int) -> bool:
+        if self._inject():
+            return False
+        # Suspend injection for the nested occupancy() call so one
+        # capacity check counts as one query, not two.
+        self._suspended = True
+        try:
+            return super().can_allocate(now)
+        finally:
+            self._suspended = False
+
+    def allocate(self, *args, **kwargs):
+        self._suspended = True
+        try:
+            return super().allocate(*args, **kwargs)
+        finally:
+            self._suspended = False
+
+
+class FaultyPQ(_FIFOQueue):
+    """A prefetch queue that rejects every N-th push as if full."""
+
+    def __init__(self, size: int, period: int, rate: float = 1.0) -> None:
+        super().__init__(size, rate=rate)
+        self.period = period
+        self._pushes = 0
+        self.injected_failures = 0
+
+    def push(self, now: float) -> Optional[int]:
+        self._pushes += 1
+        if self._pushes % self.period == 0:
+            self.injected_failures += 1
+            return None
+        return super().push(now)
+
+
+def corrupt_trace(trace: Trace, period: int = 97) -> Trace:
+    """A copy of ``trace`` with every ``period``-th record's address
+    negated — the canonical "bit-flipped trace file" failure."""
+    records = list(trace.records)
+    for i in range(0, len(records), max(1, period)):
+        ip, vaddr, is_write, gap, dep = records[i]
+        records[i] = (ip, -abs(vaddr) - 1, is_write, gap, dep)
+    return Trace(
+        name=trace.name,
+        records=records,
+        suite=trace.suite,
+        description=trace.description,
+    )
+
+
+def hierarchy_fault_hook(spec: FaultSpec) -> Optional[Callable[[Hierarchy], None]]:
+    """The ``post_build`` hook implementing MSHR/PQ allocation faults."""
+    if spec.kind == "mshr_full":
+        def hook(h: Hierarchy) -> None:
+            h.l1d_mshr = FaultyMSHR(h.l1d_mshr.size, spec.period)
+            h.l2_mshr = FaultyMSHR(h.l2_mshr.size, spec.period)
+        return hook
+    if spec.kind == "pq_full":
+        def hook(h: Hierarchy) -> None:
+            h.pq = FaultyPQ(h.pq.size, spec.period, rate=h.pq.rate)
+        return hook
+    return None

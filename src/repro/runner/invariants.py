@@ -1,0 +1,107 @@
+"""Internal-consistency checks on a :class:`SimResult`.
+
+A run that survives a fault injection (or a worker that silently
+misbehaves) must still produce *coherent* statistics; these invariants
+are conservation laws of the simulator's accounting:
+
+* every counter is non-negative,
+* per level, ``hits + misses == accesses`` (hits being derived,
+  this is ``misses <= accesses``),
+* per prefetcher, ``late <= useful`` and ``fills <= issued``,
+* every useful prefetch is accounted for by an issue: summed over both
+  prefetchers, ``useful - promoted <= issued + warmup carryover``
+  (prefetched lines resident at the warmup reset may be demanded — and
+  credited — after the counters were zeroed; MSHR promotions are
+  counted separately because their origin attribution can cross
+  levels),
+* a run that retired instructions consumed cycles.
+
+:func:`check_invariants` returns the list of violated invariants (empty
+when consistent); the runner's worker raises ``SimulationError`` when
+the list is non-empty.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.simulator.stats import SimResult
+
+_COUNT_FIELDS = (
+    "instructions",
+    "l1d_demand_accesses", "l1d_demand_misses",
+    "l2_demand_accesses", "l2_demand_misses",
+    "llc_demand_accesses", "llc_demand_misses",
+    "traffic_l1d_l2", "traffic_l2_llc", "traffic_llc_dram",
+    "dram_reads", "dram_writes", "dram_row_hits", "dram_row_misses",
+    "l1d_writebacks", "l2_writebacks", "llc_writebacks",
+    "l1d_prefetch_fills", "l2_prefetch_fills", "llc_prefetch_fills",
+)
+
+_PF_FIELDS = (
+    "issued", "fills", "useful", "late", "useless", "promoted",
+    "dropped_translation", "dropped_duplicate", "dropped_queue_full",
+    "dropped_mshr_full",
+)
+
+
+def check_invariants(result: SimResult) -> List[str]:
+    """Return human-readable descriptions of every violated invariant."""
+    violations: List[str] = []
+
+    for name in _COUNT_FIELDS:
+        if getattr(result, name) < 0:
+            violations.append(f"{name} is negative ({getattr(result, name)})")
+    if result.cycles < 0:
+        violations.append(f"cycles is negative ({result.cycles})")
+
+    for level in ("l1d", "l2", "llc"):
+        accesses = getattr(result, f"{level}_demand_accesses")
+        misses = getattr(result, f"{level}_demand_misses")
+        if misses > accesses:
+            violations.append(
+                f"{level}: hits + misses != accesses "
+                f"(misses {misses} > accesses {accesses})"
+            )
+
+    for origin in ("l1d", "l2"):
+        pf = getattr(result, f"pf_{origin}")
+        for name in _PF_FIELDS:
+            if getattr(pf, name) < 0:
+                violations.append(
+                    f"pf_{origin}.{name} is negative ({getattr(pf, name)})"
+                )
+        if pf.late > pf.useful:
+            violations.append(
+                f"pf_{origin}: late ({pf.late}) > useful ({pf.useful})"
+            )
+        if pf.promoted > pf.useful:
+            violations.append(
+                f"pf_{origin}: promoted ({pf.promoted}) > useful ({pf.useful})"
+            )
+        if pf.fills > pf.issued:
+            violations.append(
+                f"pf_{origin}: fills ({pf.fills}) > issued ({pf.issued})"
+            )
+
+    # Issue accounting: only meaningful when the engine recorded the
+    # warmup carryover (single-core `simulate` does; external SimResults
+    # may not, in which case the bound cannot be stated exactly).
+    if "pf_carryover_l1d" in result.extra and "pf_carryover_l2" in result.extra:
+        carry = (result.extra["pf_carryover_l1d"]
+                 + result.extra["pf_carryover_l2"])
+        useful = result.pf_l1d.useful + result.pf_l2.useful
+        promoted = result.pf_l1d.promoted + result.pf_l2.promoted
+        issued = result.pf_l1d.issued + result.pf_l2.issued
+        if useful - promoted > issued + carry:
+            violations.append(
+                f"useful ({useful}) - promoted ({promoted}) exceeds "
+                f"issued ({issued}) + warmup carryover ({carry:.0f})"
+            )
+
+    if result.instructions > 0 and result.cycles <= 0:
+        violations.append(
+            f"{result.instructions} instructions retired in "
+            f"{result.cycles} cycles"
+        )
+    return violations

@@ -1,0 +1,166 @@
+"""Job and outcome records for the resilient experiment runner.
+
+A :class:`JobSpec` is a *declarative*, picklable description of one
+(trace, prefetcher, config) simulation: it names the trace instead of
+carrying its records, so worker processes rebuild it deterministically
+from the catalog.  :class:`CallableJob` wraps an arbitrary thunk for
+in-process execution (used by ``analysis.sweep``, whose variants are
+closures).
+
+Every job resolves to exactly one outcome: a :class:`CompletedRun`
+holding its :class:`SimResult`, or a :class:`FailedRun` recording *why*
+it failed (classified as trace/config/crash/timeout/worker-lost) — the
+suite keeps going either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.errors import JobTimeout, ReproError, TraceError, ConfigError
+from repro.runner.faultinject import FaultSpec
+from repro.simulator.stats import SimResult
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One (trace, prefetcher, config) simulation, by name."""
+
+    trace: str
+    l1d: str = "none"
+    l2: str = "none"
+    scale: float = 0.5
+    mtps: Optional[int] = None
+    warmup_fraction: float = 0.2
+    fault: Optional[FaultSpec] = None
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by the checkpoint journal."""
+        parts = [
+            self.trace, self.l1d, self.l2,
+            f"scale={self.scale}", f"mtps={self.mtps}",
+            f"wf={self.warmup_fraction}",
+        ]
+        if self.fault is not None:
+            parts.append(f"fault={self.fault.kind}:{self.fault.period}")
+        return "|".join(parts)
+
+
+@dataclass(frozen=True)
+class CallableJob:
+    """An arbitrary thunk with a stable key (in-process execution only)."""
+
+    key: str
+    fn: Callable[[], Any] = field(compare=False)
+
+
+def run_callable(job: "CallableJob", attempt: int = 1) -> Any:
+    """The ``run_fn`` matching :class:`CallableJob` jobs."""
+    return job.fn()
+
+
+@dataclass
+class CompletedRun:
+    """A job that finished and produced a result."""
+
+    key: str
+    result: Any                 # SimResult for simulation jobs
+    attempts: int = 1
+    elapsed: float = 0.0
+    from_journal: bool = False  # replayed from the checkpoint, not re-run
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass
+class FailedRun:
+    """A job that was given up on, with its classified failure."""
+
+    key: str
+    kind: str                   # "trace"|"config"|"crash"|"timeout"|"worker-lost"
+    error_type: str
+    message: str
+    attempts: int = 1
+    elapsed: float = 0.0
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+RunOutcome = Union[CompletedRun, FailedRun]
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to the failure taxonomy the journal records."""
+    if isinstance(exc, JobTimeout):
+        return "timeout"
+    if isinstance(exc, TraceError):
+        return "trace"
+    if isinstance(exc, ConfigError):
+        return "config"
+    return "crash"
+
+
+def failed_run_from(
+    key: str, exc: BaseException, attempts: int, elapsed: float,
+    kind: Optional[str] = None,
+) -> FailedRun:
+    return FailedRun(
+        key=key,
+        kind=kind or classify_error(exc),
+        error_type=type(exc).__name__,
+        message=str(exc),
+        attempts=attempts,
+        elapsed=elapsed,
+        context=exc.context() if isinstance(exc, ReproError) else {},
+    )
+
+
+@dataclass
+class SuiteResult:
+    """All outcomes of one runner invocation, in submission order."""
+
+    outcomes: List[RunOutcome] = field(default_factory=list)
+
+    @property
+    def completed(self) -> List[CompletedRun]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> List[FailedRun]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def result(self, key: str) -> Optional[SimResult]:
+        for o in self.outcomes:
+            if o.key == key and o.ok:
+                return o.result
+        return None
+
+    def results_by_key(self) -> Dict[str, Any]:
+        return {o.key: o.result for o in self.outcomes if o.ok}
+
+    def banner(self) -> str:
+        """The "N/M completed" line every suite report leads with."""
+        total = len(self.outcomes)
+        done = len(self.completed)
+        if done == total:
+            return f"{done}/{total} jobs completed"
+        kinds: Dict[str, int] = {}
+        for f in self.failures:
+            kinds[f.kind] = kinds.get(f.kind, 0) + 1
+        detail = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        return f"{done}/{total} jobs completed ({detail})"
+
+    def raise_if_all_failed(self) -> None:
+        if self.outcomes and not self.completed:
+            first = self.failures[0]
+            raise ReproError(
+                f"all {len(self.outcomes)} jobs failed; first: "
+                f"[{first.kind}] {first.message}"
+            )

@@ -1,0 +1,100 @@
+"""JSONL checkpoint journal: crash-safe progress for long campaigns.
+
+One line per finished job (completed *or* given up on), appended and
+flushed immediately, so an interrupted suite loses at most the jobs that
+were still in flight.  On ``--resume`` the journal is replayed: jobs
+with a stored ``ok`` record return their deserialised result without
+re-running; failed records are retried.
+
+Line format (all lines are independent JSON objects)::
+
+    {"key": "<job key>", "status": "ok", "attempts": 1, "elapsed": 1.2,
+     "result": {<SimResult.to_dict()>}}
+    {"key": "<job key>", "status": "failed", "kind": "timeout",
+     "error_type": "JobTimeout", "message": "...", "attempts": 2,
+     "elapsed": 30.1, "context": {"trace": "...", "prefetcher": "..."}}
+
+The *last* record for a key wins, so re-runs simply append.  Truncated
+or corrupt lines (a worker killed mid-write) are skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.runner.jobs import CompletedRun, RunOutcome
+from repro.simulator.stats import SimResult
+
+
+class Journal:
+    """Append-only JSONL record of job outcomes."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, dict]:
+        """Parse the journal; returns the last record per job key."""
+        records: Dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from an interrupted run
+                key = rec.get("key")
+                if key:
+                    records[key] = rec
+        return records
+
+    def append(self, outcome: RunOutcome) -> None:
+        """Record one outcome, flushed to disk before returning."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(self._encode(outcome)) + "\n")
+            fh.flush()
+
+    @staticmethod
+    def _encode(outcome: RunOutcome) -> dict:
+        if outcome.ok:
+            result = outcome.result
+            return {
+                "key": outcome.key,
+                "status": "ok",
+                "attempts": outcome.attempts,
+                "elapsed": round(outcome.elapsed, 4),
+                "result": result.to_dict()
+                if isinstance(result, SimResult) else result,
+            }
+        return {
+            "key": outcome.key,
+            "status": "failed",
+            "kind": outcome.kind,
+            "error_type": outcome.error_type,
+            "message": outcome.message,
+            "attempts": outcome.attempts,
+            "elapsed": round(outcome.elapsed, 4),
+            "context": outcome.context,
+        }
+
+    @staticmethod
+    def decode_completed(rec: dict) -> Optional[CompletedRun]:
+        """Rebuild a :class:`CompletedRun` from an ``ok`` journal record."""
+        if rec.get("status") != "ok":
+            return None
+        result = rec.get("result")
+        if isinstance(result, dict) and "trace_name" in result:
+            result = SimResult.from_dict(result)
+        return CompletedRun(
+            key=rec["key"],
+            result=result,
+            attempts=rec.get("attempts", 1),
+            elapsed=rec.get("elapsed", 0.0),
+            from_journal=True,
+        )

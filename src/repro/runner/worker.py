@@ -1,0 +1,94 @@
+"""The function a runner worker process executes for one job.
+
+Module-level and driven purely by the picklable :class:`JobSpec`, so it
+works identically inline (``workers=0``) and across a process boundary.
+Everything that can go wrong is translated into the typed exception
+hierarchy with (trace, prefetcher) context attached:
+
+* unknown trace / corrupted records → :class:`TraceError`
+* unknown prefetcher, bad knobs     → :class:`ConfigError`
+* a crash inside the simulator      → :class:`SimulationError`
+* inconsistent statistics           → :class:`SimulationError`
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConfigError, ReproError, SimulationError
+from repro.prefetchers.registry import make_prefetcher
+from repro.runner.faultinject import (
+    CrashingPrefetcher,
+    corrupt_trace,
+    hierarchy_fault_hook,
+)
+from repro.runner.invariants import check_invariants
+from repro.runner.jobs import JobSpec
+from repro.simulator.config import default_config
+from repro.simulator.engine import simulate
+from repro.simulator.stats import SimResult
+from repro.workloads.catalog import resolve_trace
+
+
+def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
+    """Execute one job; returns its :class:`SimResult` or raises a
+    classified :class:`~repro.errors.ReproError`."""
+    fault = spec.fault
+
+    if fault and fault.kind == "flaky" and attempt <= fault.fail_attempts:
+        raise SimulationError(
+            f"injected transient failure (attempt {attempt} of "
+            f"{fault.fail_attempts} doomed)",
+            trace=spec.trace, prefetcher=spec.l1d,
+        )
+    if fault and fault.kind == "hang":
+        time.sleep(fault.hang_seconds)
+
+    trace = resolve_trace(spec.trace, spec.scale)
+    if fault and fault.kind == "corrupt":
+        trace = corrupt_trace(trace, period=fault.period)
+    trace.validate()
+
+    try:
+        l1d = make_prefetcher(spec.l1d)
+    except ValueError as exc:
+        raise ConfigError(str(exc), trace=spec.trace,
+                          prefetcher=spec.l1d, field="l1d") from exc
+    try:
+        l2 = make_prefetcher(spec.l2)
+    except ValueError as exc:
+        raise ConfigError(str(exc), trace=spec.trace,
+                          prefetcher=spec.l2, field="l2") from exc
+
+    if fault and fault.kind == "crash":
+        l1d = CrashingPrefetcher(l1d, crash_on=max(1, fault.period))
+
+    config = default_config()
+    if spec.mtps:
+        config = config.with_dram_mtps(spec.mtps)
+
+    post_build = hierarchy_fault_hook(fault) if fault else None
+    try:
+        result = simulate(
+            trace,
+            l1d_prefetcher=l1d,
+            l2_prefetcher=l2,
+            config=config,
+            warmup_fraction=spec.warmup_fraction,
+            post_build=post_build,
+        )
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise SimulationError(
+            f"simulation crashed: {type(exc).__name__}: {exc}",
+            trace=spec.trace, prefetcher=spec.l1d,
+        ) from exc
+
+    violations = check_invariants(result)
+    if violations:
+        raise SimulationError(
+            "inconsistent statistics: " + "; ".join(violations),
+            trace=spec.trace, prefetcher=spec.l1d,
+        )
+    return result

@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.cpu.core_model import CoreConfig
+from repro.errors import ConfigError
 from repro.memory.dram import DRAMConfig
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
 
 
 @dataclass
@@ -20,6 +25,33 @@ class CacheConfig:
     ways: int
     latency: int
     replacement: str = "lru"
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.ways < 1:
+            raise ConfigError(
+                f"cache ways must be >= 1, got {self.ways}", field="ways"
+            )
+        if self.latency < 1:
+            raise ConfigError(
+                f"cache latency must be >= 1, got {self.latency}",
+                field="latency",
+            )
+        if self.size_bytes <= 0 or self.size_bytes % (
+            self.ways * self.line_size
+        ):
+            raise ConfigError(
+                f"cache size {self.size_bytes} is not a multiple of "
+                f"ways*line_size ({self.ways}*{self.line_size})",
+                field="size_bytes",
+            )
+        sets = self.size_bytes // (self.ways * self.line_size)
+        if not _is_pow2(sets):
+            raise ConfigError(
+                f"cache set count must be a power of two, got {sets} "
+                f"(size {self.size_bytes}, ways {self.ways})",
+                field="size_bytes",
+            )
 
 
 @dataclass
@@ -52,6 +84,37 @@ class SystemConfig:
 
     num_cores: int = 1
     llc_per_core: bool = True  # 2 MB/core: multi-core scales LLC size
+
+    def __post_init__(self) -> None:
+        for name in ("l1d_mshr", "l2_mshr"):
+            if getattr(self, name) < 1:
+                raise ConfigError(
+                    f"{name} must be >= 1, got {getattr(self, name)}",
+                    field=name,
+                )
+        if self.pq_size < 0:
+            raise ConfigError(
+                f"pq_size must be >= 0, got {self.pq_size}", field="pq_size"
+            )
+        if self.num_cores < 1:
+            raise ConfigError(
+                f"num_cores must be >= 1, got {self.num_cores}",
+                field="num_cores",
+            )
+        for prefix in ("dtlb", "stlb"):
+            entries = getattr(self, f"{prefix}_entries")
+            ways = getattr(self, f"{prefix}_ways")
+            if ways < 1:
+                raise ConfigError(
+                    f"{prefix}_ways must be >= 1, got {ways}",
+                    field=f"{prefix}_ways",
+                )
+            if entries % ways or not _is_pow2(entries // ways):
+                raise ConfigError(
+                    f"{prefix} set count must be a power of two, got "
+                    f"{entries} entries / {ways} ways",
+                    field=f"{prefix}_entries",
+                )
 
     def with_dram_mtps(self, mtps: int) -> "SystemConfig":
         """A copy with a different DRAM transfer rate (Fig. 16/17)."""

@@ -9,10 +9,11 @@ a configurable fraction of the — much shorter — synthetic traces).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cpu.core_model import CoreModel
 from repro.cpu.mmu import MMU
+from repro.errors import ConfigError
 from repro.memory.cache import Cache
 from repro.memory.dram import DRAM
 from repro.memory.hierarchy import Hierarchy
@@ -116,6 +117,7 @@ def _collect(
         target.useful = src.useful
         target.late = src.late
         target.useless = src.useless
+        target.promoted = src.promoted
         target.dropped_translation = src.dropped_translation
         target.dropped_duplicate = src.dropped_duplicate
         target.dropped_queue_full = src.dropped_queue_full
@@ -141,6 +143,7 @@ def simulate(
     config: Optional[SystemConfig] = None,
     warmup_fraction: float = 0.2,
     prewarm_tlb: bool = True,
+    post_build: Optional[Callable[[Hierarchy], None]] = None,
 ) -> SimResult:
     """Run one trace on one core and return its measured statistics.
 
@@ -149,15 +152,27 @@ def simulate(
     ``prewarm_tlb`` additionally installs the trace's page translations
     into the STLB up front — the steady state a 50 M-instruction warmup
     reaches for any footprint within the STLB's 8 MB reach.
+    ``post_build`` is an extension hook invoked with the freshly built
+    hierarchy before the run starts — used by the fault-injection
+    harness (:mod:`repro.runner.faultinject`) and by instrumentation.
     """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}",
+            trace=trace.name,
+            field="warmup_fraction",
+        )
     config = config or default_config()
     hierarchy = build_hierarchy(config, l1d_prefetcher, l2_prefetcher)
+    if post_build is not None:
+        post_build(hierarchy)
     core = CoreModel(config.core)
 
     records = trace.records
     if prewarm_tlb:
         hierarchy.mmu.prewarm(r[1] >> 6 for r in records)
     warmup_end = int(len(records) * warmup_fraction)
+    carryover = {"l1d": 0, "l2": 0}
 
     demand = hierarchy.demand_access
     issue = core.issue_memory
@@ -166,6 +181,7 @@ def simulate(
     for i, (ip, vaddr, is_write, gap, dep) in enumerate(records):
         if i == warmup_end:
             hierarchy.reset_stats()
+            carryover = hierarchy.prefetched_line_counts()
             snap_i, snap_c = core.snapshot()
             start = _Snapshot(snap_i, snap_c)
         if gap:
@@ -179,5 +195,15 @@ def simulate(
     if warmup_end == 0:
         start = _Snapshot(0, 0.0)
     elif warmup_end >= len(records):
-        raise ValueError("warmup_fraction leaves no measured records")
-    return _collect(trace, hierarchy, core, start)
+        raise ConfigError(
+            "warmup_fraction leaves no measured records",
+            trace=trace.name,
+            field="warmup_fraction",
+        )
+    res = _collect(trace, hierarchy, core, start)
+    # Prefetched lines still resident (or in flight) at the end of warmup
+    # can be demanded — and credited as useful — after the stats reset.
+    # The invariant checker needs this to bound useful <= issued + carry.
+    res.extra["pf_carryover_l1d"] = float(carryover["l1d"])
+    res.extra["pf_carryover_l2"] = float(carryover["l2"])
+    return res

@@ -7,8 +7,8 @@ the raw event counts the energy model needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict
 
 
 @dataclass
@@ -18,6 +18,7 @@ class PrefetchSummary:
     useful: int = 0
     late: int = 0
     useless: int = 0
+    promoted: int = 0
     dropped_translation: int = 0
     dropped_duplicate: int = 0
     dropped_queue_full: int = 0
@@ -115,6 +116,22 @@ class SimResult:
         if baseline.ipc == 0:
             return 0.0
         return self.ipc / baseline.ipc
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON-serialisable form (for the runner's journal)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        data = dict(data)
+        pf_l1d = PrefetchSummary(**data.pop("pf_l1d", {}))
+        pf_l2 = PrefetchSummary(**data.pop("pf_l2", {}))
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["pf_l1d"] = pf_l1d
+        kwargs["pf_l2"] = pf_l2
+        return cls(**kwargs)
 
     def summary_line(self) -> str:
         return (

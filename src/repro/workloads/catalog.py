@@ -1,0 +1,56 @@
+"""Name-based trace catalog shared by the CLI and the runner workers.
+
+Traces are generated deterministically from a ``(name, scale)`` pair, so
+a worker process can rebuild exactly the trace the parent referred to
+without shipping the record list across the process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import TraceError
+from repro.workloads.cloudsuite_like import GENERATORS as CS_GENERATORS
+from repro.workloads.gap import GRAPHS, KERNELS, gap_trace
+from repro.workloads.spec_like import GENERATORS as SPEC_GENERATORS
+from repro.workloads.trace import Trace
+
+
+def resolve_trace(name: str, scale: float) -> Trace:
+    """Find a trace generator by name across all suites."""
+    if name in SPEC_GENERATORS:
+        return SPEC_GENERATORS[name](scale)
+    if name in CS_GENERATORS:
+        return CS_GENERATORS[name](scale)
+    if "-" in name:
+        kernel, __, graph = name.partition("-")
+        if kernel in KERNELS and graph in GRAPHS:
+            return gap_trace(kernel, graph, scale)
+    raise TraceError(
+        f"unknown trace {name!r}; run `python -m repro list` for options",
+        trace=name,
+    )
+
+
+def all_trace_names() -> List[str]:
+    gap_names = [f"{k}-{g}" for k in KERNELS for g in GRAPHS]
+    return list(SPEC_GENERATORS) + gap_names + list(CS_GENERATORS)
+
+
+def suite_trace_names(suite: str, all_graphs: bool = False) -> List[str]:
+    """Trace names belonging to one evaluation suite."""
+    suites: Dict[str, List[str]] = {
+        "spec17": list(SPEC_GENERATORS),
+        "gap": [
+            f"{k}-{g}" for k in KERNELS
+            for g in (GRAPHS if all_graphs else ["kron", "urand"])
+        ],
+        "cloudsuite": list(CS_GENERATORS),
+    }
+    try:
+        return suites[suite]
+    except KeyError:
+        raise TraceError(
+            f"unknown suite {suite!r}; choose from {sorted(suites)}",
+            trace=suite,
+        ) from None

@@ -88,6 +88,23 @@ class Trace:
         """Approximate data footprint (unique lines × 64 B)."""
         return self.unique_lines * 64
 
+    def validate(self) -> None:
+        """Check every record is well-formed; raise ``TraceError`` if not.
+
+        Guards the simulator against corrupted trace files (and is what
+        the fault-injection harness's ``corrupt`` fault trips): negative
+        addresses/IPs/gaps, or a ``dep`` pointing before the trace start.
+        """
+        from repro.errors import TraceError
+
+        for i, (ip, vaddr, is_write, gap, dep) in enumerate(self.records):
+            if ip < 0 or vaddr < 0 or gap < 0 or dep < 0:
+                raise TraceError(
+                    f"corrupt record {i}: negative field "
+                    f"(ip={ip}, vaddr={vaddr}, gap={gap}, dep={dep})",
+                    trace=self.name,
+                )
+
     # ------------------------------------------------------------------
     # Transformation
     # ------------------------------------------------------------------

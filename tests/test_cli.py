@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import all_trace_names, build_parser, main, resolve_trace
+from repro.errors import TraceError
 
 
 class TestResolveTrace:
@@ -18,9 +19,13 @@ class TestResolveTrace:
         t = resolve_trace("cassandra", 0.1)
         assert t.name == "cassandra"
 
-    def test_unknown_exits(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_raises_typed_error(self):
+        with pytest.raises(TraceError):
             resolve_trace("not-a-trace", 0.1)
+
+    def test_unknown_trace_exit_code(self, capsys):
+        assert main(["trace-info", "--trace", "not-a-trace"]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_all_names_resolve(self):
         for name in all_trace_names():

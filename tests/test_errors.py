@@ -1,0 +1,84 @@
+"""Tests for the structured exception hierarchy."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    JobTimeout,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.runner.jobs import classify_error
+
+
+class TestHierarchy:
+    def test_all_subclass_repro_error(self):
+        for cls in (TraceError, ConfigError, SimulationError, JobTimeout):
+            assert issubclass(cls, ReproError)
+
+    def test_config_error_is_value_error(self):
+        """Pre-existing call sites catch ValueError; keep them working."""
+        assert issubclass(ConfigError, ValueError)
+        with pytest.raises(ValueError):
+            raise ConfigError("bad knob", field="ways")
+
+    def test_retryability(self):
+        assert SimulationError("x").retryable
+        assert not TraceError("x").retryable
+        assert not ConfigError("x").retryable
+        assert not JobTimeout("x").retryable
+
+
+class TestContext:
+    def test_message_carries_context(self):
+        exc = TraceError("bad record", trace="mcf_s-1554B",
+                         prefetcher="berti")
+        s = str(exc)
+        assert "bad record" in s
+        assert "trace=mcf_s-1554B" in s
+        assert "prefetcher=berti" in s
+
+    def test_plain_message_without_context(self):
+        assert str(ReproError("boom")) == "boom"
+
+    def test_field_context(self):
+        exc = ConfigError("ways must be >= 1", field="ways")
+        assert "field=ways" in str(exc)
+
+    def test_context_dict(self):
+        exc = SimulationError("x", trace="t", prefetcher="p")
+        assert exc.context() == {
+            "trace": "t", "prefetcher": "p", "field": None,
+        }
+
+
+class TestPickling:
+    """Exceptions cross process boundaries in pool mode."""
+
+    def test_round_trip_preserves_context(self):
+        exc = SimulationError("crashed", trace="lbm_s-2676B",
+                              prefetcher="mlop")
+        back = pickle.loads(pickle.dumps(exc))
+        assert isinstance(back, SimulationError)
+        assert back.trace == "lbm_s-2676B"
+        assert back.prefetcher == "mlop"
+        assert str(back) == str(exc)
+
+    def test_timeout_round_trip_preserves_budget(self):
+        exc = JobTimeout("too slow", trace="t", timeout=30.0)
+        back = pickle.loads(pickle.dumps(exc))
+        assert isinstance(back, JobTimeout)
+        assert back.timeout == 30.0
+        assert back.trace == "t"
+
+
+class TestClassification:
+    def test_taxonomy(self):
+        assert classify_error(JobTimeout("x")) == "timeout"
+        assert classify_error(TraceError("x")) == "trace"
+        assert classify_error(ConfigError("x")) == "config"
+        assert classify_error(SimulationError("x")) == "crash"
+        assert classify_error(RuntimeError("x")) == "crash"

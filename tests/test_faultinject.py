@@ -1,0 +1,175 @@
+"""Tests for the fault-injection harness and the invariant checker.
+
+The MSHR-full / PQ-full injections drive the simulator through its
+graceful-degradation corner paths (prefetch drops, demand stalls) that a
+clean run rarely exercises at depth; the invariant checker must hold on
+every one of them.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError, TraceError
+from repro.runner import FaultSpec, JobSpec, check_invariants, run_job
+from repro.runner.faultinject import (
+    CrashingPrefetcher,
+    FaultyMSHR,
+    FaultyPQ,
+    InjectedCrash,
+    corrupt_trace,
+)
+from repro.prefetchers.registry import make_prefetcher
+from repro.workloads.catalog import resolve_trace
+
+TRACE = "lbm_s-2676B"
+SCALE = 0.05
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="gremlins")
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="crash", period=0)
+
+    def test_spec_in_job_key(self):
+        job = JobSpec(trace=TRACE, fault=FaultSpec(kind="crash", period=7))
+        assert "fault=crash:7" in job.key
+
+
+class TestCrashFault:
+    def test_crashes_on_nth_access(self):
+        from repro.prefetchers.base import AccessInfo
+
+        pf = CrashingPrefetcher(make_prefetcher("ip_stride"), crash_on=3)
+        info = AccessInfo(ip=0x400, line=0x1000, hit=False,
+                          prefetch_hit=False, now=0)
+        pf.on_access(info)
+        pf.on_access(info)
+        with pytest.raises(InjectedCrash):
+            pf.on_access(info)
+
+    def test_delegates_below_threshold(self):
+        inner = make_prefetcher("berti")
+        pf = CrashingPrefetcher(inner, crash_on=10 ** 9)
+        assert pf.name == inner.name and pf.level == inner.level
+        assert pf.storage_kb() == inner.storage_kb()
+
+    def test_run_job_wraps_as_simulation_error(self):
+        job = JobSpec(trace=TRACE, l1d="berti", scale=SCALE,
+                      fault=FaultSpec(kind="crash", period=5))
+        with pytest.raises(SimulationError, match="InjectedCrash"):
+            run_job(job)
+
+
+class TestCorruptFault:
+    def test_corrupt_trace_flips_addresses(self):
+        trace = resolve_trace(TRACE, SCALE)
+        bad = corrupt_trace(trace, period=10)
+        assert bad.records[0][1] < 0
+        assert bad.records[1][1] == trace.records[1][1]
+
+    def test_validate_rejects_corrupt_trace(self):
+        bad = corrupt_trace(resolve_trace(TRACE, SCALE), period=10)
+        with pytest.raises(TraceError, match="record"):
+            bad.validate()
+
+    def test_run_job_classifies_as_trace_error(self):
+        job = JobSpec(trace=TRACE, l1d="ip_stride", scale=SCALE,
+                      fault=FaultSpec(kind="corrupt", period=10))
+        with pytest.raises(TraceError):
+            run_job(job)
+
+
+class TestAllocationFaults:
+    """MSHR-full / PQ-full corner paths under injected pressure."""
+
+    def test_faulty_mshr_reports_full_periodically(self):
+        mshr = FaultyMSHR(size=16, period=2)
+        # Periodic queries alternate real / injected-full.
+        assert mshr.can_allocate(now=0)
+        assert not mshr.can_allocate(now=0)
+        assert mshr.injected_failures == 1
+
+    def test_faulty_mshr_allocate_still_works(self):
+        mshr = FaultyMSHR(size=16, period=1)  # every query injected
+        entry = mshr.allocate(0x1000, now=0, ready_cycle=10,
+                              is_prefetch=False)
+        assert entry is not None  # real capacity decides, not injection
+
+    def test_faulty_pq_rejects_periodically(self):
+        pq = FaultyPQ(size=16, period=2)
+        assert pq.push(0) is not None
+        assert pq.push(0) is None
+        assert pq.injected_failures == 1
+
+    def test_mshr_pressure_drops_prefetches_coherently(self):
+        clean = run_job(JobSpec(trace=TRACE, l1d="berti", scale=SCALE))
+        faulted = run_job(JobSpec(
+            trace=TRACE, l1d="berti", scale=SCALE,
+            fault=FaultSpec(kind="mshr_full", period=2),
+        ))
+        dropped = (faulted.pf_l1d.dropped_mshr_full
+                   + faulted.pf_l2.dropped_mshr_full)
+        clean_dropped = (clean.pf_l1d.dropped_mshr_full
+                         + clean.pf_l2.dropped_mshr_full)
+        assert dropped > clean_dropped
+        assert check_invariants(faulted) == []
+
+    def test_pq_pressure_drops_prefetches_coherently(self):
+        clean = run_job(JobSpec(trace=TRACE, l1d="berti", scale=SCALE))
+        faulted = run_job(JobSpec(
+            trace=TRACE, l1d="berti", scale=SCALE,
+            fault=FaultSpec(kind="pq_full", period=2),
+        ))
+        assert (faulted.pf_l1d.dropped_queue_full
+                > clean.pf_l1d.dropped_queue_full)
+        assert check_invariants(faulted) == []
+
+    def test_degraded_run_still_makes_progress(self):
+        faulted = run_job(JobSpec(
+            trace=TRACE, l1d="berti", scale=SCALE,
+            fault=FaultSpec(kind="mshr_full", period=2),
+        ))
+        assert faulted.instructions > 0 and faulted.ipc > 0
+
+
+class TestInvariantChecker:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return run_job(JobSpec(trace=TRACE, l1d="berti", scale=SCALE))
+
+    def test_clean_run_passes(self, clean):
+        assert check_invariants(clean) == []
+
+    def test_negative_counter_flagged(self, clean):
+        bad = dataclasses.replace(clean, dram_reads=-1)
+        assert any("dram_reads" in v for v in check_invariants(bad))
+
+    def test_misses_exceeding_accesses_flagged(self, clean):
+        bad = dataclasses.replace(
+            clean, l1d_demand_misses=clean.l1d_demand_accesses + 1
+        )
+        assert any("hits + misses" in v for v in check_invariants(bad))
+
+    def test_late_exceeding_useful_flagged(self, clean):
+        pf = dataclasses.replace(clean.pf_l1d, late=clean.pf_l1d.useful + 1)
+        bad = dataclasses.replace(clean, pf_l1d=pf)
+        assert any("late" in v for v in check_invariants(bad))
+
+    def test_phantom_useful_flagged(self, clean):
+        """More useful prefetches than issues + carryover is impossible."""
+        pf = dataclasses.replace(
+            clean.pf_l1d,
+            useful=clean.pf_l1d.issued + clean.pf_l2.issued + 10 ** 6,
+        )
+        bad = dataclasses.replace(clean, pf_l1d=pf)
+        assert any("carryover" in v for v in check_invariants(bad))
+
+    def test_zero_cycles_with_instructions_flagged(self, clean):
+        bad = dataclasses.replace(clean, cycles=0)
+        violations = check_invariants(bad)
+        assert any("instructions retired" in v for v in violations)

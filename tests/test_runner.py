@@ -1,0 +1,260 @@
+"""Tests for the resilient experiment runner.
+
+The acceptance bar: faulted campaigns complete with correct failure
+classification, survivors are bit-identical to a clean serial run, and
+an interrupted + resumed campaign executes exactly the jobs that were
+missing — with an identical final table.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runner import (
+    CallableJob,
+    ExperimentRunner,
+    FaultSpec,
+    JobSpec,
+    Journal,
+    RunnerConfig,
+    build_matrix_jobs,
+    per_trace_results,
+    run_callable,
+)
+
+TRACE = "lbm_s-2676B"
+TRACE2 = "mcf_s-1554B"
+SCALE = 0.05
+
+
+def make_jobs(prefetchers=("ip_stride", "berti"), traces=(TRACE, TRACE2)):
+    return build_matrix_jobs(list(traces), list(prefetchers), scale=SCALE)
+
+
+class TestInline:
+    def test_all_complete(self):
+        suite = ExperimentRunner(RunnerConfig(workers=0)).run(make_jobs())
+        assert len(suite.completed) == 4 and not suite.failures
+        assert suite.banner() == "4/4 jobs completed"
+
+    def test_outcomes_in_submission_order(self):
+        jobs = make_jobs()
+        suite = ExperimentRunner(RunnerConfig(workers=0)).run(jobs)
+        assert [o.key for o in suite.outcomes] == [j.key for j in jobs]
+
+    def test_crash_isolated_to_one_job(self):
+        jobs = list(make_jobs(traces=(TRACE,))) + [
+            JobSpec(trace=TRACE2, l1d="berti", scale=SCALE,
+                    fault=FaultSpec(kind="crash", period=3)),
+        ]
+        suite = ExperimentRunner(RunnerConfig(workers=0, retries=0)).run(jobs)
+        assert len(suite.completed) == 2
+        [failed] = suite.failures
+        assert failed.kind == "crash"
+        assert failed.error_type == "SimulationError"
+        assert "InjectedCrash" in failed.message
+        assert failed.context["trace"] == TRACE2
+        assert "1 crash" in suite.banner()
+
+    def test_trace_error_never_retried(self):
+        calls = []
+
+        def run_fn(job, attempt):
+            calls.append(attempt)
+            from repro.errors import TraceError
+            raise TraceError("permanently bad")
+
+        suite = ExperimentRunner(RunnerConfig(workers=0, retries=3)).run(
+            [JobSpec(trace=TRACE, scale=SCALE)], run_fn=run_fn
+        )
+        assert calls == [1]
+        assert suite.failures[0].kind == "trace"
+
+    def test_flaky_job_retried_then_succeeds(self):
+        job = JobSpec(trace=TRACE, l1d="ip_stride", scale=SCALE,
+                      fault=FaultSpec(kind="flaky", fail_attempts=1))
+        cfg = RunnerConfig(workers=0, retries=1, backoff_base=0.01)
+        suite = ExperimentRunner(cfg).run([job])
+        [done] = suite.completed
+        assert done.attempts == 2
+
+    def test_flaky_job_exhausts_retries(self):
+        job = JobSpec(trace=TRACE, l1d="ip_stride", scale=SCALE,
+                      fault=FaultSpec(kind="flaky", fail_attempts=5))
+        cfg = RunnerConfig(workers=0, retries=1, backoff_base=0.01)
+        suite = ExperimentRunner(cfg).run([job])
+        [failed] = suite.failures
+        assert failed.kind == "crash" and failed.attempts == 2
+
+    def test_duplicate_keys_rejected(self):
+        job = JobSpec(trace=TRACE, scale=SCALE)
+        with pytest.raises(ConfigError):
+            ExperimentRunner(RunnerConfig()).run([job, job])
+
+    def test_callable_jobs(self):
+        jobs = [CallableJob(key=f"k{i}", fn=lambda i=i: i * i)
+                for i in range(3)]
+        suite = ExperimentRunner(RunnerConfig(workers=0)).run(
+            jobs, run_fn=run_callable
+        )
+        assert [o.result for o in suite.completed] == [0, 1, 4]
+
+
+class TestConfigValidation:
+    def test_negative_workers(self):
+        with pytest.raises(ConfigError):
+            RunnerConfig(workers=-1)
+
+    def test_negative_retries(self):
+        with pytest.raises(ConfigError):
+            RunnerConfig(retries=-1)
+
+    def test_nonpositive_timeout(self):
+        with pytest.raises(ConfigError):
+            RunnerConfig(timeout=0)
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ConfigError):
+            RunnerConfig(resume=True)
+
+
+class TestPool:
+    """Process-pool backend: parallel == serial, and real preemption."""
+
+    def test_parallel_bit_identical_to_serial(self):
+        jobs = make_jobs()
+        serial = ExperimentRunner(RunnerConfig(workers=0)).run(jobs)
+        parallel = ExperimentRunner(RunnerConfig(workers=2)).run(jobs)
+        assert not parallel.failures
+        for job in jobs:
+            a = serial.result(job.key)
+            b = parallel.result(job.key)
+            assert a.to_dict() == b.to_dict(), job.key
+
+    def test_crash_classified_in_pool(self):
+        jobs = [
+            JobSpec(trace=TRACE, l1d="berti", scale=SCALE),
+            JobSpec(trace=TRACE2, l1d="berti", scale=SCALE,
+                    fault=FaultSpec(kind="crash", period=3)),
+        ]
+        suite = ExperimentRunner(RunnerConfig(workers=2, retries=0)).run(jobs)
+        assert len(suite.completed) == 1
+        [failed] = suite.failures
+        assert failed.kind == "crash"
+        assert failed.context["trace"] == TRACE2
+
+    def test_hang_times_out_and_survivors_unaffected(self):
+        jobs = [
+            JobSpec(trace=TRACE, l1d="ip_stride", scale=SCALE),
+            JobSpec(trace=TRACE2, l1d="ip_stride", scale=SCALE,
+                    fault=FaultSpec(kind="hang", hang_seconds=120.0)),
+        ]
+        cfg = RunnerConfig(workers=2, timeout=1.5, retries=1)
+        suite = ExperimentRunner(cfg).run(jobs)
+        [failed] = suite.failures
+        assert failed.kind == "timeout"
+        assert failed.error_type == "JobTimeout"
+        assert failed.attempts == 1  # timeouts not retried by default
+
+        clean = ExperimentRunner(RunnerConfig(workers=0)).run([jobs[0]])
+        assert (suite.result(jobs[0].key).to_dict()
+                == clean.result(jobs[0].key).to_dict())
+
+
+class TestJournal:
+    def test_resume_runs_exactly_the_missing_jobs(self, tmp_path):
+        journal = tmp_path / "suite.jsonl"
+        jobs = make_jobs()
+
+        # Interrupt after k=2 of n=4 jobs: only the first two ran.
+        first = ExperimentRunner(
+            RunnerConfig(workers=0, journal_path=journal)
+        ).run(jobs[:2])
+        assert len(first.completed) == 2
+        assert len(journal.read_text().splitlines()) == 2
+
+        executed = []
+
+        def counting_run_fn(job, attempt):
+            executed.append(job.key)
+            from repro.runner.worker import run_job
+            return run_job(job, attempt)
+
+        resumed = ExperimentRunner(
+            RunnerConfig(workers=0, journal_path=journal, resume=True)
+        ).run(jobs, run_fn=counting_run_fn)
+
+        # Exactly n - k jobs executed; the rest replayed from disk.
+        assert executed == [j.key for j in jobs[2:]]
+        assert len(resumed.completed) == 4
+        assert sum(o.from_journal for o in resumed.completed) == 2
+
+        # The final table is identical to an uninterrupted run.
+        clean = ExperimentRunner(RunnerConfig(workers=0)).run(jobs)
+        for job in jobs:
+            assert (resumed.result(job.key).to_dict()
+                    == clean.result(job.key).to_dict()), job.key
+
+    def test_failed_jobs_are_rerun_on_resume(self, tmp_path):
+        journal = tmp_path / "suite.jsonl"
+        job = JobSpec(trace=TRACE, l1d="ip_stride", scale=SCALE,
+                      fault=FaultSpec(kind="flaky", fail_attempts=1))
+        cfg = RunnerConfig(workers=0, retries=0, journal_path=journal)
+        first = ExperimentRunner(cfg).run([job])
+        assert first.failures
+
+        # Second invocation (attempt numbering restarts): flaky now passes.
+        cfg2 = RunnerConfig(workers=0, retries=1, backoff_base=0.01,
+                            journal_path=journal, resume=True)
+        second = ExperimentRunner(cfg2).run([job])
+        assert second.completed and not second.completed[0].from_journal
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        journal = tmp_path / "suite.jsonl"
+        good = {"key": "a", "status": "ok", "result": 7}
+        journal.write_text(
+            json.dumps(good) + "\n" + '{"key": "b", "status"' + "\n"
+        )
+        records = Journal(journal).load()
+        assert records == {"a": good}
+
+    def test_last_record_wins(self, tmp_path):
+        journal = tmp_path / "suite.jsonl"
+        journal.write_text(
+            json.dumps({"key": "a", "status": "failed", "kind": "crash",
+                        "error_type": "X", "message": "m"}) + "\n"
+            + json.dumps({"key": "a", "status": "ok", "result": 1}) + "\n"
+        )
+        assert Journal(journal).load()["a"]["status"] == "ok"
+
+    def test_journal_round_trips_sim_results(self, tmp_path):
+        journal = tmp_path / "suite.jsonl"
+        jobs = make_jobs(traces=(TRACE,))
+        run = ExperimentRunner(
+            RunnerConfig(workers=0, journal_path=journal)
+        ).run(jobs)
+        replayed = ExperimentRunner(
+            RunnerConfig(workers=0, journal_path=journal, resume=True)
+        ).run(jobs, run_fn=lambda j, a: pytest.fail("should not re-run"))
+        for job in jobs:
+            assert (replayed.result(job.key).to_dict()
+                    == run.result(job.key).to_dict())
+
+
+class TestSuiteHelpers:
+    def test_per_trace_results_groups_survivors(self):
+        jobs = make_jobs()
+        suite = ExperimentRunner(RunnerConfig(workers=0)).run(jobs)
+        grouped = per_trace_results(jobs, suite)
+        assert set(grouped) == {TRACE, TRACE2}
+        assert set(grouped[TRACE]) == {"ip_stride", "berti"}
+
+    def test_banner_mixed_failures(self):
+        jobs = [
+            JobSpec(trace=TRACE, l1d="ip_stride", scale=SCALE),
+            JobSpec(trace=TRACE2, l1d="ip_stride", scale=SCALE,
+                    fault=FaultSpec(kind="crash")),
+        ]
+        suite = ExperimentRunner(RunnerConfig(workers=0, retries=0)).run(jobs)
+        assert suite.banner() == "1/2 jobs completed (1 crash)"
