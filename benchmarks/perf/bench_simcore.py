@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Simulation-core microbenchmark: records/sec on the tier-1 traces.
+
+Writes ``BENCH_simcore.json`` (schema ``bench-simcore/v1``) and,
+given ``--baseline``, fails with exit code 1 when any case regresses
+more than ``--tolerance`` below the committed baseline — this is what
+the CI ``perf-smoke`` job runs.  See ``docs/performance.md``.
+
+Examples::
+
+    # Full run at scale 1.0, write the trajectory artifact:
+    PYTHONPATH=src python benchmarks/perf/bench_simcore.py \
+        --out BENCH_simcore.json
+
+    # CI smoke: small traces, gate against the committed baseline:
+    PYTHONPATH=src python benchmarks/perf/bench_simcore.py --quick \
+        --baseline benchmarks/perf/baseline.json --out BENCH_simcore.json
+
+    # Refresh the committed baseline after an intentional perf change:
+    PYTHONPATH=src python benchmarks/perf/bench_simcore.py --quick \
+        --update-baseline benchmarks/perf/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.perf.bench import (
+    calibrate_host,
+    check_regression,
+    default_cases,
+    load_report,
+    run_suite,
+    write_report,
+)
+
+#: --quick: trace scale + repeats used by the CI smoke job.  Small
+#: enough to finish in well under a minute on a cold runner, large
+#: enough that per-run fixed costs do not dominate.
+QUICK_SCALE = 0.25
+QUICK_REPEATS = 3
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="trace scale for every case (default 1.0)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="timing repeats per case; best is reported")
+    ap.add_argument("--quick", action="store_true",
+                    help=f"CI smoke mode: scale {QUICK_SCALE}, "
+                         f"{QUICK_REPEATS} repeats")
+    ap.add_argument("--out", default="BENCH_simcore.json",
+                    help="report path (default BENCH_simcore.json)")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline report to gate against")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional drop vs baseline "
+                         "(default 0.30)")
+    ap.add_argument("--update-baseline", metavar="PATH", default=None,
+                    help="write this run as the new baseline and exit")
+    ap.add_argument("--compare-json", metavar="PATH", default=None,
+                    help="embed a speedup comparison against a prior "
+                         "report (e.g. one recorded from the seed "
+                         "engine) into the output")
+    args = ap.parse_args(argv)
+
+    scale = QUICK_SCALE if args.quick else args.scale
+    repeats = QUICK_REPEATS if args.quick else args.repeats
+
+    calibration = calibrate_host()
+    print(f"host calibration: {calibration:.2f} Mops", file=sys.stderr)
+
+    cases = default_cases(scale=scale)
+    results = run_suite(
+        cases,
+        repeats=repeats,
+        calibration_mops=calibration,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+
+    extra = {}
+    if args.compare_json:
+        try:
+            prior = load_report(args.compare_json)
+        except OSError as exc:
+            print(f"error: cannot read {args.compare_json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        prior_rps = {
+            c["name"]: c["records_per_sec"] for c in prior.get("cases", [])
+        }
+        # Load-corrected comparison when the prior report also carries a
+        # host calibration: throughput ratios are taken between
+        # calibration-normalized figures, so background load during
+        # either measurement window cancels out.
+        prior_cal = prior.get("host", {}).get("calibration_mops")
+        speedups = {}
+        for res in results:
+            old = prior_rps.get(res.case.name)
+            if old:
+                if prior_cal and res.normalized:
+                    speedups[res.case.name] = round(
+                        res.normalized / (old / prior_cal), 3
+                    )
+                else:
+                    speedups[res.case.name] = round(
+                        res.records_per_sec / old, 3
+                    )
+        comparison = {
+            "against": prior.get("label") or args.compare_json,
+            "baseline_records_per_sec": prior_rps,
+            "baseline_calibration_mops": prior_cal,
+            "normalized": bool(prior_cal),
+            "speedup": speedups,
+        }
+        if speedups:
+            product = 1.0
+            for s in speedups.values():
+                product *= s
+            comparison["geomean_speedup"] = round(
+                product ** (1.0 / len(speedups)), 3
+            )
+        extra["comparison"] = comparison
+
+    report = write_report(args.out, results, calibration, extra=extra)
+    print(f"wrote {args.out} ({len(results)} cases)", file=sys.stderr)
+    if "comparison" in report:
+        cmp_ = report["comparison"]
+        print(f"speedup vs {cmp_['against']}: "
+              f"geomean {cmp_.get('geomean_speedup')}", file=sys.stderr)
+
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.update_baseline}", file=sys.stderr)
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except OSError as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = check_regression(
+            report, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"perf gate passed (tolerance {args.tolerance:.0%})",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -112,7 +112,19 @@ def cmd_run(args) -> int:
     # errors arrive classified and the result is invariant-checked.
     spec = JobSpec(trace=args.trace, l1d=args.l1d, l2=args.l2,
                    scale=args.scale, mtps=args.mtps)
-    result = run_job(spec)
+    if args.profile is not None:
+        from repro.perf.profiling import profile_and_report
+
+        dump = args.profile or None  # "" = report only, no stats file
+        result, table = profile_and_report(
+            run_job, spec, dump_path=dump, top=args.profile_top
+        )
+        print(table, file=sys.stderr)
+        if dump:
+            print(f"profile stats written to {dump} "
+                  f"(inspect with python -m pstats)", file=sys.stderr)
+    else:
+        result = run_job(spec)
     pf = result.pf_l1d
     print(result.summary_line())
     print(f"  IPC              {result.ipc:.3f}")
@@ -245,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--l1d", default="berti")
     run.add_argument("--l2", default="none")
     run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--profile", nargs="?", const="", default=None,
+                     metavar="STATS_FILE",
+                     help="run under cProfile; print the hot-function "
+                          "table and optionally dump raw stats to "
+                          "STATS_FILE")
+    run.add_argument("--profile-top", type=int, default=15,
+                     help="rows in the --profile hot-function table")
     run.add_argument("--mtps", type=int, default=None,
                      help="DRAM transfer rate (6400/3200/1600)")
 

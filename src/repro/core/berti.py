@@ -110,24 +110,27 @@ class BertiPrefetcher(Prefetcher):
     # ------------------------------------------------------------------
 
     def _predict(self, access: AccessInfo) -> List[PrefetchRequest]:
-        cfg = self.config
-        selected = self.deltas.prefetch_deltas(self._key(access.ip, access.line))
+        line = access.line
+        selected = self.deltas.prefetch_deltas(self._key(access.ip, line))
         if not selected:
             return []
+        cfg = self.config
         mshr_below_watermark = access.mshr_occupancy < cfg.mshr_watermark
+        cross_page_ok = cfg.cross_page
         requests: List[PrefetchRequest] = []
+        append = requests.append
         for delta, status in selected:
-            target = access.line + delta
+            target = line + delta
             if target < 0:
                 continue
-            if not cfg.cross_page and not same_page(access.line, target):
+            if not cross_page_ok and not same_page(line, target):
                 self.cross_page_suppressed += 1
                 continue
             if status == L1D_PREF and mshr_below_watermark:
                 fill_level = FILL_L1
             else:
                 fill_level = FILL_L2
-            requests.append(PrefetchRequest(line=target, fill_level=fill_level))
+            append(PrefetchRequest(line=target, fill_level=fill_level))
         return requests
 
     # ------------------------------------------------------------------

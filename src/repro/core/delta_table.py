@@ -49,7 +49,10 @@ class _DeltaSlot:
 
 
 class _Entry:
-    __slots__ = ("valid", "tag", "counter", "slots", "order", "warmed_up")
+    __slots__ = (
+        "valid", "tag", "counter", "slots", "order", "warmed_up",
+        "by_delta", "pf_cache",
+    )
 
     def __init__(self, num_deltas: int) -> None:
         self.valid = False
@@ -58,6 +61,12 @@ class _Entry:
         self.slots = [_DeltaSlot() for _ in range(num_deltas)]
         self.order = 0
         self.warmed_up = False  # first learning phase completed
+        # delta -> occupied slot, mirroring the valid slots (O(1) lookup
+        # in record_search instead of a scan per timely delta).
+        self.by_delta: dict = {}
+        # Memoised prefetch_deltas() result for warmed-up entries;
+        # invalidated whenever a status or a stored delta changes.
+        self.pf_cache: Optional[List[Tuple[int, int]]] = None
 
 
 class DeltaTable:
@@ -100,6 +109,8 @@ class DeltaTable:
         victim.counter = 0
         victim.order = self._fifo_clock
         victim.warmed_up = False
+        victim.by_delta.clear()
+        victim.pf_cache = None
         for slot in victim.slots:
             slot.valid = False
             slot.delta = 0
@@ -127,8 +138,9 @@ class DeltaTable:
 
         entry.counter += 1
         coverage_cap = (1 << cfg.coverage_bits) - 1
+        by_delta = entry.by_delta
         for delta in timely_deltas:
-            slot = self._find_slot(entry, delta)
+            slot = by_delta.get(delta)
             if slot is not None:
                 if slot.coverage < coverage_cap:
                     slot.coverage += 1
@@ -137,20 +149,20 @@ class DeltaTable:
             if slot is None:
                 self.discarded_deltas += 1
                 continue
+            if slot.valid:
+                del by_delta[slot.delta]
+                if slot.status != NO_PREF:
+                    # Evicting a prefetching (L2_PREF_REPL) slot changes
+                    # the selected set for warmed-up entries.
+                    entry.pf_cache = None
             slot.valid = True
             slot.delta = delta
             slot.coverage = 1
             slot.status = NO_PREF
+            by_delta[delta] = slot
 
         if entry.counter >= cfg.counter_max:
             self._close_phase(entry)
-
-    @staticmethod
-    def _find_slot(entry: _Entry, delta: int) -> Optional[_DeltaSlot]:
-        for slot in entry.slots:
-            if slot.valid and slot.delta == delta:
-                return slot
-        return None
 
     @staticmethod
     def _victim_slot(entry: _Entry) -> Optional[_DeltaSlot]:
@@ -193,6 +205,7 @@ class DeltaTable:
             slot.coverage = 0
         entry.counter = 0
         entry.warmed_up = True
+        entry.pf_cache = None  # statuses changed: recompute on next access
 
     # ------------------------------------------------------------------
     # Prediction
@@ -211,15 +224,22 @@ class DeltaTable:
         if entry is None:
             return []
         if entry.warmed_up:
-            selected = [
-                (s.delta, s.status)
-                for s in entry.slots
-                if s.valid and s.status != NO_PREF
-            ]
-            # High-coverage deltas first: under PQ pressure the queue
-            # sheds the low-coverage tail, not the best predictions.
-            selected.sort(key=lambda ds: ds[1] != L1D_PREF)
-            return selected[: cfg.max_prefetch_deltas]
+            # Statuses only change at phase boundaries (and on the rare
+            # eviction of a prefetching slot), so the selected list is
+            # memoised on the entry; this path runs on every L1D access.
+            selected = entry.pf_cache
+            if selected is None:
+                selected = [
+                    (s.delta, s.status)
+                    for s in entry.slots
+                    if s.valid and s.status != NO_PREF
+                ]
+                # High-coverage deltas first: under PQ pressure the queue
+                # sheds the low-coverage tail, not the best predictions.
+                selected.sort(key=lambda ds: ds[1] != L1D_PREF)
+                selected = selected[: cfg.max_prefetch_deltas]
+                entry.pf_cache = selected
+            return selected
         if entry.counter < cfg.warmup_min_searches:
             return []
         threshold = cfg.warmup_watermark * entry.counter

@@ -15,21 +15,15 @@ both wrap; comparisons are wraparound-aware like real hardware would be.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.core.config import BertiConfig
-from repro.memory.address import fits_in_signed, sign_extend
 
-
-class _Entry:
-    __slots__ = ("valid", "ip_tag", "line", "timestamp", "order")
-
-    def __init__(self) -> None:
-        self.valid = False
-        self.ip_tag = 0
-        self.line = 0
-        self.timestamp = 0
-        self.order = 0
+# Entries are stored as (ip_tag, line, timestamp, order) tuples — or None
+# while the way is empty.  Tuple rows cost one unpack in the search loop
+# where attribute-carrying objects cost five attribute loads, and this
+# search runs once per L1D miss.
+_Row = Tuple[int, int, int, int]
 
 
 class HistoryTable:
@@ -38,9 +32,8 @@ class HistoryTable:
     def __init__(self, config: BertiConfig | None = None) -> None:
         self.config = config or BertiConfig()
         cfg = self.config
-        self._sets: List[List[_Entry]] = [
-            [_Entry() for _ in range(cfg.history_ways)]
-            for _ in range(cfg.history_sets)
+        self._sets: List[List[Optional[_Row]]] = [
+            [None] * cfg.history_ways for _ in range(cfg.history_sets)
         ]
         self._fifo_clock = [0] * cfg.history_sets
         self._fifo_ptr = [0] * cfg.history_sets  # next way to replace
@@ -72,16 +65,15 @@ class HistoryTable:
         """Record an access (demand miss or first hit on a prefetch)."""
         self.inserts += 1
         sidx = self._set_index(ip)
-        ways = self._sets[sidx]
         # FIFO replacement: a circular pointer over the ways.
-        victim = ways[self._fifo_ptr[sidx]]
-        self._fifo_ptr[sidx] = (self._fifo_ptr[sidx] + 1) % self.config.history_ways
-        self._fifo_clock[sidx] += 1
-        victim.valid = True
-        victim.ip_tag = self._ip_tag(ip)
-        victim.line = line & self._line_mask
-        victim.timestamp = now & self._ts_mask
-        victim.order = self._fifo_clock[sidx]
+        ptr = self._fifo_ptr[sidx]
+        self._fifo_ptr[sidx] = (ptr + 1) % self.config.history_ways
+        clock = self._fifo_clock[sidx] + 1
+        self._fifo_clock[sidx] = clock
+        self._sets[sidx][ptr] = (
+            self._ip_tag(ip), line & self._line_mask, now & self._ts_mask,
+            clock,
+        )
 
     def search_timely(self, ip: int, line: int, demand_time: int, latency: int) -> List[int]:
         """Timely local deltas for an access to ``line`` by ``ip``.
@@ -109,34 +101,46 @@ class HistoryTable:
         delta_hi = (1 << (cfg.delta_bits - 1)) - 1
         ts_mask = self._ts_mask
 
-        candidates = []
-        for e in self._sets[self._set_index(ip)]:
-            if not e.valid or e.ip_tag != tag:
+        # FIFO insertion makes the ring order the age order: walking the
+        # ways backwards from the insertion pointer visits entries
+        # youngest-first, so no sort is needed and the scan can stop at
+        # the delta cap.  A None way means the ring has not wrapped yet,
+        # and every way older than it is also empty.
+        sidx = self._set_index(ip)
+        ways = self._sets[sidx]
+        nways = len(ways)
+        ptr = self._fifo_ptr[sidx]
+        max_deltas = cfg.max_deltas_per_search
+        deltas: List[int] = []
+        for i in range(1, nways + 1):
+            e = ways[(ptr - i) % nways]
+            if e is None:
+                break
+            if e[0] != tag:
                 continue
-            age = (now_ts - e.timestamp) & ts_mask
+            age = (now_ts - e[2]) & ts_mask
             # Ages beyond half the timestamp range are ambiguous under
             # wraparound; hardware treats them as stale.  Ages below the
             # latency are too recent: a prefetch would have been late.
             if age >= half_range or age < latency:
                 continue
-            delta = (line_masked - e.line) & line_mask
+            delta = (line_masked - e[1]) & line_mask
             if delta & sign_bit:
                 delta -= 1 << line_bits
             if delta == 0 or delta < delta_lo or delta > delta_hi:
                 continue
-            candidates.append((e.order, delta))
-
-        candidates.sort(reverse=True)  # youngest first
-        return [d for __, d in candidates[: cfg.max_deltas_per_search]]
+            deltas.append(delta)
+            if len(deltas) >= max_deltas:
+                break
+        return deltas
 
     def occupancy(self) -> int:
-        return sum(e.valid for ways in self._sets for e in ways)
+        return sum(e is not None for ways in self._sets for e in ways)
 
     def reset(self) -> None:
         cfg = self.config
         self._sets = [
-            [_Entry() for _ in range(cfg.history_ways)]
-            for _ in range(cfg.history_sets)
+            [None] * cfg.history_ways for _ in range(cfg.history_sets)
         ]
         self._fifo_clock = [0] * cfg.history_sets
         self._fifo_ptr = [0] * cfg.history_sets

@@ -48,6 +48,12 @@ class CoreModel:
 
     def __init__(self, config: CoreConfig | None = None) -> None:
         self.config = config or CoreConfig()
+        # Per-instruction increments, computed once: the same division
+        # every issue would evaluate (bit-identical results, no per-call
+        # attribute chain + divide).
+        self._issue_incr = 1 / self.config.issue_width
+        self._retire_incr = 1 / self.config.retire_width
+        self._rob_size = self.config.rob_size
         self._frontend = 0.0          # cycles consumed by fetch/issue bandwidth
         self._retire_frontier = 0.0   # in-order retirement time so far
         self._rob_head_retire = 0.0   # retire time of the newest op <= k-ROB
@@ -96,41 +102,49 @@ class CoreModel:
 
     def issue_memory(
         self,
-        latency_fn: Callable[[int], int],
+        demand: Callable[[int, int, int, bool], int],
+        ip: int = 0,
+        vaddr: int = 0,
         is_write: bool = False,
         dep: int = 0,
     ) -> int:
         """Issue one memory instruction.
 
-        ``latency_fn(issue_cycle)`` performs the hierarchy access at the
-        computed issue time and returns the observed latency.  ``dep`` of
-        *d* > 0 means this access's address depends on the value of the
-        *d*-th previous load, which must complete first.  Returns the
-        issue cycle (useful to callers that track request times).
+        ``demand(ip, vaddr, issue_cycle, is_write)`` performs the
+        hierarchy access at the computed issue time and returns the
+        observed latency — the caller hoists the bound method (typically
+        ``Hierarchy.demand_access``) once and passes the per-record
+        arguments explicitly, so the hot loop allocates no closures.
+        ``dep`` of *d* > 0 means this access's address depends on the
+        value of the *d*-th previous load, which must complete first.
+        Returns the issue cycle (useful to callers that track request
+        times).
         """
-        cfg = self.config
         k = self._instr
-        self._instr += 1
-        self._frontend += 1 / cfg.issue_width
+        self._instr = k + 1
+        frontend = self._frontend + self._issue_incr
+        self._frontend = frontend
 
         # Pop window entries that have left the ROB; their retire times
         # lower-bound when instruction k may issue.
-        horizon = k - cfg.rob_size
+        horizon = k - self._rob_size
         window = self._window
+        rob_head = self._rob_head_retire
         while window and window[0][0] <= horizon:
             __, retired = window.popleft()
-            if retired > self._rob_head_retire:
-                self._rob_head_retire = retired
+            if retired > rob_head:
+                rob_head = retired
+        self._rob_head_retire = rob_head
 
-        issue_t = max(self._frontend, self._rob_head_retire)
-        if dep > 0 and self._load_completions:
+        issue_t = frontend if frontend > rob_head else rob_head
+        if dep > 0:
             loads = self._load_completions
             if dep <= len(loads):
                 dep_ready = loads[-dep]
                 if dep_ready > issue_t:
                     issue_t = dep_ready
 
-        latency = latency_fn(int(issue_t))
+        latency = demand(ip, vaddr, int(issue_t), is_write)
 
         if is_write:
             # Stores commit from the store buffer; they occupy the cache
@@ -140,9 +154,9 @@ class CoreModel:
             completion = issue_t + latency
             self._load_completions.append(completion)
 
-        retire = max(
-            self._retire_frontier + 1 / cfg.retire_width, completion
-        )
+        retire = self._retire_frontier + self._retire_incr
+        if completion > retire:
+            retire = completion
         self._retire_frontier = retire
         window.append((k, retire))
         return int(issue_t)

@@ -27,6 +27,7 @@ from repro.memory.address import PAGE_BITS, LINE_BITS
 from repro.cpu.tlb import TLB
 
 _LINES_PER_PAGE_BITS = PAGE_BITS - LINE_BITS
+_PAGE_OFFSET_MASK = (1 << _LINES_PER_PAGE_BITS) - 1
 
 
 @dataclass
@@ -86,11 +87,22 @@ class MMU:
         miss.
         """
         vpage = vline >> _LINES_PER_PAGE_BITS
-        offset = vline & ((1 << _LINES_PER_PAGE_BITS) - 1)
+        offset = vline & _PAGE_OFFSET_MASK
 
-        ppage = self.dtlb.lookup(vpage)
+        # dTLB hit path inlined (runs once per demand access): identical
+        # bookkeeping to TLB.lookup — access/hit counters and MRU bump.
+        dtlb = self.dtlb
+        dtlb_stats = dtlb.stats
+        dtlb_stats.accesses += 1
+        ppage = dtlb._map.get(vpage)
         if ppage is not None:
-            return (ppage << _LINES_PER_PAGE_BITS) | offset, self.dtlb.latency
+            entries = dtlb._sets[vpage % dtlb.num_sets]
+            for i, (vp, _pp) in enumerate(entries):
+                if vp == vpage:
+                    entries.append(entries.pop(i))  # move to MRU
+                    break
+            dtlb_stats.hits += 1
+            return (ppage << _LINES_PER_PAGE_BITS) | offset, dtlb.latency
 
         latency = self.dtlb.latency + self.stlb.latency
         ppage = self.stlb.lookup(vpage)
@@ -108,17 +120,27 @@ class MMU:
         Returns the physical line, or ``None`` when the STLB misses (the
         prefetch is then dropped, per paper §III-B).
         """
+        # Runs once per prefetch suggestion: the TLB probe bookkeeping is
+        # inlined here (identical counters to TLB.probe) to avoid two
+        # function calls on this hot path.
         vpage = vline >> _LINES_PER_PAGE_BITS
-        offset = vline & ((1 << _LINES_PER_PAGE_BITS) - 1)
-        ppage = self.stlb.probe(vpage)
-        if ppage is None:
+        stlb_stats = self.stlb.stats
+        stlb_stats.prefetch_probes += 1
+        ppage = self.stlb._map.get(vpage)
+        if ppage is not None:
+            stlb_stats.prefetch_probe_hits += 1
+        else:
             # Also allow a dTLB hit to serve the translation; ChampSim's
             # L1D prefetches consult the full TLB path available at L1.
-            ppage = self.dtlb.probe(vpage)
-        if ppage is None:
-            self.stats.dropped_prefetch_translations += 1
-            return None
-        return (ppage << _LINES_PER_PAGE_BITS) | offset
+            dtlb_stats = self.dtlb.stats
+            dtlb_stats.prefetch_probes += 1
+            ppage = self.dtlb._map.get(vpage)
+            if ppage is not None:
+                dtlb_stats.prefetch_probe_hits += 1
+            else:
+                self.stats.dropped_prefetch_translations += 1
+                return None
+        return (ppage << _LINES_PER_PAGE_BITS) | (vline & _PAGE_OFFSET_MASK)
 
     def prewarm(self, vlines) -> None:
         """Install STLB translations for the pages of ``vlines``.

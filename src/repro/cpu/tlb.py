@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBStats:
     accesses: int = 0
     hits: int = 0
@@ -21,8 +21,10 @@ class TLBStats:
     prefetch_probe_hits: int = 0
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        self.accesses = 0
+        self.hits = 0
+        self.prefetch_probes = 0
+        self.prefetch_probe_hits = 0
 
     @property
     def misses(self) -> int:

@@ -15,6 +15,10 @@ hardware extension needs (paper Figure 5, gray parts):
 
 The cache is timing-agnostic: the hierarchy decides latencies, the cache
 just tracks contents and replacement state.
+
+This module is on the simulation hot path: line/stats objects use
+``__slots__``, set indexing is a mask (set counts are enforced powers of
+two), and lookup/fill bind their per-call state to locals.
 """
 
 from __future__ import annotations
@@ -22,10 +26,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from repro.memory.replacement import DRRIPPolicy, ReplacementPolicy, make_policy
+from repro.errors import ConfigError
+from repro.memory.replacement import (
+    DRRIPPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    make_policy,
+)
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """State of one cache way."""
 
@@ -40,7 +51,7 @@ class CacheLine:
     pf_origin: str = ""  # "l1d" or "l2": which prefetcher issued the fill
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-cache event counters, split demand vs. prefetch."""
 
@@ -55,8 +66,15 @@ class CacheStats:
     writebacks: int = 0
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        self.demand_accesses = 0
+        self.demand_hits = 0
+        self.demand_misses = 0
+        self.prefetch_fills = 0
+        self.demand_fills = 0
+        self.useful_prefetches = 0
+        self.late_prefetches = 0
+        self.useless_prefetches = 0
+        self.writebacks = 0
 
 
 class Cache:
@@ -75,29 +93,67 @@ class Cache:
         line_size: int = 64,
         replacement: str = "lru",
     ) -> None:
-        if size_bytes % (ways * line_size) != 0:
-            raise ValueError(
+        if ways < 1:
+            raise ConfigError(
+                f"{name}: ways must be >= 1, got {ways}", field="ways"
+            )
+        if size_bytes <= 0 or size_bytes % (ways * line_size) != 0:
+            raise ConfigError(
                 f"{name}: size {size_bytes} not divisible by "
-                f"ways*line ({ways}*{line_size})"
+                f"ways*line ({ways}*{line_size})",
+                field="size_bytes",
+            )
+        num_sets = size_bytes // (ways * line_size)
+        if num_sets & (num_sets - 1):
+            raise ConfigError(
+                f"{name}: set count must be a power of two, got {num_sets} "
+                f"(size {size_bytes}, ways {ways}, line {line_size})",
+                field="size_bytes",
             )
         self.name = name
         self.size_bytes = size_bytes
         self.ways = ways
         self.latency = latency
         self.line_size = line_size
-        self.num_sets = size_bytes // (ways * line_size)
-        self.sets: List[List[CacheLine]] = [
-            [CacheLine() for _ in range(ways)] for _ in range(self.num_sets)
-        ]
+        self.num_sets = num_sets
+        self._set_mask = num_sets - 1
+        # Way lists are materialised lazily on first fill: a large LLC
+        # allocates tens of thousands of line objects, most never touched
+        # by short runs.  Untouched sets stay empty lists, which nested
+        # iteration (prefetched_line_counts, tests) handles naturally.
+        self.sets: List[List[CacheLine]] = [[] for _ in range(num_sets)]
         # Presence index for O(1) probes: line -> way (set is line-derived).
         self._where: dict = {}
         # Valid lines per set, to skip the invalid-way scan when full.
-        self._valid_count: List[int] = [0] * self.num_sets
+        self._valid_count: List[int] = [0] * num_sets
         self.policy: ReplacementPolicy = make_policy(
-            replacement, self.num_sets, ways
+            replacement, num_sets, ways
         )
+        # DRRIP needs per-set miss notifications; resolve the check once.
+        self._drrip: Optional[DRRIPPolicy] = (
+            self.policy if isinstance(self.policy, DRRIPPolicy) else None
+        )
+        # Replacement-policy fast paths: lookup/fill run per access, so
+        # the common policies' one-line updates are inlined there instead
+        # of paying a method call.  Exact-type checks: subclasses (e.g.
+        # DRRIP's dynamic insertion) keep the virtual call.
+        policy = self.policy
+        self._lru: Optional[LRUPolicy] = (
+            policy if type(policy) is LRUPolicy else None
+        )
+        # SRRIP hits always reset RRPV to 0 — DRRIP inherits that — but
+        # only plain SRRIP has a static insertion RRPV for fills.
+        self._srrip_hit = (
+            policy._rrpv if isinstance(policy, SRRIPPolicy) else None
+        )
+        self._srrip_fill = (
+            policy._rrpv if type(policy) is SRRIPPolicy else None
+        )
+        self._srrip_insert = SRRIPPolicy.MAX_RRPV - 1
         self.stats = CacheStats()
-        # Optional observer invoked with the victim line on eviction.
+        # Optional observer invoked with the victim line on eviction.  The
+        # line object is reused for the incoming fill after the hook
+        # returns — hooks must copy any fields they want to retain.
         self.eviction_hook: Optional[Callable[[CacheLine], None]] = None
 
     # ------------------------------------------------------------------
@@ -105,10 +161,10 @@ class Cache:
     # ------------------------------------------------------------------
 
     def set_index(self, line: int) -> int:
-        return line % self.num_sets
+        return line & self._set_mask
 
     def _find(self, line: int) -> Tuple[int, Optional[int]]:
-        return self.set_index(line), self._where.get(line)
+        return line & self._set_mask, self._where.get(line)
 
     def probe(self, line: int) -> bool:
         """Presence check with no side effects (no replacement update)."""
@@ -116,10 +172,10 @@ class Cache:
 
     def peek(self, line: int) -> Optional[CacheLine]:
         """Return the line's metadata without touching replacement state."""
-        sidx, way = self._find(line)
+        way = self._where.get(line)
         if way is None:
             return None
-        return self.sets[sidx][way]
+        return self.sets[line & self._set_mask][way]
 
     def lookup(self, line: int, is_demand: bool = True) -> Optional[CacheLine]:
         """Access the cache; updates replacement state and hit/miss stats.
@@ -128,18 +184,28 @@ class Cache:
         caller is responsible for interpreting the prefetch metadata (late
         vs. timely) and clearing ``prefetched`` via :meth:`demand_touch`.
         """
-        sidx, way = self._find(line)
-        if is_demand:
-            self.stats.demand_accesses += 1
+        way = self._where.get(line)
+        stats = self.stats
         if way is None:
             if is_demand:
-                self.stats.demand_misses += 1
-                if isinstance(self.policy, DRRIPPolicy):
-                    self.policy.record_miss(sidx)
+                stats.demand_accesses += 1
+                stats.demand_misses += 1
+                if self._drrip is not None:
+                    self._drrip.record_miss(line & self._set_mask)
             return None
+        sidx = line & self._set_mask
         if is_demand:
-            self.stats.demand_hits += 1
-        self.policy.on_hit(sidx, way)
+            stats.demand_accesses += 1
+            stats.demand_hits += 1
+        lru = self._lru
+        if lru is not None:
+            clock = lru._clock[sidx] + 1
+            lru._clock[sidx] = clock
+            lru._age[sidx][way] = clock
+        elif self._srrip_hit is not None:
+            self._srrip_hit[sidx][way] = 0
+        else:
+            self.policy.on_hit(sidx, way)
         return self.sets[sidx][way]
 
     def demand_touch(self, cl: CacheLine, now: int) -> Tuple[bool, bool, int]:
@@ -149,13 +215,16 @@ class Cache:
         was the first demand to a prefetched line, whether that prefetch
         was late, and the extra cycles the demand must wait for the data.
         """
-        residual = max(0, cl.arrival_cycle - now)
+        residual = cl.arrival_cycle - now
+        if residual < 0:
+            residual = 0
         was_prefetched = cl.prefetched
         was_late = was_prefetched and residual > 0
         if was_prefetched:
-            self.stats.useful_prefetches += 1
+            stats = self.stats
+            stats.useful_prefetches += 1
             if was_late:
-                self.stats.late_prefetches += 1
+                stats.late_prefetches += 1
             cl.prefetched = False
         return was_prefetched, was_late, residual
 
@@ -170,35 +239,51 @@ class Cache:
         pf_latency: int = 0,
         pf_origin: str = "",
     ) -> Optional[CacheLine]:
-        """Install ``line``; returns the evicted line if one was displaced.
+        """Install ``line``; returns the evicted line if it needs writeback.
 
         If the line is already present (e.g. a prefetch raced a demand),
         the existing entry is refreshed instead of allocating a new way.
+        A displaced dirty victim is returned as a copy; clean victims are
+        reported only through :attr:`eviction_hook` (which receives the
+        line object *before* it is reused for the incoming fill).
         """
-        sidx, way = self._find(line)
+        where = self._where
+        way = where.get(line)
+        stats = self.stats
         victim: Optional[CacheLine] = None
         if way is None:
-            way = self._pick_victim(sidx)
-            old = self.sets[sidx][way]
-            if old.valid:
-                if old.prefetched:
-                    self.stats.useless_prefetches += 1
-                if old.dirty:
-                    self.stats.writebacks += 1
-                if old.dirty or self.eviction_hook is not None:
-                    # Copy only when someone will look at the victim.
+            sidx = line & self._set_mask
+            ways_list = self.sets[sidx]
+            if not ways_list:
+                ways_list += [CacheLine() for _ in range(self.ways)]
+            # _pick_victim inlined: fills dominate the miss path.
+            if self._valid_count[sidx] >= self.ways:
+                way = self.policy.victim(sidx)
+            else:
+                way = 0
+                for candidate in ways_list:
+                    if not candidate.valid:
+                        break
+                    way += 1
+                if way >= self.ways:
+                    way = self.policy.victim(sidx)  # defensive; count says full
+            cl = ways_list[way]
+            if cl.valid:
+                if cl.prefetched:
+                    stats.useless_prefetches += 1
+                if cl.dirty:
+                    stats.writebacks += 1
                     victim = CacheLine(
-                        tag=old.tag, valid=True, dirty=old.dirty,
-                        prefetched=old.prefetched, ip=old.ip,
-                        vline=old.vline, pf_origin=old.pf_origin,
+                        tag=cl.tag, valid=True, dirty=True,
+                        prefetched=cl.prefetched, ip=cl.ip,
+                        vline=cl.vline, pf_origin=cl.pf_origin,
                     )
-                    if self.eviction_hook is not None:
-                        self.eviction_hook(victim)
-                del self._where[old.tag]
+                if self.eviction_hook is not None:
+                    self.eviction_hook(cl)
+                del where[cl.tag]
             else:
                 self._valid_count[sidx] += 1
-            cl = self.sets[sidx][way]
-            self._where[line] = way
+            where[line] = way
             cl.tag = line
             cl.valid = True
             cl.dirty = False
@@ -208,38 +293,40 @@ class Cache:
             cl.ip = ip
             cl.vline = vline
             cl.pf_origin = pf_origin if is_prefetch else ""
-            self.policy.on_fill(sidx, way)
+            lru = self._lru
+            if lru is not None:
+                clock = lru._clock[sidx] + 1
+                lru._clock[sidx] = clock
+                lru._age[sidx][way] = clock
+            elif self._srrip_fill is not None:
+                self._srrip_fill[sidx][way] = self._srrip_insert
+            else:
+                self.policy.on_fill(sidx, way)
         else:
-            cl = self.sets[sidx][way]
+            cl = self.sets[line & self._set_mask][way]
             # Refresh arrival if the new copy arrives earlier.
-            cl.arrival_cycle = min(cl.arrival_cycle, arrival_cycle)
+            if arrival_cycle < cl.arrival_cycle:
+                cl.arrival_cycle = arrival_cycle
             if not is_prefetch:
                 cl.prefetched = False
         if is_prefetch:
-            self.stats.prefetch_fills += 1
+            stats.prefetch_fills += 1
         else:
-            self.stats.demand_fills += 1
+            stats.demand_fills += 1
         return victim
-
-    def _pick_victim(self, sidx: int) -> int:
-        if self._valid_count[sidx] >= self.ways:
-            return self.policy.victim(sidx)
-        for way, cl in enumerate(self.sets[sidx]):
-            if not cl.valid:
-                return way
-        return self.policy.victim(sidx)  # defensive; count says full
 
     def mark_dirty(self, line: int) -> None:
         """Flag ``line`` dirty (stores); no-op if absent."""
-        sidx, way = self._find(line)
+        way = self._where.get(line)
         if way is not None:
-            self.sets[sidx][way].dirty = True
+            self.sets[line & self._set_mask][way].dirty = True
 
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` if present; returns True when it was present."""
-        sidx, way = self._find(line)
+        way = self._where.get(line)
         if way is None:
             return False
+        sidx = line & self._set_mask
         self.sets[sidx][way] = CacheLine()
         del self._where[line]
         self._valid_count[sidx] -= 1

@@ -51,7 +51,7 @@ class DRAMConfig:
         return transfers_per_line * cycles_per_transfer
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     reads: int = 0
     writes: int = 0
@@ -61,8 +61,12 @@ class DRAMStats:
     total_read_latency: int = 0
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.total_read_latency = 0
 
     @property
     def avg_read_latency(self) -> float:
@@ -71,7 +75,7 @@ class DRAMStats:
         return self.total_read_latency / self.reads
 
 
-@dataclass
+@dataclass(slots=True)
 class _Bank:
     open_row: int = -1
     busy_until: int = 0
@@ -86,15 +90,15 @@ class DRAM:
         self._bus_free = 0.0
         self._pending_writes: List[int] = []
         self.stats = DRAMStats()
+        # Hot-path constants, resolved once (the properties recompute).
+        self._lines_per_row = self.config.row_size_bytes // 64
+        self._burst = self.config.transfer_cycles_per_line
 
     # ------------------------------------------------------------------
 
     def _bank_and_row(self, pline: int) -> tuple[int, int]:
-        cfg = self.config
-        lines_per_row = cfg.row_size_bytes // 64
-        row = pline // lines_per_row
-        bank = row % cfg.banks
-        return bank, row
+        row = pline // self._lines_per_row
+        return row % self.config.banks, row
 
     def _access(self, pline: int, now: int) -> int:
         """Core timing: returns the completion cycle for one line access.
@@ -104,23 +108,29 @@ class DRAM:
         conflicts additionally occupy the bank for activate/precharge.
         """
         cfg = self.config
-        bank_idx, row = self._bank_and_row(pline)
-        bank = self._banks[bank_idx]
+        stats = self.stats
+        row = pline // self._lines_per_row
+        bank = self._banks[row % cfg.banks]
 
-        start = max(now, bank.busy_until)
-        if bank.open_row == row:
-            self.stats.row_hits += 1
+        busy = bank.busy_until
+        start = now if now > busy else busy
+        open_row = bank.open_row
+        if open_row == row:
+            stats.row_hits += 1
             prep = 0
-        elif bank.open_row == -1:
-            self.stats.row_misses += 1
+        elif open_row == -1:
+            stats.row_misses += 1
             prep = cfg.trcd_cycles
         else:
-            self.stats.row_conflicts += 1
+            stats.row_conflicts += 1
             prep = cfg.trp_cycles + cfg.trcd_cycles
         bank.open_row = row
 
-        burst = cfg.transfer_cycles_per_line
-        data_start = max(start + prep + cfg.tcas_cycles, self._bus_free)
+        burst = self._burst
+        data_start = start + prep + cfg.tcas_cycles
+        bus_free = self._bus_free
+        if bus_free > data_start:
+            data_start = bus_free
         done = data_start + burst
         self._bus_free = done
         # The bank accepts the next column command once activate/precharge

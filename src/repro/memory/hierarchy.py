@@ -15,8 +15,9 @@ fast enough for pure Python.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
 
 from repro.cpu.mmu import MMU
 from repro.memory.cache import Cache, CacheLine
@@ -36,7 +37,7 @@ from repro.prefetchers.base import (
 LATENCY_FIELD_BITS = 12  # Berti's per-L1D-line latency field width
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkTraffic:
     """Request counts on one link of the hierarchy (demand + prefetch +
     writeback), the quantity Figure 14 plots."""
@@ -55,7 +56,7 @@ class LinkTraffic:
         self.writeback = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetcherStats:
     """Issue-side and outcome-side counters for one prefetcher."""
 
@@ -72,8 +73,17 @@ class PrefetcherStats:
     promoted: int = 0           # in-flight prefetches promoted by a demand
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        self.suggested = 0
+        self.issued = 0
+        self.dropped_translation = 0
+        self.dropped_duplicate = 0
+        self.dropped_queue_full = 0
+        self.dropped_mshr_full = 0
+        self.fills = 0
+        self.useful = 0
+        self.late = 0
+        self.useless = 0
+        self.promoted = 0
 
     @property
     def timely(self) -> int:
@@ -106,10 +116,16 @@ class _FIFOQueue:
     def __init__(self, size: int, rate: float = 1.0) -> None:
         self.size = size
         self.rate = rate  # entries serviced per cycle
-        self._service_times: List[float] = []
+        # Service times are appended in nondecreasing order (each new
+        # entry starts no earlier than the youngest pending one), so a
+        # deque expires from the front in O(expired) instead of
+        # rebuilding a list per call.
+        self._service_times: Deque[float] = deque()
 
     def _expire(self, now: float) -> None:
-        self._service_times = [t for t in self._service_times if t > now]
+        st = self._service_times
+        while st and st[0] <= now:
+            st.popleft()
 
     def occupancy(self, now: float) -> int:
         self._expire(now)
@@ -125,12 +141,16 @@ class _FIFOQueue:
         accesses out of program order): service times are expired lazily
         against each caller's clock.
         """
-        self._expire(now)
-        if len(self._service_times) >= self.size:
+        st = self._service_times
+        while st and st[0] <= now:
+            st.popleft()
+        if len(st) >= self.size:
             return None
-        start = max([now] + self._service_times)
+        start = now
+        if st and st[-1] > start:
+            start = st[-1]
         service = start + 1.0 / self.rate
-        self._service_times.append(service)
+        st.append(service)
         return int(service - now)
 
     def reset(self) -> None:
@@ -182,6 +202,9 @@ class Hierarchy:
             "l1d": PrefetcherStats(),
             "l2": PrefetcherStats(),
         }
+        # Hot-path alias: reset_stats() zeroes these objects in place, so
+        # the reference stays valid for the lifetime of the hierarchy.
+        self._pf_l1d_stats = self.pf_stats["l1d"]
         self._wire_eviction_hooks()
 
     def _wire_eviction_hooks(self) -> None:
@@ -206,63 +229,106 @@ class Hierarchy:
         """Perform one demand access; returns its total latency in cycles.
 
         Runs the L1D prefetcher hooks and issues any suggested prefetches
-        at the access time (mirroring ChampSim's operate flow).
+        at the access time (mirroring ChampSim's operate flow).  The
+        dominant L1D-hit case is kept allocation-free: with no L1D
+        prefetcher attached the hook plumbing (AccessInfo construction,
+        MSHR/PQ occupancy sampling) is skipped entirely — the hooks are
+        no-ops and emit no requests, so statistics are unchanged.
         """
         vline = vaddr >> 6
         pline, trans_latency = self.mmu.translate_demand(vline)
         t = now + trans_latency
+        l1d = self.l1d
+        l1d_latency = l1d.latency
+        # NoPrefetcher exactly (a wrapped/faulty prefetcher has its own
+        # class): safe to skip its no-op hooks.
+        pf_active = type(self.l1d_prefetcher) is not NoPrefetcher
 
-        cl = self.l1d.lookup(pline, is_demand=True)
+        # L1D probe with Cache.lookup inlined (identical bookkeeping;
+        # one call per record adds up).  Exact type: a substituted cache
+        # model keeps the virtual call.
+        if type(l1d) is Cache:
+            l1d_stats = l1d.stats
+            l1d_stats.demand_accesses += 1
+            way = l1d._where.get(pline)
+            if way is None:
+                l1d_stats.demand_misses += 1
+                if l1d._drrip is not None:
+                    l1d._drrip.record_miss(pline & l1d._set_mask)
+                cl = None
+            else:
+                l1d_stats.demand_hits += 1
+                sidx = pline & l1d._set_mask
+                lru = l1d._lru
+                if lru is not None:
+                    clock = lru._clock[sidx] + 1
+                    lru._clock[sidx] = clock
+                    lru._age[sidx][way] = clock
+                elif l1d._srrip_hit is not None:
+                    l1d._srrip_hit[sidx][way] = 0
+                else:
+                    l1d.policy.on_hit(sidx, way)
+                cl = l1d.sets[sidx][way]
+        else:
+            cl = l1d.lookup(pline, is_demand=True)
         if cl is not None:
-            latency = trans_latency + self.l1d.latency
-            was_pf, was_late, residual = self.l1d.demand_touch(cl, t + self.l1d.latency)
+            latency = trans_latency + l1d_latency
+            was_pf, was_late, residual = l1d.demand_touch(cl, t + l1d_latency)
             latency += residual
             if was_pf:
                 self._credit_useful("l1d" if cl.pf_origin != "l2" else "l2", was_late)
                 pf_latency = cl.pf_latency
                 cl.pf_latency = 0  # reset after consumption (paper §III-C)
-                self._notify_l1d_prefetch_hit(ip, vline, t, pf_latency)
+                if pf_active:
+                    self._notify_l1d_prefetch_hit(ip, vline, t, pf_latency)
             if is_write:
-                self.l1d.mark_dirty(pline)
-            self._run_l1d_prefetcher_on_access(
-                ip, vline, hit=True, prefetch_hit=was_pf, now=t, is_write=is_write
-            )
+                cl.dirty = True
+            if pf_active:
+                self._run_l1d_prefetcher_on_access(
+                    ip, vline, hit=True, prefetch_hit=was_pf, now=t,
+                    is_write=is_write,
+                )
             return latency
 
         # L1D miss: check for an in-flight fetch of the same line.
-        inflight = self.l1d_mshr.lookup(pline, t)
+        l1d_mshr = self.l1d_mshr
+        inflight = l1d_mshr.lookup(pline, t)
         if inflight is not None:
-            wait = self.l1d_mshr.merge_demand(inflight, t)
+            wait = l1d_mshr.merge_demand(inflight, t)
             if inflight.is_prefetch:
                 # Promote: a demand arrived before the prefetch landed.
                 inflight.is_prefetch = False
-                origin = "l1d"
-                self.pf_stats[origin].useful += 1
-                self.pf_stats[origin].late += 1
-                self.pf_stats[origin].promoted += 1
-                self._notify_l1d_prefetch_hit(
-                    ip, vline, t, max(1, inflight.ready_cycle - inflight.alloc_cycle)
+                stats = self._pf_l1d_stats
+                stats.useful += 1
+                stats.late += 1
+                stats.promoted += 1
+                if pf_active:
+                    self._notify_l1d_prefetch_hit(
+                        ip, vline, t,
+                        max(1, inflight.ready_cycle - inflight.alloc_cycle),
+                    )
+            if pf_active:
+                self._run_l1d_prefetcher_on_access(
+                    ip, vline, hit=False, prefetch_hit=False, now=t,
+                    is_write=is_write,
                 )
-            self._run_l1d_prefetcher_on_access(
-                ip, vline, hit=False, prefetch_hit=False, now=t, is_write=is_write
-            )
-            return trans_latency + self.l1d.latency + wait
+            return trans_latency + l1d_latency + wait
 
         # True miss: fetch from L2 (and below).  A full MSHR stalls the
         # demand until an entry frees (ChampSim replays the access); the
         # stall is part of the latency the core observes.
-        detect_time = t + self.l1d.latency
+        detect_time = t + l1d_latency
         miss_time = detect_time
-        if not self.l1d_mshr.can_allocate(miss_time):
-            miss_time = max(miss_time, self.l1d_mshr.earliest_ready(miss_time))
+        if not l1d_mshr.can_allocate(miss_time):
+            earliest = l1d_mshr.earliest_ready(miss_time)
+            if earliest > miss_time:
+                miss_time = earliest
         self.traffic_l1d_l2.demand += 1
         ready = self._access_l2(ip, pline, miss_time, is_prefetch=False)
-        self.l1d_mshr.allocate(
+        l1d_mshr.allocate(
             pline, miss_time, ready, is_prefetch=False, ip=ip, vline=vline
         )
-        fetch_latency = ready - miss_time
-        observed_latency = ready - detect_time
-        victim = self.l1d.fill(
+        victim = l1d.fill(
             pline,
             now=miss_time,
             arrival_cycle=ready,
@@ -270,17 +336,20 @@ class Hierarchy:
             ip=ip,
             vline=vline,
         )
-        self._handle_writeback(self.l1d, victim, ready)
+        if victim is not None:
+            self._handle_writeback(l1d, victim, ready)
         if is_write:
-            self.l1d.mark_dirty(pline)
+            l1d.mark_dirty(pline)
 
-        self._run_l1d_prefetcher_on_access(
-            ip, vline, hit=False, prefetch_hit=False, now=t, is_write=is_write
-        )
-        self._run_l1d_prefetcher_on_fill(
-            vline, ready, fetch_latency, was_prefetch=False, ip=ip
-        )
-        return trans_latency + self.l1d.latency + observed_latency
+        if pf_active:
+            self._run_l1d_prefetcher_on_access(
+                ip, vline, hit=False, prefetch_hit=False, now=t,
+                is_write=is_write,
+            )
+            self._run_l1d_prefetcher_on_fill(
+                vline, ready, ready - miss_time, was_prefetch=False, ip=ip
+            )
+        return trans_latency + l1d_latency + (ready - detect_time)
 
     # ------------------------------------------------------------------
     # Lower levels
@@ -290,7 +359,36 @@ class Hierarchy:
         self, ip: int, pline: int, now: int, is_prefetch: bool
     ) -> int:
         """Fetch ``pline`` for the L1D; returns the cycle data reaches L1D."""
-        cl = self.l2.lookup(pline, is_demand=not is_prefetch)
+        l2 = self.l2
+        # Cache.lookup inlined (identical bookkeeping), as in demand_access.
+        if type(l2) is Cache:
+            way = l2._where.get(pline)
+            if way is None:
+                if not is_prefetch:
+                    stats2 = l2.stats
+                    stats2.demand_accesses += 1
+                    stats2.demand_misses += 1
+                    if l2._drrip is not None:
+                        l2._drrip.record_miss(pline & l2._set_mask)
+                cl = None
+            else:
+                if not is_prefetch:
+                    stats2 = l2.stats
+                    stats2.demand_accesses += 1
+                    stats2.demand_hits += 1
+                sidx = pline & l2._set_mask
+                lru = l2._lru
+                if lru is not None:
+                    clock = lru._clock[sidx] + 1
+                    lru._clock[sidx] = clock
+                    lru._age[sidx][way] = clock
+                elif l2._srrip_hit is not None:
+                    l2._srrip_hit[sidx][way] = 0
+                else:
+                    l2.policy.on_hit(sidx, way)
+                cl = l2.sets[sidx][way]
+        else:
+            cl = l2.lookup(pline, is_demand=not is_prefetch)
         if cl is not None:
             ready = max(now + self.l2.latency, cl.arrival_cycle)
             if not is_prefetch:
@@ -339,7 +437,36 @@ class Hierarchy:
     def _access_llc(self, pline: int, now: int, is_prefetch: bool) -> int:
         if not is_prefetch:
             self.llc_demand_accesses += 1
-        cl = self.llc.lookup(pline, is_demand=not is_prefetch)
+        llc = self.llc
+        # Cache.lookup inlined (identical bookkeeping), as in demand_access.
+        if type(llc) is Cache:
+            way = llc._where.get(pline)
+            if way is None:
+                if not is_prefetch:
+                    stats3 = llc.stats
+                    stats3.demand_accesses += 1
+                    stats3.demand_misses += 1
+                    if llc._drrip is not None:
+                        llc._drrip.record_miss(pline & llc._set_mask)
+                cl = None
+            else:
+                if not is_prefetch:
+                    stats3 = llc.stats
+                    stats3.demand_accesses += 1
+                    stats3.demand_hits += 1
+                sidx = pline & llc._set_mask
+                lru = llc._lru
+                if lru is not None:
+                    clock = lru._clock[sidx] + 1
+                    lru._clock[sidx] = clock
+                    lru._age[sidx][way] = clock
+                elif llc._srrip_hit is not None:
+                    llc._srrip_hit[sidx][way] = 0
+                else:
+                    llc.policy.on_hit(sidx, way)
+                cl = llc.sets[sidx][way]
+        else:
+            cl = llc.lookup(pline, is_demand=not is_prefetch)
         if cl is not None:
             ready = max(now + self.llc.latency, cl.arrival_cycle)
             if not is_prefetch:
@@ -393,6 +520,22 @@ class Hierarchy:
         now: int,
         is_write: bool,
     ) -> None:
+        # Occupancy sampling inlined (this hook runs on every access with
+        # a prefetcher attached): expire lazily, then divide — the same
+        # arithmetic occupancy_fraction performs.  Subclasses (the fault
+        # injectors override occupancy) keep the virtual call.
+        mshr = self.l1d_mshr
+        if type(mshr) is MSHR:
+            mshr._expire(now)
+            mshr_occ = len(mshr._entries) / mshr.size if mshr.size else 0.0
+        else:
+            mshr_occ = mshr.occupancy_fraction(now)
+        pq = self.pq
+        if type(pq) is _FIFOQueue:
+            pq._expire(now)
+            pq_occ = len(pq._service_times) / pq.size if pq.size else 0.0
+        else:
+            pq_occ = pq.occupancy_fraction(now)
         info = AccessInfo(
             ip=ip,
             line=vline,
@@ -400,13 +543,47 @@ class Hierarchy:
             prefetch_hit=prefetch_hit,
             now=now,
             is_write=is_write,
-            mshr_occupancy=self.l1d_mshr.occupancy_fraction(now),
-            pq_occupancy=self.pq.occupancy_fraction(now),
+            mshr_occupancy=mshr_occ,
+            pq_occupancy=pq_occ,
         )
-        requests = self.l1d_prefetcher.on_access(info)
-        requests.extend(self.l1d_prefetcher.cycle(now))
+        pf = self.l1d_prefetcher
+        requests = pf.on_access(info)
+        # Skip the cycle() call entirely for prefetchers that do not
+        # override the base no-op (the common case, incl. Berti).  Duck-
+        # typed wrappers without a class-level cycle still get called.
+        if getattr(type(pf), "cycle", None) is not Prefetcher.cycle:
+            requests.extend(pf.cycle(now))
+        if not requests:
+            return
+        # Most suggestions die on the duplicate filter (the target line
+        # is already cached), so the translate-and-filter prologue of
+        # issue_l1d_prefetch is inlined here — identical counters in
+        # identical order — and only survivors pay the full call, with
+        # their translation passed along.
+        issue = self.issue_l1d_prefetch
+        pf_stats = self._pf_l1d_stats
+        translate = self.mmu.translate_prefetch
+        l1d_where = self.l1d._where
+        l2_where = self.l2._where
+        llc_where = self.llc._where
         for req in requests:
-            self.issue_l1d_prefetch(req, ip, now)
+            pf_stats.suggested += 1
+            req_vline = req.line
+            if req_vline < 0:
+                pf_stats.dropped_translation += 1
+                continue
+            pline = translate(req_vline)
+            if pline is None:
+                pf_stats.dropped_translation += 1
+                continue
+            fill_level = req.fill_level
+            where = l1d_where if fill_level == FILL_L1 else (
+                l2_where if fill_level == FILL_L2 else llc_where
+            )
+            if pline in where:
+                pf_stats.dropped_duplicate += 1
+                continue
+            issue(req, ip, now, _pline=pline)
 
     def _run_l1d_prefetcher_on_fill(
         self, vline: int, now: int, latency: int, was_prefetch: bool, ip: int
@@ -420,42 +597,64 @@ class Hierarchy:
     def _notify_l1d_prefetch_hit(
         self, ip: int, vline: int, now: int, pf_latency: int
     ) -> None:
+        mshr = self.l1d_mshr
+        if type(mshr) is MSHR:
+            mshr._expire(now)
+            mshr_occ = len(mshr._entries) / mshr.size if mshr.size else 0.0
+        else:
+            mshr_occ = mshr.occupancy_fraction(now)
         info = AccessInfo(
             ip=ip,
             line=vline,
             hit=True,
             prefetch_hit=True,
             now=now,
-            mshr_occupancy=self.l1d_mshr.occupancy_fraction(now),
+            mshr_occupancy=mshr_occ,
         )
         self.l1d_prefetcher.on_prefetch_hit(info, pf_latency)
 
-    def issue_l1d_prefetch(self, req: PrefetchRequest, ip: int, now: int) -> bool:
+    def issue_l1d_prefetch(
+        self,
+        req: PrefetchRequest,
+        ip: int,
+        now: int,
+        _pline: Optional[int] = None,
+    ) -> bool:
         """Translate, filter, and issue one L1D-prefetcher request.
 
         Returns True when the prefetch actually went out to the hierarchy.
+        ``_pline`` is an internal fast path: the access hook pre-counts
+        the suggestion, translates, and runs the duplicate filter inline
+        before calling here (identical counters either way).
         """
-        stats = self.pf_stats["l1d"]
-        stats.suggested += 1
-        if req.line < 0:
-            stats.dropped_translation += 1
-            return False
-        pline = self.mmu.translate_prefetch(req.line)
-        if pline is None:
-            stats.dropped_translation += 1
-            return False
+        stats = self._pf_l1d_stats
+        vline = req.line
+        fill_level = req.fill_level
+        if _pline is not None:
+            pline = _pline
+        else:
+            stats.suggested += 1
+            if vline < 0:
+                stats.dropped_translation += 1
+                return False
+            pline = self.mmu.translate_prefetch(vline)
+            if pline is None:
+                stats.dropped_translation += 1
+                return False
 
-        # Duplicate suppression happens before a PQ slot is consumed:
-        # hardware PQs match same-address entries at insert, so repeated
-        # suggestions for already-covered lines are free and cannot
-        # starve other streams of queue space.
-        target = self.l1d if req.fill_level == FILL_L1 else (
-            self.l2 if req.fill_level == FILL_L2 else self.llc
-        )
-        if target.probe(pline):
-            stats.dropped_duplicate += 1
-            return False
-        if req.fill_level == FILL_L1 and self.l1d_mshr.lookup(pline, now):
+            # Duplicate suppression happens before a PQ slot is consumed:
+            # hardware PQs match same-address entries at insert, so
+            # repeated suggestions for already-covered lines are free and
+            # cannot starve other streams of queue space.  Most
+            # suggestions die here, so the presence index is probed
+            # directly.
+            target = self.l1d if fill_level == FILL_L1 else (
+                self.l2 if fill_level == FILL_L2 else self.llc
+            )
+            if pline in target._where:
+                stats.dropped_duplicate += 1
+                return False
+        if fill_level == FILL_L1 and self.l1d_mshr.lookup(pline, now):
             stats.dropped_duplicate += 1
             return False
 
@@ -467,7 +666,7 @@ class Hierarchy:
             return False
         issue_time = now + pq_delay
 
-        if req.fill_level == FILL_L1:
+        if fill_level == FILL_L1:
             # Keep two MSHR entries in reserve for demand misses, so a
             # prefetch burst cannot stall the demand path outright.
             if self.l1d_mshr.occupancy(issue_time) >= self.l1d_mshr.size - 2:
@@ -476,7 +675,7 @@ class Hierarchy:
             ready = self._access_l2(ip, pline, issue_time, is_prefetch=True)
             latency = ready - now
             self.l1d_mshr.allocate(
-                pline, issue_time, ready, is_prefetch=True, ip=ip, vline=req.line
+                pline, issue_time, ready, is_prefetch=True, ip=ip, vline=vline
             )
             self.l1d.fill(
                 pline,
@@ -484,13 +683,13 @@ class Hierarchy:
                 arrival_cycle=ready,
                 is_prefetch=True,
                 ip=ip,
-                vline=req.line,
+                vline=vline,
                 pf_latency=self._clamp_latency(latency),
                 pf_origin="l1d",
             )
             self.traffic_l1d_l2.prefetch += 1
             stats.fills += 1
-        elif req.fill_level == FILL_L2:
+        elif fill_level == FILL_L2:
             if self.l2.probe(pline) or self.l2_mshr.lookup(pline, now):
                 stats.dropped_duplicate += 1
                 return False
@@ -501,7 +700,7 @@ class Hierarchy:
             self.l2_mshr.allocate(pline, issue_time, ready, True, ip=ip)
             self.l2.fill(
                 pline, now=issue_time, arrival_cycle=ready, is_prefetch=True,
-                ip=ip, vline=req.line,
+                ip=ip, vline=vline,
                 pf_latency=self._clamp_latency(ready - now), pf_origin="l1d",
             )
             self.traffic_l1d_l2.prefetch += 1

@@ -15,11 +15,11 @@ property Berti's prediction path needs — the 70 % occupancy watermark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One in-flight miss."""
 
@@ -43,6 +43,7 @@ class MSHR:
         self.size = size
         self._entries: Dict[int, MSHREntry] = {}
         self._min_ready = 0  # earliest outstanding ready_cycle (fast path)
+        self._last_expire = -1  # memo: cycle the last expire scan ran at
         # Statistics
         self.allocations = 0
         self.merges = 0
@@ -52,20 +53,37 @@ class MSHR:
         return len(self._entries)
 
     def _expire(self, now: int) -> None:
-        """Drop entries whose fill has arrived by ``now``."""
+        """Drop entries whose fill has arrived by ``now``.
+
+        Guarded by ``_min_ready`` so the common no-op case costs one
+        comparison; the scan below only runs when something can expire.
+        A second memo skips repeat scans at the same cycle — the demand
+        path legitimately calls lookup/can_allocate/allocate with the
+        same ``now``, and expiry is idempotent per cycle (new entries
+        allocated at ``now`` become ready strictly later).
+        """
+        if now == self._last_expire:
+            return
+        self._last_expire = now
         entries = self._entries
         if not entries or now < self._min_ready:
             return
-        done = [line for line, e in entries.items() if e.ready_cycle <= now]
+        done = []
+        min_ready = None
+        for line, e in entries.items():
+            ready = e.ready_cycle
+            if ready <= now:
+                done.append(line)
+            elif min_ready is None or ready < min_ready:
+                min_ready = ready
         for line in done:
             del entries[line]
-        self._min_ready = (
-            min(e.ready_cycle for e in entries.values()) if entries else 0
-        )
+        self._min_ready = min_ready if min_ready is not None else 0
 
     def occupancy(self, now: int) -> int:
         """Number of outstanding entries at cycle ``now``."""
-        self._expire(now)
+        if now != self._last_expire:
+            self._expire(now)
         return len(self._entries)
 
     def occupancy_fraction(self, now: int) -> float:
@@ -76,7 +94,8 @@ class MSHR:
 
     def lookup(self, line: int, now: int) -> Optional[MSHREntry]:
         """Return the in-flight entry for ``line`` if one exists at ``now``."""
-        self._expire(now)
+        if now != self._last_expire:
+            self._expire(now)
         return self._entries.get(line)
 
     def can_allocate(self, now: int) -> bool:
@@ -98,7 +117,9 @@ class MSHR:
         :meth:`can_allocate` first (demand misses in the simulator stall the
         core instead, prefetches are dropped).
         """
-        if not self.can_allocate(now):
+        if now != self._last_expire:
+            self._expire(now)
+        if len(self._entries) >= self.size:
             self.full_rejections += 1
             raise RuntimeError("MSHR full")
         entry = MSHREntry(
@@ -147,6 +168,8 @@ class MSHR:
     def reset(self) -> None:
         """Clear all state (used between warmup and measurement)."""
         self._entries.clear()
+        self._min_ready = 0
+        self._last_expire = -1
         self.allocations = 0
         self.merges = 0
         self.full_rejections = 0

@@ -49,19 +49,21 @@ class LRUPolicy(ReplacementPolicy):
         self._age: List[List[int]] = [[0] * num_ways for _ in range(num_sets)]
         self._clock: List[int] = [0] * num_sets
 
-    def _touch(self, set_index: int, way: int) -> None:
-        self._clock[set_index] += 1
-        self._age[set_index][way] = self._clock[set_index]
-
     def on_fill(self, set_index: int, way: int) -> None:
-        self._touch(set_index, way)
+        clock = self._clock[set_index] + 1
+        self._clock[set_index] = clock
+        self._age[set_index][way] = clock
 
     def on_hit(self, set_index: int, way: int) -> None:
-        self._touch(set_index, way)
+        clock = self._clock[set_index] + 1
+        self._clock[set_index] = clock
+        self._age[set_index][way] = clock
 
     def victim(self, set_index: int) -> int:
+        # index(min(...)) runs both steps at C speed and picks the same
+        # (first) minimal way as a keyed min over way indices.
         ages = self._age[set_index]
-        return min(range(self.num_ways), key=ages.__getitem__)
+        return ages.index(min(ages))
 
 
 class FIFOPolicy(ReplacementPolicy):
@@ -85,7 +87,7 @@ class FIFOPolicy(ReplacementPolicy):
 
     def victim(self, set_index: int) -> int:
         order = self._order[set_index]
-        return min(range(self.num_ways), key=order.__getitem__)
+        return order.index(min(order))
 
 
 class RandomPolicy(ReplacementPolicy):
@@ -132,12 +134,16 @@ class SRRIPPolicy(ReplacementPolicy):
 
     def victim(self, set_index: int) -> int:
         rrpvs = self._rrpv[set_index]
+        max_rrpv = self.MAX_RRPV
         while True:
-            for way in range(self.num_ways):
-                if rrpvs[way] == self.MAX_RRPV:
-                    return way
-            for way in range(self.num_ways):
-                rrpvs[way] += 1
+            # list.index finds the same first way at RRPV max as the
+            # way-order scan, at C speed; misses dominate eviction, so
+            # the aging pass (no candidate yet) is the rare branch.
+            try:
+                return rrpvs.index(max_rrpv)
+            except ValueError:
+                for way in range(self.num_ways):
+                    rrpvs[way] += 1
 
 
 class DRRIPPolicy(SRRIPPolicy):

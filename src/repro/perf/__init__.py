@@ -1,0 +1,44 @@
+"""Performance measurement: profiling hooks and the microbenchmark suite.
+
+Two halves, both serving the "fast enough for large sweeps" goal
+(ROADMAP):
+
+* :mod:`repro.perf.profiling` — a thin cProfile harness behind the CLI
+  ``--profile`` flag, for finding where a simulation run spends time.
+* :mod:`repro.perf.bench` — the records/sec microbenchmark suite behind
+  ``benchmarks/perf/bench_simcore.py``, which writes the
+  ``BENCH_simcore.json`` trajectory artifact and gates CI on
+  regressions against a committed baseline.
+"""
+
+from repro.perf.bench import (
+    BenchCase,
+    BenchResult,
+    calibrate_host,
+    check_regression,
+    default_cases,
+    load_report,
+    run_case,
+    run_suite,
+    write_report,
+)
+from repro.perf.profiling import (
+    format_top_functions,
+    profile_call,
+    top_functions,
+)
+
+__all__ = [
+    "BenchCase",
+    "BenchResult",
+    "calibrate_host",
+    "check_regression",
+    "default_cases",
+    "load_report",
+    "run_case",
+    "run_suite",
+    "write_report",
+    "format_top_functions",
+    "profile_call",
+    "top_functions",
+]

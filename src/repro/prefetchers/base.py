@@ -24,7 +24,7 @@ FILL_L2 = 2
 FILL_LLC = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchRequest:
     """A suggestion emitted by a prefetcher hook.
 
@@ -38,7 +38,7 @@ class PrefetchRequest:
     confidence: float = 1.0
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessInfo:
     """Everything a hook may want to know about one cache access."""
 
@@ -52,7 +52,7 @@ class AccessInfo:
     pq_occupancy: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class FillInfo:
     """Notification that a line was installed in the prefetcher's cache."""
 

@@ -69,11 +69,14 @@ def simulate_multicore(
             asid=cid + 1,
         )
         if prewarm_tlb:
-            h.mmu.prewarm(r[1] >> 6 for r in traces[cid].records)
+            h.mmu.prewarm(traces[cid].line_addresses())
         hierarchies.append(h)
         cores.append(CoreModel(config_mc.core))
 
-    records = [t.records for t in traces]
+    # Materialise row tuples once: the replay loop below indexes records
+    # repeatedly (finished cores keep replaying), so per-index tuple
+    # construction from the columnar store would be paid many times.
+    records = [t.records[:] for t in traces]
     lengths = [len(r) for r in records]
     warmup_end = [int(n * warmup_fraction) for n in lengths]
     position = [0] * num_cores
@@ -103,11 +106,7 @@ def simulate_multicore(
                 if gap:
                     core.advance_nonmem(gap)
                 core.issue_memory(
-                    lambda now, _ip=ip, _va=vaddr, _w=is_write: h.demand_access(
-                        _ip, _va, now, _w
-                    ),
-                    is_write=is_write,
-                    dep=dep,
+                    h.demand_access, ip, vaddr, is_write=is_write, dep=dep
                 )
                 consumed[cid] += 1
                 position[cid] = (idx + 1) % n

@@ -1,0 +1,79 @@
+"""Record golden SimResult snapshots for the engine-refactor guard.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/record_golden.py
+
+Writes ``tests/golden/simcore_golden.json``: the full ``SimResult``
+dict for a small matrix of (trace × L1D prefetcher) runs.  The golden
+file was recorded with the pre-refactor (PR 1) engine; the test
+``tests/test_golden_stats.py`` asserts the current engine reproduces
+every counter bit-for-bit, so hot-path optimisations cannot silently
+change simulation semantics.
+
+Regenerate only when a PR *intentionally* changes simulation results,
+and say so in the PR description.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).parent / "simcore_golden.json"
+
+#: (trace spec, scale); "synth:golden" is built inline below so the
+#: golden run does not depend on any suite generator's RNG stream.
+GOLDEN_TRACES = [
+    ("synth:golden", 0.0),
+    ("bfs-kron", 0.1),
+    ("mcf_s-1554B", 0.1),
+]
+GOLDEN_PREFETCHERS = ["none", "berti"]
+
+
+def build_golden_trace(spec: str, scale: float):
+    """Resolve one golden trace spec deterministically."""
+    from repro.workloads.catalog import resolve_trace
+    from repro.workloads.synthetic import pattern_stream, strided_stream
+    from repro.workloads.trace import Trace, interleave
+
+    if spec != "synth:golden":
+        return resolve_trace(spec, scale)
+    # A fixed, RNG-free mix: one constant stride, one repeating stride
+    # pattern, one write-heavy stream — enough to exercise hits, misses,
+    # writebacks, and Berti's delta learning.
+    a = Trace("a")
+    a.extend(strided_stream(0x100, 0x10000, 1, 1500, gap=6))
+    b = Trace("b")
+    b.extend(pattern_stream(0x200, 0x400000, [1, 3, 1, 3], 1500, gap=4))
+    c = Trace("c")
+    c.extend(strided_stream(0x300, 0x800000, 2, 1500, gap=8, is_write=True))
+    out = interleave([a, b, c], "golden_synth", chunk=2)
+    out.suite = "synthetic"
+    return out
+
+
+def run_golden_matrix():
+    """All golden runs as {key: SimResult-dict}."""
+    from repro.prefetchers.registry import make_prefetcher
+    from repro.simulator.engine import simulate
+
+    results = {}
+    for spec, scale in GOLDEN_TRACES:
+        trace = build_golden_trace(spec, scale)
+        for pf in GOLDEN_PREFETCHERS:
+            res = simulate(trace, l1d_prefetcher=make_prefetcher(pf))
+            results[f"{spec}@{scale}#{pf}"] = res.to_dict()
+    return results
+
+
+def main() -> int:
+    results = run_golden_matrix()
+    GOLDEN_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+    print(f"wrote {GOLDEN_PATH} ({len(results)} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

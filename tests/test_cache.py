@@ -1,5 +1,7 @@
 """Unit tests for the set-associative cache model."""
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -35,10 +37,10 @@ class TestLookupFill:
     def test_probe_has_no_side_effects(self):
         c = make_cache()
         c.fill(100, 0, 0, False)
-        before = vars(c.stats).copy()
+        before = dataclasses.asdict(c.stats)
         assert c.probe(100)
         assert not c.probe(101)
-        assert vars(c.stats) == before
+        assert dataclasses.asdict(c.stats) == before
 
     def test_fill_evicts_within_set(self):
         c = make_cache(ways=2, size_bytes=2 * 64 * 2)  # 2 sets, 2 ways
@@ -119,13 +121,14 @@ class TestPrefetchMetadata:
 
 class TestEvictionHook:
     def test_hook_called_with_victim(self):
+        # The hook sees the live line before it is reused for the incoming
+        # fill, so it must copy any fields it wants to retain.
         seen = []
         c = make_cache(ways=1, size_bytes=64)
-        c.eviction_hook = seen.append
+        c.eviction_hook = lambda cl: seen.append((cl.tag, cl.prefetched))
         c.fill(0, 0, 0, is_prefetch=True, pf_origin="l1d")
         c.fill(1, 0, 0, False)
-        assert len(seen) == 1
-        assert seen[0].tag == 0 and seen[0].prefetched
+        assert seen == [(0, True)]
 
 
 class TestInvalidate:

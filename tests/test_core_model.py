@@ -10,7 +10,7 @@ class TestBandwidthBounds:
         core = CoreModel(CoreConfig(issue_width=6, retire_width=4))
         for _ in range(500):
             core.advance_nonmem(9)
-            core.issue_memory(lambda now: 1)
+            core.issue_memory(lambda ip, va, now, w: 1)
         assert core.ipc <= 4.0 + 1e-9
 
     def test_nonmem_only_frontend_bound(self):
@@ -21,7 +21,7 @@ class TestBandwidthBounds:
     def test_instruction_count(self):
         core = CoreModel()
         core.advance_nonmem(10)
-        core.issue_memory(lambda now: 5)
+        core.issue_memory(lambda ip, va, now, w: 5)
         assert core.instructions == 11
 
 
@@ -33,14 +33,14 @@ class TestLatencyHiding:
         n, lat = 200, 100
         for _ in range(n):
             core.advance_nonmem(3)
-            core.issue_memory(lambda now: lat)
+            core.issue_memory(lambda ip, va, now, w: lat)
         assert core.cycles < n * lat / 4
 
     def test_dependent_loads_serialise(self):
         core = CoreModel()
         n, lat = 50, 100
         for _ in range(n):
-            core.issue_memory(lambda now: lat, dep=1)
+            core.issue_memory(lambda ip, va, now, w: lat, dep=1)
         assert core.cycles >= n * lat * 0.9
 
     def test_dependency_distance(self):
@@ -48,10 +48,10 @@ class TestLatencyHiding:
         finish in about half the time of one serial chain."""
         serial = CoreModel()
         for _ in range(40):
-            serial.issue_memory(lambda now: 100, dep=1)
+            serial.issue_memory(lambda ip, va, now, w: 100, dep=1)
         paired = CoreModel()
         for _ in range(40):
-            paired.issue_memory(lambda now: 100, dep=2)
+            paired.issue_memory(lambda ip, va, now, w: 100, dep=2)
         assert paired.cycles < serial.cycles * 0.7
 
     def test_rob_limits_overlap(self):
@@ -61,7 +61,7 @@ class TestLatencyHiding:
         for core in (big, small):
             for _ in range(100):
                 core.advance_nonmem(1)
-                core.issue_memory(lambda now: 200)
+                core.issue_memory(lambda ip, va, now, w: 200)
         assert small.cycles > big.cycles
 
     def test_lower_latency_higher_ipc(self):
@@ -70,7 +70,7 @@ class TestLatencyHiding:
         for core, lat in ((fast, 10), (slow, 400)):
             for _ in range(150):
                 core.advance_nonmem(2)
-                core.issue_memory(lambda now, lat=lat: lat, dep=1)
+                core.issue_memory(lambda ip, va, now, w, lat=lat: lat, dep=1)
         assert fast.ipc > slow.ipc
 
 
@@ -79,16 +79,16 @@ class TestStores:
         loads = CoreModel()
         stores = CoreModel()
         for _ in range(100):
-            loads.issue_memory(lambda now: 300, is_write=False)
-            stores.issue_memory(lambda now: 300, is_write=True)
+            loads.issue_memory(lambda ip, va, now, w: 300, is_write=False)
+            stores.issue_memory(lambda ip, va, now, w: 300, is_write=True)
         assert stores.cycles < loads.cycles
 
     def test_stores_not_in_dependency_window(self):
         core = CoreModel()
-        core.issue_memory(lambda now: 500, is_write=True)
+        core.issue_memory(lambda ip, va, now, w: 500, is_write=True)
         # dep=1 should look past the store... there is no prior load, so
         # the next load issues immediately.
-        t = core.issue_memory(lambda now: 10, dep=1)
+        t = core.issue_memory(lambda ip, va, now, w: 10, dep=1)
         assert t < 100
 
 
@@ -103,13 +103,13 @@ class TestClock:
         core = CoreModel()
         seen = []
         core.advance_nonmem(60)
-        core.issue_memory(lambda now: seen.append(now) or 1)
+        core.issue_memory(lambda ip, va, now, w: seen.append(now) or 1)
         assert seen[0] >= 10  # 60 instr / 6-issue = 10 cycles
 
     def test_snapshot_monotone(self):
         core = CoreModel()
-        core.issue_memory(lambda now: 100)
+        core.issue_memory(lambda ip, va, now, w: 100)
         i1, c1 = core.snapshot()
-        core.issue_memory(lambda now: 100)
+        core.issue_memory(lambda ip, va, now, w: 100)
         i2, c2 = core.snapshot()
         assert i2 > i1 and c2 >= c1
