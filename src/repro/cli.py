@@ -5,9 +5,13 @@ Examples::
     python -m repro list
     python -m repro trace-info --trace mcf_s-1554B
     python -m repro run --trace mcf_s-1554B --l1d berti
+    python -m repro run --trace mcf_s-1554B --l1d berti --sanitize \
+        --snapshot-every 500 --snapshot-dir ckpts/
+    python -m repro run --trace mcf_s-1554B --l1d berti --resume-from ckpts/
     python -m repro compare --trace bc-kron --l1d ip_stride,ipcp,berti
     python -m repro suite --suite spec17 --l1d mlop,ipcp,berti --scale 0.3 \
         --workers 4 --journal suite.jsonl --resume
+    python -m repro sancheck --quick
     python -m repro storage
 
 ``suite`` and ``compare`` execute through the resilient runner
@@ -15,6 +19,12 @@ Examples::
 and hangs fail one job instead of the campaign, and a ``--journal``
 makes an interrupted suite resumable with ``--resume``.  See
 ``docs/runner.md``.
+
+``sancheck`` and the ``--sanitize`` / ``--snapshot-every`` /
+``--resume-from`` flags belong to the sanitizer subsystem
+(:mod:`repro.sanitizer`): runtime invariant checking, a differential
+lockstep oracle against a pure-reference engine, and crash-durable
+snapshots with bit-identical resume.  See ``docs/sanitizer.md``.
 """
 
 from __future__ import annotations
@@ -111,7 +121,12 @@ def cmd_run(args) -> int:
     # One job, run inline through the typed worker: trace/prefetcher
     # errors arrive classified and the result is invariant-checked.
     spec = JobSpec(trace=args.trace, l1d=args.l1d, l2=args.l2,
-                   scale=args.scale, mtps=args.mtps)
+                   scale=args.scale, mtps=args.mtps,
+                   sanitize=args.sanitize,
+                   sanitize_every=args.sanitize_every,
+                   snapshot_every=args.snapshot_every,
+                   snapshot_dir=args.snapshot_dir,
+                   resume_from=args.resume_from)
     if args.profile is not None:
         from repro.perf.profiling import profile_and_report
 
@@ -205,6 +220,66 @@ def cmd_suite(args) -> int:
     return 0 if not suite.failures else 3
 
 
+def cmd_sancheck(args) -> int:
+    """Differential check: optimized engine vs. pure-reference engine."""
+    from repro.prefetchers.registry import L1D_PREFETCHERS, L2_PREFETCHERS
+    from repro.sanitizer import lockstep_multicore, lockstep_run, quick_trace
+
+    reports = []
+    if args.quick:
+        trace = quick_trace(args.records)
+        for pf in L1D_PREFETCHERS:
+            reports.append(lockstep_run(trace, l1d=pf))
+            print(reports[-1].describe())
+        for pf in L2_PREFETCHERS:
+            if pf == "none":
+                continue  # covered by the L1D sweep's l2="none"
+            reports.append(lockstep_run(trace, l2=pf))
+            print(reports[-1].describe())
+        mix = [quick_trace(args.records // 2, f"mix{i}") for i in range(2)]
+        reports.append(lockstep_multicore(mix, ["berti", "none"],
+                                          ["none", "spp"]))
+        print(reports[-1].describe())
+    else:
+        trace = resolve_trace(args.trace, args.scale)
+        reports.append(lockstep_run(
+            trace, l1d=args.l1d, l2=args.l2,
+            seed_divergence=args.seed_divergence,
+        ))
+        print(reports[-1].describe())
+    if args.seed_divergence is not None and args.quick:
+        trace = quick_trace(args.records)
+        reports.append(lockstep_run(
+            trace, l1d="berti", seed_divergence=args.seed_divergence,
+        ))
+        print(reports[-1].describe())
+
+    bad = [r for r in reports if not r.ok]
+    seeded = args.seed_divergence is not None
+    if seeded:
+        # The seeded run MUST diverge (it validates the oracle itself);
+        # everything else must agree.
+        expected_bad = [r for r in bad
+                        if r.diverged_at == args.seed_divergence]
+        real_bad = [r for r in bad
+                    if r.diverged_at != args.seed_divergence]
+        if not expected_bad:
+            print("error: seeded divergence was NOT detected",
+                  file=sys.stderr)
+            return 4
+        if real_bad:
+            return 4
+        print(f"seeded divergence detected at access "
+              f"{args.seed_divergence}, as required")
+        return 0
+    if bad:
+        print(f"error: {len(bad)}/{len(reports)} differential runs "
+              f"diverged", file=sys.stderr)
+        return 4
+    print(f"all {len(reports)} differential runs bit-identical")
+    return 0
+
+
 def cmd_storage(args) -> int:
     from repro.core.config import BertiConfig
 
@@ -266,6 +341,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rows in the --profile hot-function table")
     run.add_argument("--mtps", type=int, default=None,
                      help="DRAM transfer rate (6400/3200/1600)")
+    g = run.add_argument_group("sanitizer / durability (docs/sanitizer.md)")
+    g.add_argument("--sanitize", action="store_true",
+                   help="run with SimSan runtime invariant checking")
+    g.add_argument("--sanitize-every", type=int, default=64,
+                   metavar="N", help="check invariants every N accesses "
+                   "(default 64)")
+    g.add_argument("--snapshot-every", type=int, default=0, metavar="N",
+                   help="write a crash-durable snapshot every N records "
+                        "(requires --snapshot-dir)")
+    g.add_argument("--snapshot-dir", default=None,
+                   help="directory for snap-<index>.ckpt files")
+    g.add_argument("--resume-from", default=None, metavar="PATH",
+                   help="resume from a snapshot file (or the newest "
+                        "snapshot in a directory); bit-identical to the "
+                        "uninterrupted run")
 
     cmp_ = sub.add_parser("compare", help="compare prefetchers on a trace")
     cmp_.add_argument("--trace", required=True)
@@ -285,6 +375,25 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--mtps", type=int, default=None)
     _add_runner_args(suite)
 
+    san = sub.add_parser(
+        "sancheck",
+        help="differential check vs. the pure-reference engine",
+    )
+    san.add_argument("--quick", action="store_true",
+                     help="sweep every registry prefetcher plus one "
+                          "multicore mix on a small synthetic trace")
+    san.add_argument("--records", type=int, default=1200,
+                     help="records in the --quick synthetic trace")
+    san.add_argument("--trace", default="mcf_s-1554B",
+                     help="catalog trace for a single targeted check")
+    san.add_argument("--scale", type=float, default=0.2)
+    san.add_argument("--l1d", default="berti")
+    san.add_argument("--l2", default="none")
+    san.add_argument("--seed-divergence", type=int, default=None,
+                     metavar="N",
+                     help="perturb the optimized engine at access N; the "
+                          "oracle must localise the divergence to N")
+
     sub.add_parser("storage", help="hardware budgets incl. Table I")
     return p
 
@@ -293,6 +402,7 @@ COMMANDS = {
     "list": cmd_list,
     "trace-info": cmd_trace_info,
     "run": cmd_run,
+    "sancheck": cmd_sancheck,
     "compare": cmd_compare,
     "suite": cmd_suite,
     "storage": cmd_storage,

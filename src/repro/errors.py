@@ -93,6 +93,70 @@ class SimulationError(ReproError):
     retryable = True
 
 
+class SanitizerError(SimulationError):
+    """A runtime invariant check (SimSan) failed mid-simulation.
+
+    Carries the index of the demand access at which the violation was
+    detected and a structured dump of the offending hardware structure,
+    so the failure is reproducible and debuggable without re-running.
+    Not retryable: a corrupted simulator state is deterministic.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        trace: Optional[str] = None,
+        prefetcher: Optional[str] = None,
+        field: Optional[str] = None,
+        access_index: Optional[int] = None,
+        structure: Optional[str] = None,
+        dump: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.access_index = access_index
+        self.structure = structure
+        self.dump = dump or {}
+        super().__init__(message, trace=trace, prefetcher=prefetcher,
+                         field=field)
+
+    def _render(self) -> str:
+        base = super()._render()
+        parts = []
+        if self.structure:
+            parts.append(f"structure={self.structure}")
+        if self.access_index is not None:
+            parts.append(f"access_index={self.access_index}")
+        if parts:
+            base = f"{base} [{' '.join(parts)}]"
+        if self.dump:
+            base = f"{base}\n  dump: {self.dump!r}"
+        return base
+
+    def __reduce__(self):
+        return (
+            _rebuild_sanitizer,
+            (self.__class__, self.message, self.trace, self.prefetcher,
+             self.field, self.access_index, self.structure, self.dump),
+        )
+
+
+def _rebuild_sanitizer(cls, message, trace, prefetcher, field, access_index,
+                       structure, dump):
+    return cls(message, trace=trace, prefetcher=prefetcher, field=field,
+               access_index=access_index, structure=structure, dump=dump)
+
+
+class SnapshotError(ReproError):
+    """A simulator snapshot could not be written, read, or trusted.
+
+    Raised on checksum mismatches, truncated files, unsupported format
+    versions, and trace/config identity mismatches on ``--resume-from``.
+    Never retryable: a corrupt snapshot stays corrupt.
+    """
+
+
 class JobTimeout(ReproError):
     """A job exceeded its wall-clock budget and was killed."""
 

@@ -157,6 +157,17 @@ class Cache:
         self.eviction_hook: Optional[Callable[[CacheLine], None]] = None
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        # The eviction hook is a closure over the owning hierarchy and
+        # cannot be pickled; Hierarchy.__setstate__ rewires it on load.
+        state = self.__dict__.copy()
+        state["eviction_hook"] = None
+        return state
+
+    # ------------------------------------------------------------------
     # Lookup / fill
     # ------------------------------------------------------------------
 

@@ -222,6 +222,25 @@ class Hierarchy:
         self.llc.eviction_hook = account_useless
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Instrumentation (the sanitizer, the lockstep oracle) installs a
+        # wrapper as an instance attribute shadowing the demand_access
+        # method; it closes over unpicklable state and is re-attached by
+        # whoever restores the snapshot.
+        state.pop("demand_access", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Cache.__getstate__ drops the eviction-hook closures; restore
+        # the useless-prefetch accounting against *this* hierarchy.
+        self._wire_eviction_hooks()
+
+    # ------------------------------------------------------------------
     # Demand path
     # ------------------------------------------------------------------
 

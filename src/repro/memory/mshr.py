@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.errors import SimulationError
+
 
 @dataclass(slots=True)
 class MSHREntry:
@@ -113,15 +115,19 @@ class MSHR:
     ) -> MSHREntry:
         """Allocate an entry for a new miss.
 
-        Raises :class:`RuntimeError` when full; callers must check
-        :meth:`can_allocate` first (demand misses in the simulator stall the
-        core instead, prefetches are dropped).
+        Raises :class:`~repro.errors.SimulationError` when full; callers
+        must check :meth:`can_allocate` first (demand misses in the
+        simulator stall the core instead, prefetches are dropped).
         """
         if now != self._last_expire:
             self._expire(now)
         if len(self._entries) >= self.size:
             self.full_rejections += 1
-            raise RuntimeError("MSHR full")
+            raise SimulationError(
+                f"MSHR full: {len(self._entries)}/{self.size} entries "
+                f"outstanding at cycle {now} (line {line:#x})",
+                field="mshr",
+            )
         entry = MSHREntry(
             line=line,
             alloc_cycle=now,

@@ -34,6 +34,16 @@ class JobSpec:
     mtps: Optional[int] = None
     warmup_fraction: float = 0.2
     fault: Optional[FaultSpec] = None
+    # Instrumentation/durability knobs (repro.sanitizer).  None of these
+    # changes the simulation result — the sanitizer is read-only and a
+    # snapshotted/resumed run is bit-identical — so they are deliberately
+    # excluded from `key`: journals written before these fields existed
+    # stay replayable, and a sanitized re-run can reuse a prior result.
+    sanitize: bool = False
+    sanitize_every: int = 64
+    snapshot_every: int = 0
+    snapshot_dir: Optional[str] = None
+    resume_from: Optional[str] = None
 
     @property
     def key(self) -> str:

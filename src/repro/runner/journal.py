@@ -21,6 +21,8 @@ or corrupt lines (a worker killed mid-write) are skipped, not fatal.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -54,11 +56,49 @@ class Journal:
         return records
 
     def append(self, outcome: RunOutcome) -> None:
-        """Record one outcome, flushed to disk before returning."""
+        """Record one outcome, durable on disk before returning.
+
+        Write-temp-then-rename: the journal's existing bytes plus the
+        new line go to a temp file in the same directory, are fsynced,
+        and replace the journal atomically.  A crash at any point leaves
+        either the old journal or the new one — never a torn line in the
+        middle of the file (a torn *tail* from pre-hardening journals is
+        still tolerated by :meth:`load`).  Journals are one line per
+        finished job, so the rewrite is a few kilobytes per append.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(self._encode(outcome)) + "\n")
-            fh.flush()
+        try:
+            existing = self.path.read_bytes()
+        except FileNotFoundError:
+            existing = b""
+        if existing and not existing.endswith(b"\n"):
+            existing += b"\n"  # heal a torn tail so the new record parses
+        line = (json.dumps(self._encode(outcome)) + "\n").encode("utf-8")
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=".journal-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(existing + line)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        try:
+            dir_fd = os.open(str(self.path.parent), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     @staticmethod
     def _encode(outcome: RunOutcome) -> dict:

@@ -69,14 +69,33 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
 
     post_build = hierarchy_fault_hook(fault) if fault else None
     try:
-        result = simulate(
-            trace,
-            l1d_prefetcher=l1d,
-            l2_prefetcher=l2,
-            config=config,
-            warmup_fraction=spec.warmup_fraction,
-            post_build=post_build,
-        )
+        if spec.sanitize or spec.snapshot_every or spec.resume_from:
+            from repro.sanitizer import SanitizerConfig, simulate_with_snapshots
+
+            result = simulate_with_snapshots(
+                trace,
+                l1d_prefetcher=l1d,
+                l2_prefetcher=l2,
+                config=config,
+                warmup_fraction=spec.warmup_fraction,
+                post_build=post_build,
+                snapshot_every=spec.snapshot_every,
+                snapshot_dir=spec.snapshot_dir,
+                resume_from=spec.resume_from,
+                sanitize=(
+                    SanitizerConfig(check_every=spec.sanitize_every)
+                    if spec.sanitize else None
+                ),
+            )
+        else:
+            result = simulate(
+                trace,
+                l1d_prefetcher=l1d,
+                l2_prefetcher=l2,
+                config=config,
+                warmup_fraction=spec.warmup_fraction,
+                post_build=post_build,
+            )
     except ReproError:
         raise
     except Exception as exc:

@@ -1,0 +1,64 @@
+"""Simulation sanitizer: runtime invariants, differential oracle,
+crash-durable snapshots.
+
+Three independent robustness layers over the simulation core:
+
+* :mod:`repro.sanitizer.invariants` — SimSan, opt-in runtime invariant
+  checking of caches, replacement metadata, MSHRs, the PQ, and Berti's
+  hardware tables (``--sanitize``);
+* :mod:`repro.sanitizer.reference` + :mod:`repro.sanitizer.lockstep` —
+  a pure virtual-dispatch reference engine run in lockstep with the
+  optimised engine (``repro sancheck``), localising any fast-path
+  divergence to the first differing access;
+* :mod:`repro.sanitizer.snapshot` — versioned, checksummed mid-trace
+  snapshots with bit-identical resume (``--snapshot-every`` /
+  ``--resume-from``).
+
+See ``docs/sanitizer.md`` for the invariant catalogue and workflows.
+"""
+
+from repro.sanitizer.config import CHECK_FAMILIES, SanitizerConfig
+from repro.sanitizer.invariants import (
+    Sanitizer,
+    attach_sanitizer,
+    check_hierarchy,
+    sanitizer_post_build,
+)
+from repro.sanitizer.lockstep import (
+    LockstepReport,
+    lockstep_multicore,
+    lockstep_run,
+    quick_trace,
+)
+from repro.sanitizer.reference import is_reference, to_reference
+from repro.sanitizer.snapshot import (
+    SnapshotState,
+    latest_snapshot,
+    load_snapshot,
+    save_snapshot,
+    simulate_with_snapshots,
+    snapshot_path,
+    trace_digest,
+)
+
+__all__ = [
+    "CHECK_FAMILIES",
+    "SanitizerConfig",
+    "Sanitizer",
+    "attach_sanitizer",
+    "check_hierarchy",
+    "sanitizer_post_build",
+    "LockstepReport",
+    "lockstep_multicore",
+    "lockstep_run",
+    "quick_trace",
+    "is_reference",
+    "to_reference",
+    "SnapshotState",
+    "latest_snapshot",
+    "load_snapshot",
+    "save_snapshot",
+    "simulate_with_snapshots",
+    "snapshot_path",
+    "trace_digest",
+]

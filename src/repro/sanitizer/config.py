@@ -1,0 +1,48 @@
+"""Configuration for the SimSan runtime invariant checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.errors import ConfigError
+
+#: Invariant families the checker knows how to validate.
+CHECK_FAMILIES = frozenset(
+    {"cache", "replacement", "mshr", "pq", "berti"}
+)
+
+
+@dataclass(frozen=True)
+class SanitizerConfig:
+    """Knobs for :func:`repro.sanitizer.invariants.attach_sanitizer`.
+
+    ``check_every`` trades coverage for speed: 1 validates after every
+    demand access (exact first-violation localisation), larger strides
+    amortise the structural scans over long traces.  The reported access
+    index is exact either way — it is the index of the access after
+    which the violation was *detected*; with a stride the corruption may
+    have happened up to ``check_every - 1`` accesses earlier.
+    """
+
+    check_every: int = 64
+    families: FrozenSet[str] = field(default_factory=lambda: CHECK_FAMILIES)
+    #: Include full structure dumps in the raised SanitizerError.  Off
+    #: only makes sense for huge structures in memory-constrained runs.
+    dump_structures: bool = True
+
+    def __post_init__(self) -> None:
+        if self.check_every < 1:
+            raise ConfigError(
+                f"check_every must be >= 1, got {self.check_every}",
+                field="check_every",
+            )
+        unknown = set(self.families) - CHECK_FAMILIES
+        if unknown:
+            raise ConfigError(
+                f"unknown sanitizer families {sorted(unknown)}; "
+                f"choose from {sorted(CHECK_FAMILIES)}",
+                field="families",
+            )
+        # Normalise to a frozenset so configs hash/pickle predictably.
+        object.__setattr__(self, "families", frozenset(self.families))

@@ -1,0 +1,494 @@
+"""SimSan: runtime invariant checking for the simulation core.
+
+An opt-in instrumentation layer that validates deep structural
+invariants of the simulated hardware *while the simulation runs*,
+instead of trusting post-hoc statistics checks.  Attach it with
+:func:`attach_sanitizer` (or the ``--sanitize`` CLI flag); it wraps
+``Hierarchy.demand_access`` and, every ``check_every`` accesses, walks
+the hierarchy's structures:
+
+* **cache** — presence-index (``_where``) ↔ way-array consistency,
+  ``_valid_count`` bookkeeping, duplicate-tag/duplicate-way detection,
+  prefetch metadata ranges;
+* **replacement** — LRU clock uniqueness and bounds, SRRIP/DRRIP RRPV
+  range, DRRIP PSEL range;
+* **mshr** — occupancy bound, per-entry timestamp monotonicity
+  (``alloc_cycle <= ready_cycle``), expired-entry leaks (an entry whose
+  ``ready_cycle`` is at or before the last expire scan should have been
+  released), and soundness of the ``_min_ready`` expire guard;
+* **pq** — occupancy bound and FIFO service-time discipline;
+* **berti** — delta-table tag-index consistency, coverage/counter
+  bounds (``coverage <= counter <= counter_max - 1``), status validity,
+  FIFO pointer ranges, and history-table ring discipline (ages strictly
+  decreasing walking back from the insertion pointer) with
+  hardware-width field bounds.
+
+Checks are strictly **read-only**: they never call methods with lazy
+side effects (MSHR/PQ expiry), so an instrumented run is bit-identical
+to an uninstrumented one.  A violation raises a typed
+:class:`~repro.errors.SanitizerError` carrying the index of the access
+after which it was detected and a dump of the offending structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.delta_table import L2_PREF_REPL, NO_PREF, DeltaTable
+from repro.core.history_table import HistoryTable
+from repro.errors import SanitizerError
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import Hierarchy, _FIFOQueue
+from repro.memory.mshr import MSHR
+from repro.memory.replacement import (
+    DRRIPPolicy,
+    LRUPolicy,
+    SRRIPPolicy,
+)
+from repro.sanitizer.config import SanitizerConfig
+
+#: (structure name, message, dump) — one detected violation.
+Violation = Tuple[str, str, Dict[str, Any]]
+
+
+# ----------------------------------------------------------------------
+# Per-structure checkers (read-only, usable standalone in tests)
+# ----------------------------------------------------------------------
+
+def check_cache(cache: Cache) -> List[Violation]:
+    """Structural consistency of one cache's presence index and ways."""
+    out: List[Violation] = []
+    name = cache.name
+    sets = cache.sets
+    ways = cache.ways
+    num_sets = cache.num_sets
+    mask = cache._set_mask
+
+    claimed: Dict[Tuple[int, int], int] = {}
+    for line, way in cache._where.items():
+        sidx = line & mask
+        dump = {"cache": name, "line": line, "set": sidx, "way": way}
+        if not 0 <= way < ways:
+            out.append((name, f"_where[{line:#x}] = way {way} out of "
+                        f"[0, {ways})", dump))
+            continue
+        ways_list = sets[sidx]
+        if not ways_list:
+            out.append((name, f"_where[{line:#x}] points into an "
+                        f"unmaterialised set {sidx}", dump))
+            continue
+        cl = ways_list[way]
+        if not cl.valid:
+            out.append((name, f"_where[{line:#x}] points at invalid "
+                        f"way {way} of set {sidx}", dump))
+        elif cl.tag != line:
+            out.append((name, f"_where[{line:#x}] points at way {way} "
+                        f"holding tag {cl.tag:#x}",
+                        {**dump, "found_tag": cl.tag}))
+        prev = claimed.setdefault((sidx, way), line)
+        if prev != line:
+            out.append((name, f"ways aliased: lines {prev:#x} and "
+                        f"{line:#x} both map to set {sidx} way {way}",
+                        {**dump, "other_line": prev}))
+
+    valid_total = 0
+    for sidx in range(num_sets):
+        ways_list = sets[sidx]
+        if not ways_list:
+            if cache._valid_count[sidx]:
+                out.append((name, f"set {sidx} unmaterialised but "
+                            f"_valid_count = {cache._valid_count[sidx]}",
+                            {"cache": name, "set": sidx}))
+            continue
+        valid = 0
+        seen_tags: Dict[int, int] = {}
+        for way, cl in enumerate(ways_list):
+            if not cl.valid:
+                continue
+            valid += 1
+            other = seen_tags.setdefault(cl.tag, way)
+            if other != way:
+                out.append((name, f"duplicate tag {cl.tag:#x} in set "
+                            f"{sidx} (ways {other} and {way})",
+                            {"cache": name, "set": sidx, "tag": cl.tag}))
+            if cache._where.get(cl.tag) != way:
+                out.append((name, f"valid line {cl.tag:#x} (set {sidx} "
+                            f"way {way}) missing from _where",
+                            {"cache": name, "set": sidx, "way": way,
+                             "tag": cl.tag}))
+            if cl.pf_origin not in ("", "l1d", "l2"):
+                out.append((name, f"line {cl.tag:#x} has unknown "
+                            f"pf_origin {cl.pf_origin!r}",
+                            {"cache": name, "tag": cl.tag,
+                             "pf_origin": cl.pf_origin}))
+            if cl.pf_latency < 0:
+                out.append((name, f"line {cl.tag:#x} has negative "
+                            f"pf_latency {cl.pf_latency}",
+                            {"cache": name, "tag": cl.tag,
+                             "pf_latency": cl.pf_latency}))
+        if valid != cache._valid_count[sidx]:
+            out.append((name, f"set {sidx}: {valid} valid ways but "
+                        f"_valid_count = {cache._valid_count[sidx]}",
+                        {"cache": name, "set": sidx, "valid": valid,
+                         "valid_count": cache._valid_count[sidx]}))
+        valid_total += valid
+    if valid_total != len(cache._where):
+        out.append((name, f"{valid_total} valid lines but _where has "
+                    f"{len(cache._where)} entries",
+                    {"cache": name, "valid": valid_total,
+                     "where": len(cache._where)}))
+    return out
+
+
+def check_replacement(cache: Cache) -> List[Violation]:
+    """Replacement-metadata consistency for one cache's policy."""
+    out: List[Violation] = []
+    name = f"{cache.name}.policy"
+    policy = cache.policy
+    if isinstance(policy, LRUPolicy):
+        for sidx in range(cache.num_sets):
+            ways_list = cache.sets[sidx]
+            if not ways_list:
+                continue
+            clock = policy._clock[sidx]
+            ages = policy._age[sidx]
+            seen: Dict[int, int] = {}
+            for way, cl in enumerate(ways_list):
+                if not cl.valid:
+                    continue
+                age = ages[way]
+                dump = {"cache": cache.name, "set": sidx, "way": way,
+                        "age": age, "clock": clock}
+                if age > clock:
+                    out.append((name, f"set {sidx} way {way}: LRU age "
+                                f"{age} ahead of set clock {clock}", dump))
+                other = seen.setdefault(age, way)
+                if other != way:
+                    out.append((name, f"set {sidx}: LRU age {age} shared "
+                                f"by ways {other} and {way} (clock "
+                                f"uniqueness broken)", dump))
+    if isinstance(policy, SRRIPPolicy):
+        max_rrpv = SRRIPPolicy.MAX_RRPV
+        for sidx in range(cache.num_sets):
+            if not cache.sets[sidx]:
+                continue
+            for way, rrpv in enumerate(policy._rrpv[sidx]):
+                if not 0 <= rrpv <= max_rrpv:
+                    out.append((name, f"set {sidx} way {way}: RRPV {rrpv} "
+                                f"out of [0, {max_rrpv}]",
+                                {"cache": cache.name, "set": sidx,
+                                 "way": way, "rrpv": rrpv}))
+    if isinstance(policy, DRRIPPolicy):
+        if not 0 <= policy._psel <= policy._psel_max:
+            out.append((name, f"DRRIP PSEL {policy._psel} out of "
+                        f"[0, {policy._psel_max}]",
+                        {"cache": cache.name, "psel": policy._psel}))
+    return out
+
+
+def check_mshr(mshr: MSHR, name: str) -> List[Violation]:
+    """Entry-leak, double-accounting, and timestamp checks for one MSHR."""
+    out: List[Violation] = []
+    entries = mshr._entries
+    if len(entries) > mshr.size:
+        out.append((name, f"{len(entries)} entries exceed capacity "
+                    f"{mshr.size}",
+                    {"mshr": name, "entries": len(entries),
+                     "size": mshr.size}))
+    last_expire = mshr._last_expire
+    min_ready: Optional[int] = None
+    for line, e in entries.items():
+        dump = {"mshr": name, "line": line, "alloc": e.alloc_cycle,
+                "ready": e.ready_cycle, "last_expire": last_expire}
+        if e.line != line:
+            out.append((name, f"entry keyed {line:#x} records line "
+                        f"{e.line:#x}", {**dump, "entry_line": e.line}))
+        if e.ready_cycle < e.alloc_cycle:
+            out.append((name, f"entry {line:#x}: ready_cycle "
+                        f"{e.ready_cycle} before alloc_cycle "
+                        f"{e.alloc_cycle} (timestamp monotonicity)", dump))
+        if e.ready_cycle <= last_expire:
+            out.append((name, f"leaked entry {line:#x}: ready_cycle "
+                        f"{e.ready_cycle} at or before the last expire "
+                        f"scan ({last_expire})", dump))
+        if e.merged_demands < 0:
+            out.append((name, f"entry {line:#x}: negative merge count",
+                        dump))
+        if min_ready is None or e.ready_cycle < min_ready:
+            min_ready = e.ready_cycle
+    if min_ready is not None and mshr._min_ready > min_ready:
+        # An overshooting guard would skip expiry scans that have work,
+        # leaking entries and inflating occupancy — the exact corruption
+        # the PR 2 fast path could introduce.
+        out.append((name, f"_min_ready {mshr._min_ready} overshoots the "
+                    f"earliest outstanding ready_cycle {min_ready} "
+                    f"(expire guard unsound)",
+                    {"mshr": name, "min_ready": mshr._min_ready,
+                     "actual_min": min_ready}))
+    return out
+
+
+def check_pq(pq: _FIFOQueue, name: str = "pq") -> List[Violation]:
+    """Occupancy bound and FIFO discipline of the prefetch queue."""
+    out: List[Violation] = []
+    st = pq._service_times
+    if len(st) > pq.size:
+        out.append((name, f"{len(st)} pending service times exceed "
+                    f"capacity {pq.size}",
+                    {"pq": name, "pending": len(st), "size": pq.size}))
+    prev = None
+    for i, t in enumerate(st):
+        if prev is not None and t < prev:
+            out.append((name, f"service times not FIFO: entry {i} "
+                        f"({t}) earlier than entry {i - 1} ({prev})",
+                        {"pq": name, "index": i, "time": t,
+                         "previous": prev}))
+            break
+        prev = t
+    return out
+
+
+def check_delta_table(table: DeltaTable, name: str) -> List[Violation]:
+    """Berti delta-table coverage/counter bounds and index consistency."""
+    out: List[Violation] = []
+    cfg = table.config
+    coverage_cap = (1 << cfg.coverage_bits) - 1
+    n = len(table._entries)
+    if not 0 <= table._fifo_ptr < n:
+        out.append((name, f"FIFO pointer {table._fifo_ptr} out of "
+                    f"[0, {n})", {"table": name, "ptr": table._fifo_ptr}))
+    for tag, entry in table._by_tag.items():
+        if not entry.valid or entry.tag != tag:
+            out.append((name, f"_by_tag[{tag:#x}] points at "
+                        f"{'invalid' if not entry.valid else 'mistagged'} "
+                        f"entry (tag {entry.tag:#x})",
+                        {"table": name, "tag": tag,
+                         "entry_tag": entry.tag, "valid": entry.valid}))
+    valid_entries = 0
+    for entry in table._entries:
+        if not entry.valid:
+            continue
+        valid_entries += 1
+        dump = {"table": name, "tag": entry.tag, "counter": entry.counter}
+        if table._by_tag.get(entry.tag) is not entry:
+            out.append((name, f"valid entry {entry.tag:#x} missing from "
+                        f"_by_tag", dump))
+        if not 0 <= entry.counter < cfg.counter_max:
+            out.append((name, f"entry {entry.tag:#x}: search counter "
+                        f"{entry.counter} out of [0, {cfg.counter_max}) "
+                        f"(phase close missed)", dump))
+        valid_slots = 0
+        for i, slot in enumerate(entry.slots):
+            if not slot.valid:
+                continue
+            valid_slots += 1
+            sdump = {**dump, "slot": i, "delta": slot.delta,
+                     "coverage": slot.coverage, "status": slot.status}
+            if not 0 <= slot.coverage <= coverage_cap:
+                out.append((name, f"entry {entry.tag:#x} slot {i}: "
+                            f"coverage {slot.coverage} out of "
+                            f"[0, {coverage_cap}]", sdump))
+            elif slot.coverage > entry.counter:
+                out.append((name, f"entry {entry.tag:#x} slot {i}: "
+                            f"coverage {slot.coverage} exceeds the "
+                            f"phase's search counter {entry.counter}",
+                            sdump))
+            if not NO_PREF <= slot.status <= L2_PREF_REPL:
+                out.append((name, f"entry {entry.tag:#x} slot {i}: "
+                            f"unknown status {slot.status}", sdump))
+            if entry.by_delta.get(slot.delta) is not slot:
+                out.append((name, f"entry {entry.tag:#x} slot {i}: "
+                            f"delta {slot.delta} not mirrored in "
+                            f"by_delta", sdump))
+        if len(entry.by_delta) != valid_slots:
+            out.append((name, f"entry {entry.tag:#x}: {valid_slots} valid "
+                        f"slots but by_delta holds {len(entry.by_delta)}",
+                        {**dump, "valid_slots": valid_slots,
+                         "by_delta": len(entry.by_delta)}))
+    if valid_entries != len(table._by_tag):
+        out.append((name, f"{valid_entries} valid entries but _by_tag "
+                    f"holds {len(table._by_tag)}",
+                    {"table": name, "valid": valid_entries,
+                     "by_tag": len(table._by_tag)}))
+    return out
+
+
+def check_history_table(table: HistoryTable, name: str) -> List[Violation]:
+    """Berti history-table FIFO-ring discipline and field widths."""
+    out: List[Violation] = []
+    ways = table.config.history_ways
+    for sidx, rows in enumerate(table._sets):
+        ptr = table._fifo_ptr[sidx]
+        clock = table._fifo_clock[sidx]
+        if not 0 <= ptr < ways:
+            out.append((name, f"set {sidx}: FIFO pointer {ptr} out of "
+                        f"[0, {ways})", {"table": name, "set": sidx,
+                                         "ptr": ptr}))
+            continue
+        prev_order = None
+        gap_seen = False
+        max_order = 0
+        for i in range(1, ways + 1):
+            row = rows[(ptr - i) % ways]
+            if row is None:
+                gap_seen = True
+                continue
+            ip_tag, line, ts, order = row
+            dump = {"table": name, "set": sidx, "row": (ptr - i) % ways,
+                    "order": order}
+            if gap_seen:
+                # The ring fills contiguously from the pointer; a row
+                # *older* than an empty way means the FIFO order broke.
+                out.append((name, f"set {sidx}: occupied way behind an "
+                            f"empty way (ring discipline broken)", dump))
+                break
+            if prev_order is not None and order >= prev_order:
+                out.append((name, f"set {sidx}: insertion order not "
+                            f"strictly decreasing walking back from the "
+                            f"pointer ({order} after {prev_order})",
+                            {**dump, "previous": prev_order}))
+                break
+            prev_order = order
+            max_order = max(max_order, order)
+            if ip_tag > table._tag_mask or ip_tag < 0:
+                out.append((name, f"set {sidx}: ip_tag {ip_tag:#x} wider "
+                            f"than the hardware field", dump))
+            if line > table._line_mask or line < 0:
+                out.append((name, f"set {sidx}: line {line:#x} wider "
+                            f"than the hardware field", dump))
+            if ts > table._ts_mask or ts < 0:
+                out.append((name, f"set {sidx}: timestamp {ts} wider "
+                            f"than the hardware field", dump))
+        if max_order > clock:
+            out.append((name, f"set {sidx}: newest order {max_order} "
+                        f"ahead of the set clock {clock}",
+                        {"table": name, "set": sidx,
+                         "max_order": max_order, "clock": clock}))
+    return out
+
+
+def check_berti(pf: Any, name: str) -> List[Violation]:
+    """Berti-table checks for any prefetcher exposing history/deltas."""
+    out: List[Violation] = []
+    deltas = getattr(pf, "deltas", None)
+    history = getattr(pf, "history", None)
+    if isinstance(deltas, DeltaTable):
+        out.extend(check_delta_table(deltas, f"{name}.deltas"))
+    if isinstance(history, HistoryTable):
+        out.extend(check_history_table(history, f"{name}.history"))
+    return out
+
+
+def check_hierarchy(
+    hierarchy: Hierarchy,
+    families: Optional[frozenset] = None,
+) -> List[Violation]:
+    """Run every enabled invariant family over one hierarchy."""
+    fams = families if families is not None else frozenset(
+        {"cache", "replacement", "mshr", "pq", "berti"}
+    )
+    out: List[Violation] = []
+    caches = (hierarchy.l1d, hierarchy.l2, hierarchy.llc)
+    if "cache" in fams:
+        for cache in caches:
+            out.extend(check_cache(cache))
+    if "replacement" in fams:
+        for cache in caches:
+            out.extend(check_replacement(cache))
+    if "mshr" in fams:
+        for mshr, mname in (
+            (hierarchy.l1d_mshr, "l1d_mshr"),
+            (hierarchy.l2_mshr, "l2_mshr"),
+            (hierarchy.llc_mshr, "llc_mshr"),
+        ):
+            out.extend(check_mshr(mshr, mname))
+    if "pq" in fams:
+        out.extend(check_pq(hierarchy.pq))
+    if "berti" in fams:
+        out.extend(check_berti(hierarchy.l1d_prefetcher, "l1d_prefetcher"))
+        out.extend(check_berti(hierarchy.l2_prefetcher, "l2_prefetcher"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The attachable sanitizer
+# ----------------------------------------------------------------------
+
+class Sanitizer:
+    """Wraps a hierarchy's demand path with periodic invariant checks.
+
+    The wrapper is installed as an *instance* attribute shadowing
+    ``Hierarchy.demand_access``, so the engine's hoisted callback (and
+    the multicore loop's per-record attribute lookup) both route through
+    it without any change to the hot path of uninstrumented runs.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        config: Optional[SanitizerConfig] = None,
+        trace: Optional[str] = None,
+        start_index: int = 0,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.config = config or SanitizerConfig()
+        self.trace = trace
+        self.access_index = start_index
+        self.checks_run = 0
+        self._countdown = self.config.check_every
+        self._inner = hierarchy.demand_access
+
+    def install(self) -> "Sanitizer":
+        self.hierarchy.demand_access = self._wrapped  # type: ignore[method-assign]
+        return self
+
+    def uninstall(self) -> None:
+        self.hierarchy.__dict__.pop("demand_access", None)
+
+    def _wrapped(self, ip: int, vaddr: int, now: int,
+                 is_write: bool = False) -> int:
+        latency = self._inner(ip, vaddr, now, is_write)
+        self.access_index += 1
+        self._countdown -= 1
+        if self._countdown == 0:
+            self._countdown = self.config.check_every
+            self.check_now()
+        return latency
+
+    def check_now(self) -> None:
+        """Validate all enabled families; raise on the first violation."""
+        self.checks_run += 1
+        violations = check_hierarchy(self.hierarchy, self.config.families)
+        if not violations:
+            return
+        structure, message, dump = violations[0]
+        if len(violations) > 1:
+            message += f" (+{len(violations) - 1} more violations)"
+        raise SanitizerError(
+            message,
+            trace=self.trace,
+            prefetcher=self.hierarchy.l1d_prefetcher.name,
+            access_index=self.access_index,
+            structure=structure,
+            dump=dump if self.config.dump_structures else {},
+        )
+
+
+def attach_sanitizer(
+    hierarchy: Hierarchy,
+    config: Optional[SanitizerConfig] = None,
+    trace: Optional[str] = None,
+    start_index: int = 0,
+) -> Sanitizer:
+    """Install a :class:`Sanitizer` on ``hierarchy``; returns it."""
+    return Sanitizer(hierarchy, config, trace, start_index).install()
+
+
+def sanitizer_post_build(
+    config: Optional[SanitizerConfig] = None,
+    trace: Optional[str] = None,
+):
+    """A ``post_build`` hook attaching the sanitizer (for ``simulate``)."""
+    def hook(hierarchy: Hierarchy) -> None:
+        attach_sanitizer(hierarchy, config, trace)
+    return hook

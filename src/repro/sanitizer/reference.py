@@ -1,0 +1,140 @@
+"""Pure-reference simulation engine for differential checking.
+
+PR 2 rebuilt the demand path around *exact-type* fast paths: the engine
+and hierarchy inline cache lookups, replacement updates, and MSHR/PQ
+occupancy sampling only when the component is the stock class
+(``type(x) is Cache`` and friends), falling back to virtual dispatch for
+any subclass.  That contract is what makes the optimisation safe — and
+also what makes it checkable: substituting *empty subclasses* for every
+component forces the entire simulation through the original virtual
+methods, yielding a slower engine whose observable behaviour must be
+bit-identical to the optimised one.
+
+:func:`to_reference` performs that substitution in place via
+``__class__`` reassignment (all components are plain-``__dict__``
+classes, so this is layout-safe), plus:
+
+* nulling the cache's memoised policy fast paths (``_lru``,
+  ``_srrip_hit``, ``_srrip_fill``) so replacement updates go through
+  ``ReplacementPolicy`` virtual calls (``_drrip`` is kept — DRRIP miss
+  notification is functional behaviour, not a fast path);
+* :class:`ReferenceMSHR` re-deriving expiry from first principles on
+  every query — no per-cycle memo, no ``_min_ready`` early-out — so a
+  memoisation bug in the optimised MSHR shows up as an entry-set
+  divergence;
+* :class:`ReferenceNoPrefetcher` defeating the ``pf_active`` hook-skip,
+  so the hook plumbing runs even for no-op prefetchers (it is
+  statistics-neutral by construction, which the differential test
+  verifies rather than assumes).
+
+The conversion is idempotent (every rewrite is guarded by an exact-type
+check), so it is safe as a multicore ``post_build`` hook where the
+shared LLC appears in every core's hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import Hierarchy, _FIFOQueue
+from repro.memory.mshr import MSHR
+from repro.memory.replacement import LRUPolicy, SRRIPPolicy
+from repro.prefetchers.base import NoPrefetcher
+
+
+class ReferenceCache(Cache):
+    """A Cache whose lookups/fills take the virtual-dispatch path."""
+
+
+class ReferenceLRU(LRUPolicy):
+    """An LRUPolicy that defeats the cache's inline age update."""
+
+
+class ReferenceSRRIP(SRRIPPolicy):
+    """An SRRIPPolicy that defeats the cache's inline RRPV update."""
+
+
+class ReferencePQ(_FIFOQueue):
+    """A PQ whose occupancy sampling takes the virtual-dispatch path."""
+
+
+class ReferenceNoPrefetcher(NoPrefetcher):
+    """A NoPrefetcher that still runs the full hook plumbing."""
+
+
+class ReferenceMSHR(MSHR):
+    """An MSHR with memo-free, guard-free expiry.
+
+    Every query re-scans the entry set against the caller's clock, so
+    the outstanding set is always exact — the ground truth the optimised
+    MSHR's ``_last_expire``/``_min_ready`` short-circuits must match.
+    ``_last_expire`` is still maintained (it equals the most recent
+    query cycle in both engines); ``_min_ready`` is kept tight rather
+    than conservative, which is the one internal field allowed to
+    differ between engines.
+    """
+
+    def _expire(self, now: int) -> None:
+        self._last_expire = now
+        entries = self._entries
+        done = []
+        min_ready = None
+        for line, e in entries.items():
+            ready = e.ready_cycle
+            if ready <= now:
+                done.append(line)
+            elif min_ready is None or ready < min_ready:
+                min_ready = ready
+        for line in done:
+            del entries[line]
+        self._min_ready = min_ready if min_ready is not None else 0
+
+    def occupancy(self, now: int) -> int:
+        self._expire(now)
+        return len(self._entries)
+
+    def lookup(self, line: int, now: int):
+        self._expire(now)
+        return self._entries.get(line)
+
+    def allocate(self, line, now, ready_cycle, is_prefetch, ip=0, vline=0):
+        self._expire(now)
+        return super().allocate(
+            line, now, ready_cycle, is_prefetch, ip=ip, vline=vline
+        )
+
+
+def to_reference(hierarchy: Hierarchy) -> Hierarchy:
+    """Convert ``hierarchy`` to the reference engine, in place.
+
+    Usable directly as a ``post_build`` hook for both
+    :func:`~repro.simulator.engine.simulate` and
+    :func:`~repro.simulator.multicore.simulate_multicore`.  Returns the
+    hierarchy for convenience.
+    """
+    for cache in (hierarchy.l1d, hierarchy.l2, hierarchy.llc):
+        if type(cache) is Cache:
+            cache.__class__ = ReferenceCache
+            cache._lru = None
+            cache._srrip_hit = None
+            cache._srrip_fill = None
+        policy = cache.policy
+        if type(policy) is LRUPolicy:
+            policy.__class__ = ReferenceLRU
+        elif type(policy) is SRRIPPolicy:
+            policy.__class__ = ReferenceSRRIP
+        # DRRIP subclasses SRRIP, so the cache's constructor already left
+        # it on the virtual fill path; no class change needed.
+    for attr in ("l1d_mshr", "l2_mshr", "llc_mshr"):
+        mshr = getattr(hierarchy, attr)
+        if type(mshr) is MSHR:
+            mshr.__class__ = ReferenceMSHR
+    if type(hierarchy.pq) is _FIFOQueue:
+        hierarchy.pq.__class__ = ReferencePQ
+    if type(hierarchy.l1d_prefetcher) is NoPrefetcher:
+        hierarchy.l1d_prefetcher.__class__ = ReferenceNoPrefetcher
+    return hierarchy
+
+
+def is_reference(hierarchy: Hierarchy) -> bool:
+    """True when ``hierarchy`` has been through :func:`to_reference`."""
+    return isinstance(hierarchy.l1d, ReferenceCache)

@@ -13,7 +13,7 @@ from typing import Callable, Optional
 
 from repro.cpu.core_model import CoreModel
 from repro.cpu.mmu import MMU
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError, SimulationError
 from repro.memory.cache import Cache
 from repro.memory.dram import DRAM
 from repro.memory.hierarchy import Hierarchy
@@ -189,14 +189,35 @@ def simulate(
     advance = core.advance_nonmem
     ips, addrs, writes, gaps, deps = trace.columns()
 
+    l1d_stats = hierarchy.l1d.stats
+
     def _run_span(lo: int, hi: int) -> None:
-        for ip, vaddr, is_write, gap, dep in zip(
-            ips[lo:hi], addrs[lo:hi], writes[lo:hi], gaps[lo:hi],
-            deps[lo:hi],
-        ):
-            if gap:
-                advance(gap)
-            issue(demand, ip, vaddr, is_write, dep)
+        # The try/except is zero-cost on the no-raise path (Python 3.11+)
+        # and turns any internal failure into a typed SimulationError that
+        # names the record the run died on.  The index is recovered from
+        # the demand-access counter (one increment per record) rather than
+        # a per-record loop counter, so the hot loop is untouched.
+        base = l1d_stats.demand_accesses
+        try:
+            for ip, vaddr, is_write, gap, dep in zip(
+                ips[lo:hi], addrs[lo:hi], writes[lo:hi], gaps[lo:hi],
+                deps[lo:hi],
+            ):
+                if gap:
+                    advance(gap)
+                issue(demand, ip, vaddr, is_write, dep)
+        except ReproError:
+            raise  # already typed (incl. SanitizerError with exact index)
+        except Exception as exc:
+            done = l1d_stats.demand_accesses - base
+            raise SimulationError(
+                f"simulation crashed at record ~{lo + done} "
+                f"({done} accesses into span [{lo}, {hi})): "
+                f"{type(exc).__name__}: {exc}",
+                trace=trace.name,
+                prefetcher=hierarchy.l1d_prefetcher.name,
+                field="record_index",
+            ) from exc
 
     _run_span(0, warmup_end)
     if warmup_end > 0:

@@ -12,11 +12,12 @@ credits for Berti's larger multi-core wins — emerges naturally.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.cpu.core_model import CoreModel
 from repro.memory.cache import Cache
 from repro.memory.dram import DRAM
+from repro.memory.hierarchy import Hierarchy
 from repro.prefetchers.base import Prefetcher
 from repro.simulator.config import SystemConfig, default_config
 from repro.simulator.engine import _Snapshot, _collect, build_hierarchy
@@ -31,12 +32,17 @@ def simulate_multicore(
     config: Optional[SystemConfig] = None,
     warmup_fraction: float = 0.2,
     prewarm_tlb: bool = True,
+    post_build: Optional[Callable[[Hierarchy], None]] = None,
 ) -> List[SimResult]:
     """Run one trace per core on a shared-LLC/DRAM system.
 
     Returns one :class:`SimResult` per core, measured over each core's
     post-warmup records (a finished core keeps replaying its trace so
     contention persists until all cores complete, per the paper).
+    ``post_build`` is invoked once per core hierarchy right after it is
+    built (same contract as :func:`~repro.simulator.engine.simulate`);
+    hooks touching the shared LLC/DRAM must be idempotent, since those
+    objects appear in every core's hierarchy.
     """
     config = config or default_config()
     num_cores = len(traces)
@@ -68,6 +74,8 @@ def simulate_multicore(
             llc=llc,
             asid=cid + 1,
         )
+        if post_build is not None:
+            post_build(h)
         if prewarm_tlb:
             h.mmu.prewarm(traces[cid].line_addresses())
         hierarchies.append(h)

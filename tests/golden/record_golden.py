@@ -54,22 +54,61 @@ def build_golden_trace(spec: str, scale: float):
     return out
 
 
-def run_golden_matrix():
-    """All golden runs as {key: SimResult-dict}."""
-    from repro.prefetchers.registry import make_prefetcher
-    from repro.simulator.engine import simulate
+def run_golden_matrix(engine: str = "optimized"):
+    """All golden runs as {key: SimResult-dict}.
 
+    ``engine`` selects which engine executes the matrix: the optimised
+    hot-path engine (what the test replays) or the pure-reference
+    virtual-dispatch engine (what ``main()`` records with).  The two are
+    required to be bit-identical, so the comparison in
+    ``tests/test_golden_stats.py`` is differential by construction:
+    reference-recorded numbers replayed on the optimised engine.
+    """
+    from dataclasses import replace
+    from repro.prefetchers.registry import make_prefetcher
+    from repro.sanitizer.reference import to_reference
+    from repro.simulator.config import CacheConfig, default_config
+    from repro.simulator.engine import simulate
+    from repro.simulator.multicore import simulate_multicore
+
+    post_build = to_reference if engine == "reference" else None
     results = {}
     for spec, scale in GOLDEN_TRACES:
         trace = build_golden_trace(spec, scale)
         for pf in GOLDEN_PREFETCHERS:
-            res = simulate(trace, l1d_prefetcher=make_prefetcher(pf))
+            res = simulate(trace, l1d_prefetcher=make_prefetcher(pf),
+                           post_build=post_build)
             results[f"{spec}@{scale}#{pf}"] = res.to_dict()
+
+    # A non-default replacement config: SRRIP at the L1D exercises the
+    # cache's RRPV fast paths under Berti (the default matrix only sees
+    # LRU there).
+    config = default_config()
+    config = replace(
+        config, l1d=replace(config.l1d, replacement="srrip")
+    )
+    trace = build_golden_trace("synth:golden", 0.0)
+    res = simulate(trace, l1d_prefetcher=make_prefetcher("berti"),
+                   config=config, post_build=post_build)
+    results["synth:golden@0.0#berti+l1d_srrip"] = res.to_dict()
+
+    # One multicore mix: shared LLC/DRAM contention between a Berti core
+    # and a prefetcher-less core.
+    mix = [build_golden_trace("bfs-kron", 0.1),
+           build_golden_trace("mcf_s-1554B", 0.1)]
+    mc = simulate_multicore(
+        mix,
+        [make_prefetcher("berti"), make_prefetcher("none")],
+        post_build=post_build,
+    )
+    results["mc:bfs-kron+mcf_s-1554B@0.1#berti,none"] = {
+        f"core{i}": r.to_dict() for i, r in enumerate(mc)
+    }
     return results
 
 
 def main() -> int:
-    results = run_golden_matrix()
+    results = run_golden_matrix(engine="reference")
     GOLDEN_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
     print(f"wrote {GOLDEN_PATH} ({len(results)} runs)")
     return 0

@@ -59,7 +59,13 @@ class TestGoldenMatrix:
 
     def test_golden_covers_both_engines(self, golden):
         pfs = {key.rsplit("#", 1)[1] for key in golden}
-        assert pfs == {"none", "berti"}
+        assert pfs == {
+            "none", "berti", "berti+l1d_srrip", "berti,none"
+        }
+
+    def test_golden_covers_multicore_and_srrip(self, golden):
+        assert "mc:bfs-kron+mcf_s-1554B@0.1#berti,none" in golden
+        assert "synth:golden@0.0#berti+l1d_srrip" in golden
 
 
 class TestDeterminism:

@@ -1,0 +1,116 @@
+"""Differential lockstep oracle tests.
+
+The reference engine (pure virtual dispatch, no memoised fast paths)
+must be bit-identical to the optimized engine on every access; a seeded
+divergence must be localized to the exact access index.
+"""
+
+import pytest
+
+from repro.prefetchers.base import NoPrefetcher
+from repro.prefetchers.registry import make_prefetcher
+from repro.sanitizer.lockstep import (
+    lockstep_multicore,
+    lockstep_run,
+    quick_trace,
+)
+from repro.sanitizer.reference import (
+    ReferenceCache,
+    ReferenceMSHR,
+    ReferenceNoPrefetcher,
+    is_reference,
+    to_reference,
+)
+from repro.simulator.engine import build_hierarchy, simulate
+
+
+# A representative subset; the full registry sweep is `repro sancheck
+# --quick` (exercised by the CI sanitize-smoke job).
+L1D_SUBSET = ["none", "berti", "bop", "streamer"]
+
+
+class TestLockstepAgreement:
+    @pytest.mark.parametrize("l1d", L1D_SUBSET)
+    def test_l1d_prefetchers_bit_identical(self, l1d):
+        report = lockstep_run(quick_trace(900), l1d=l1d)
+        assert report.ok, report.describe()
+        assert report.diverged_at is None
+        assert report.accesses == 900
+
+    def test_l2_prefetcher_bit_identical(self):
+        report = lockstep_run(quick_trace(900), l1d="berti", l2="spp")
+        assert report.ok, report.describe()
+
+    def test_multicore_bit_identical(self):
+        traces = [quick_trace(500, "mix0"), quick_trace(500, "mix1")]
+        report = lockstep_multicore(traces, ["berti", "none"])
+        assert report.ok, report.describe()
+
+
+class TestDivergenceLocalisation:
+    def test_seeded_divergence_found_at_exact_access(self):
+        report = lockstep_run(
+            quick_trace(900), l1d="berti", seed_divergence=417
+        )
+        assert not report.ok
+        assert report.diverged_at == 417
+        assert report.field == "latency"
+        assert report.optimized != report.reference
+        assert "417" in report.describe()
+
+    def test_divergence_at_first_access(self):
+        report = lockstep_run(quick_trace(300), seed_divergence=0)
+        assert not report.ok and report.diverged_at == 0
+
+
+class TestReferenceEngine:
+    def _hierarchy(self, l1d="none"):
+        from repro.simulator.config import default_config
+
+        return build_hierarchy(
+            default_config(), l1d_prefetcher=make_prefetcher(l1d)
+        )
+
+    def test_to_reference_rewrites_components(self):
+        h = to_reference(self._hierarchy())
+        assert is_reference(h)
+        assert type(h.l1d) is ReferenceCache
+        assert type(h.l1d_mshr) is ReferenceMSHR
+        assert type(h.l1d_prefetcher) is ReferenceNoPrefetcher
+        # Memoised fast paths are nulled → virtual dispatch everywhere.
+        assert h.l1d._lru is None and h.l1d._srrip_hit is None
+
+    def test_to_reference_idempotent(self):
+        h = to_reference(self._hierarchy())
+        before = {n: type(getattr(h, n)) for n in
+                  ("l1d", "l2", "llc", "l1d_mshr", "l2_mshr", "llc_mshr",
+                   "pq", "l1d_prefetcher")}
+        h2 = to_reference(h)  # second application must be a no-op
+        assert h2 is h
+        after = {n: type(getattr(h, n)) for n in before}
+        assert after == before
+
+    def test_real_prefetcher_kept(self):
+        h = to_reference(self._hierarchy("berti"))
+        # Only the *stock* NoPrefetcher is substituted; a real prefetcher
+        # keeps its class (it has no fast-path twin to disable).
+        assert not isinstance(h.l1d_prefetcher, NoPrefetcher)
+
+    def test_reference_simulate_matches_optimized(self):
+        trace = quick_trace(900)
+        opt = simulate(trace, l1d_prefetcher=make_prefetcher("berti"))
+        ref = simulate(trace, l1d_prefetcher=make_prefetcher("berti"),
+                       post_build=to_reference)
+        assert opt.to_dict() == ref.to_dict()
+
+
+class TestQuickTrace:
+    def test_deterministic(self):
+        a, b = quick_trace(600), quick_trace(600)
+        assert list(a) == list(b)
+        assert len(a) == 600
+
+    def test_mixes_reads_and_writes(self):
+        t = quick_trace(600)
+        writes = sum(1 for rec in t if rec[2])
+        assert 0 < writes < len(t)

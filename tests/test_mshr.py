@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.memory.mshr import MSHR
 
 
@@ -32,7 +33,7 @@ class TestAllocation:
     def test_full_raises(self):
         m = MSHR(1)
         m.allocate(1, 0, 100, False)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SimulationError, match="MSHR full"):
             m.allocate(2, 0, 100, False)
         assert m.full_rejections == 1
 

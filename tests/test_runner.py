@@ -242,6 +242,53 @@ class TestJournal:
                     == run.result(job.key).to_dict())
 
 
+class TestJournalDurability:
+    """PR 3 hardening: appends are write-temp-then-rename atomic, and a
+    journal torn mid-line by a crash is healed by the next append."""
+
+    def _completed(self, key, result=7):
+        from repro.runner.jobs import CompletedRun
+        return CompletedRun(key=key, result=result)
+
+    def test_append_heals_truncated_tail(self, tmp_path):
+        journal = tmp_path / "suite.jsonl"
+        good = json.dumps({"key": "a", "status": "ok", "result": 1})
+        # A crash mid-write left a torn final line with no newline.
+        journal.write_text(good + "\n" + '{"key": "b", "status": "o')
+
+        Journal(journal).append(self._completed("c"))
+
+        lines = journal.read_text().splitlines()
+        assert lines[0] == good  # prior record preserved byte-identically
+        records = Journal(journal).load()
+        assert records["a"]["result"] == 1
+        assert records["c"]["status"] == "ok"
+        assert "b" not in records  # torn record stays dead, not resurrected
+
+    def test_append_to_missing_file_creates_parents(self, tmp_path):
+        journal = tmp_path / "deep" / "nested" / "suite.jsonl"
+        Journal(journal).append(self._completed("a"))
+        assert Journal(journal).load()["a"]["status"] == "ok"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        journal = tmp_path / "suite.jsonl"
+        j = Journal(journal)
+        for i in range(5):
+            j.append(self._completed(f"job{i}"))
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.startswith(".journal-")]
+        assert leftovers == []
+        assert len(j.load()) == 5
+
+    def test_appends_preserve_existing_records_bytewise(self, tmp_path):
+        journal = tmp_path / "suite.jsonl"
+        j = Journal(journal)
+        j.append(self._completed("a", result=1))
+        first_bytes = journal.read_bytes()
+        j.append(self._completed("b", result=2))
+        assert journal.read_bytes().startswith(first_bytes)
+
+
 class TestSuiteHelpers:
     def test_per_trace_results_groups_survivors(self):
         jobs = make_jobs()

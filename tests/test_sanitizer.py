@@ -1,0 +1,249 @@
+"""SimSan runtime invariant checker tests.
+
+Covers: configuration validation, neutrality (a sanitized run is
+bit-identical to an unsanitized one), detection of seeded corruptions
+in every structure family, and end-to-end localisation — a corruption
+injected mid-simulation surfaces as a typed SanitizerError naming the
+access index and the offending structure.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, SanitizerError
+from repro.prefetchers.registry import make_prefetcher
+from repro.sanitizer import (
+    SanitizerConfig,
+    attach_sanitizer,
+    check_hierarchy,
+    sanitizer_post_build,
+)
+from repro.sanitizer.invariants import (
+    check_berti,
+    check_cache,
+    check_mshr,
+    check_pq,
+    check_replacement,
+)
+from repro.sanitizer.lockstep import quick_trace
+from repro.simulator.engine import build_hierarchy, simulate
+from repro.simulator.config import default_config
+
+
+@pytest.fixture
+def trace():
+    return quick_trace(900, "san_trace")
+
+
+def warmed_hierarchy(trace, l1d="berti"):
+    """A hierarchy that has simulated ``trace`` (state left in place)."""
+    box = {}
+
+    def keep(h):
+        box["h"] = h
+
+    simulate(trace, l1d_prefetcher=make_prefetcher(l1d), post_build=keep)
+    return box["h"]
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = SanitizerConfig()
+        assert cfg.check_every == 64 and "mshr" in cfg.families
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ConfigError, match="check_every"):
+            SanitizerConfig(check_every=0)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sanitizer"):
+            SanitizerConfig(families=frozenset({"cache", "typo"}))
+
+
+class TestNeutrality:
+    def test_sanitized_run_bit_identical(self, trace):
+        base = simulate(trace, l1d_prefetcher=make_prefetcher("berti"))
+        san = simulate(
+            trace,
+            l1d_prefetcher=make_prefetcher("berti"),
+            post_build=sanitizer_post_build(SanitizerConfig(check_every=16)),
+        )
+        assert base.to_dict() == san.to_dict()
+
+    def test_clean_state_has_no_violations(self, trace):
+        h = warmed_hierarchy(trace)
+        assert check_hierarchy(h) == []
+
+
+class TestDetection:
+    """Each family catches a seeded corruption of its structure."""
+
+    def test_cache_valid_count_drift(self, trace):
+        h = warmed_hierarchy(trace)
+        h.l1d._valid_count[0] += 1
+        names = [v[0] for v in check_cache(h.l1d)]
+        assert "l1d" in names
+
+    def test_cache_where_points_at_wrong_way(self, trace):
+        h = warmed_hierarchy(trace)
+        line, way = next(iter(h.l1d._where.items()))
+        h.l1d._where[line] = (way + 1) % h.l1d.ways
+        assert check_cache(h.l1d)
+
+    def test_lru_age_collision(self, trace):
+        h = warmed_hierarchy(trace)
+        sidx = next(
+            s for s in range(h.l1d.num_sets)
+            if h.l1d._valid_count[s] >= 2
+        )
+        ages = h.l1d.policy._age[sidx]
+        valid_ways = [w for w, cl in enumerate(h.l1d.sets[sidx]) if cl.valid]
+        ages[valid_ways[1]] = ages[valid_ways[0]]
+        msgs = [v[1] for v in check_replacement(h.l1d)]
+        assert any("uniqueness" in m for m in msgs)
+
+    def test_rrpv_out_of_range(self, trace):
+        h = warmed_hierarchy(trace)
+        sidx = next(
+            s for s in range(h.l2.num_sets) if h.l2._valid_count[s]
+        )
+        h.l2.policy._rrpv[sidx][0] = 7
+        msgs = [v[1] for v in check_replacement(h.l2)]
+        assert any("RRPV" in m for m in msgs)
+
+    def test_drrip_psel_out_of_range(self, trace):
+        h = warmed_hierarchy(trace)
+        h.llc.policy._psel = 4096
+        msgs = [v[1] for v in check_replacement(h.llc)]
+        assert any("PSEL" in m for m in msgs)
+
+    def test_mshr_timestamp_monotonicity(self):
+        from repro.memory.mshr import MSHR
+
+        mshr = MSHR(4)
+        e = mshr.allocate(0x10, now=100, ready_cycle=200, is_prefetch=False)
+        e.ready_cycle = 50  # ready before alloc: impossible
+        msgs = [v[1] for v in check_mshr(mshr, "l1d_mshr")]
+        assert any("monotonicity" in m for m in msgs)
+
+    def test_mshr_leaked_entry(self):
+        from repro.memory.mshr import MSHR
+
+        mshr = MSHR(4)
+        mshr.allocate(0x10, now=100, ready_cycle=200, is_prefetch=False)
+        mshr._last_expire = 500  # scan claimed to run at 500; entry stayed
+        msgs = [v[1] for v in check_mshr(mshr, "l1d_mshr")]
+        assert any("leaked" in m for m in msgs)
+
+    def test_mshr_unsound_min_ready_guard(self):
+        from repro.memory.mshr import MSHR
+
+        mshr = MSHR(4)
+        mshr.allocate(0x10, now=100, ready_cycle=200, is_prefetch=False)
+        mshr._min_ready = 10_000  # guard would skip scans that have work
+        msgs = [v[1] for v in check_mshr(mshr, "l1d_mshr")]
+        assert any("unsound" in m for m in msgs)
+
+    def test_pq_fifo_discipline(self):
+        from repro.memory.hierarchy import _FIFOQueue
+
+        pq = _FIFOQueue(8)
+        pq.push(10)    # services at 11.0
+        pq.push(10.5)  # queues behind it, services at 12.0
+        pq._service_times[0] = 99.0  # older entry now services later
+        msgs = [v[1] for v in check_pq(pq)]
+        assert any("FIFO" in m for m in msgs)
+
+    def test_berti_counter_overflow(self, trace):
+        h = warmed_hierarchy(trace, l1d="berti")
+        pf = h.l1d_prefetcher
+        entry = next(e for e in pf.deltas._entries if e.valid)
+        entry.counter = pf.deltas.config.counter_max + 5
+        msgs = [v[1] for v in check_berti(pf, "l1d_prefetcher")]
+        assert any("search counter" in m for m in msgs)
+
+    def test_berti_coverage_exceeds_counter(self, trace):
+        h = warmed_hierarchy(trace, l1d="berti")
+        pf = h.l1d_prefetcher
+        entry = next(
+            e for e in pf.deltas._entries
+            if e.valid and any(s.valid for s in e.slots)
+        )
+        slot = next(s for s in entry.slots if s.valid)
+        slot.coverage = entry.counter + 1
+        msgs = [v[1] for v in check_berti(pf, "l1d_prefetcher")]
+        assert any("exceeds" in m for m in msgs)
+
+    def test_berti_by_delta_mirror_broken(self, trace):
+        h = warmed_hierarchy(trace, l1d="berti")
+        pf = h.l1d_prefetcher
+        entry = next(
+            e for e in pf.deltas._entries
+            if e.valid and any(s.valid for s in e.slots)
+        )
+        slot = next(s for s in entry.slots if s.valid)
+        del entry.by_delta[slot.delta]
+        assert check_berti(pf, "l1d_prefetcher")
+
+    def test_berti_history_ring_discipline(self, trace):
+        h = warmed_hierarchy(trace, l1d="berti")
+        hist = h.l1d_prefetcher.history
+        sidx, rows = next(
+            (s, rows) for s, rows in enumerate(hist._sets)
+            if sum(r is not None for r in rows) >= 2
+        )
+        occupied = [i for i, r in enumerate(rows) if r is not None]
+        a, b = occupied[0], occupied[1]
+        rows[a], rows[b] = rows[b], rows[a]  # orders no longer monotone
+        assert check_berti(h.l1d_prefetcher, "l1d_prefetcher")
+
+
+class TestEndToEnd:
+    def test_mid_run_corruption_localised(self, trace):
+        """A corruption at access N raises SanitizerError *at* N with the
+        structure named (check_every=1 gives exact localisation)."""
+        corrupt_at = 400
+        calls = [0]
+
+        def hook(h):
+            inner = h.demand_access
+
+            def corruptor(ip, vaddr, now, is_write=False):
+                latency = inner(ip, vaddr, now, is_write)
+                calls[0] += 1
+                if calls[0] == corrupt_at:
+                    h.l1d._valid_count[0] += 1
+                return latency
+
+            h.demand_access = corruptor
+            # Attached last → outermost → checks run after the corruptor.
+            attach_sanitizer(
+                h, SanitizerConfig(check_every=1), trace="san_trace"
+            )
+
+        with pytest.raises(SanitizerError) as exc_info:
+            simulate(trace, l1d_prefetcher=make_prefetcher("berti"),
+                     post_build=hook)
+        err = exc_info.value
+        assert err.access_index == corrupt_at
+        assert err.structure == "l1d"
+        assert err.dump  # structure dump attached
+        assert "l1d" in str(err)
+
+    def test_families_can_be_narrowed(self, trace):
+        """A corruption outside the enabled families is not reported."""
+        h = warmed_hierarchy(trace)
+        h.l1d._valid_count[0] += 1
+        assert check_hierarchy(h, frozenset({"mshr", "pq"})) == []
+        assert check_hierarchy(h, frozenset({"cache"}))
+
+    def test_sanitizer_error_pickles(self, trace):
+        import pickle
+
+        err = SanitizerError(
+            "boom", trace="t", prefetcher="berti", access_index=7,
+            structure="l1d_mshr", dump={"line": 3},
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.access_index == 7
+        assert clone.structure == "l1d_mshr"
+        assert clone.dump == {"line": 3}
