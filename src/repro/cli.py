@@ -11,14 +11,24 @@ Examples::
     python -m repro compare --trace bc-kron --l1d ip_stride,ipcp,berti
     python -m repro suite --suite spec17 --l1d mlop,ipcp,berti --scale 0.3 \
         --workers 4 --journal suite.jsonl --resume
+    python -m repro suite --suite spec17 --l1d mlop,ipcp,berti \
+        --workers 4 --journal suite.jsonl --supervise
     python -m repro sancheck --quick
+    python -m repro chaos --quick
     python -m repro storage
 
 ``suite`` and ``compare`` execute through the resilient runner
 (:mod:`repro.runner`): jobs run in parallel worker processes, crashes
 and hangs fail one job instead of the campaign, and a ``--journal``
-makes an interrupted suite resumable with ``--resume``.  See
-``docs/runner.md``.
+makes an interrupted suite resumable with ``--resume``.  With
+``--supervise`` they run under the campaign supervisor
+(:mod:`repro.runner.supervisor`): worker heartbeats preempt hung jobs
+by liveness, resource pressure degrades the pool gracefully, repeat
+offenders are quarantined by circuit breaker, and the first Ctrl-C
+drains instead of killing.  ``chaos`` turns the hostile-host scenarios
+(disk full, SIGKILL mid-append, hangs, memory balloons, clock skew) on
+the runner itself and verifies that no journal entry is ever lost or
+duplicated.  See ``docs/runner.md``.
 
 ``sancheck`` and the ``--sanitize`` / ``--snapshot-every`` /
 ``--resume-from`` flags belong to the sanitizer subsystem
@@ -70,6 +80,26 @@ def _runner_config(args, n_jobs: int) -> RunnerConfig:
         resume=args.resume,
         verbose=True,
     )
+
+
+def _build_runner(args, n_jobs: int) -> ExperimentRunner:
+    """The plain runner, or the campaign supervisor with ``--supervise``."""
+    config = _runner_config(args, n_jobs)
+    if not getattr(args, "supervise", False):
+        return ExperimentRunner(config)
+    from repro.runner import CampaignSupervisor, SupervisorConfig
+
+    if config.workers < 1:
+        raise ConfigError(
+            "--supervise needs a worker pool; pass --workers >= 1",
+            field="workers",
+        )
+    return CampaignSupervisor(config, SupervisorConfig(
+        heartbeat_every=args.heartbeat_every,
+        heartbeat_timeout=args.heartbeat_timeout,
+        quarantine_after=args.quarantine_after,
+        manifest_path=args.manifest,
+    ))
 
 
 def _parse_faults(args) -> Dict[str, FaultSpec]:
@@ -162,7 +192,7 @@ def cmd_compare(args) -> int:
         [args.trace], names, scale=args.scale, mtps=args.mtps,
         faults=_parse_faults(args),
     )
-    runner = ExperimentRunner(_runner_config(args, len(jobs)))
+    runner = _build_runner(args, len(jobs))
     suite = runner.run(jobs)
     print(suite.banner(), file=sys.stderr)
 
@@ -201,7 +231,7 @@ def cmd_suite(args) -> int:
         trace_names, names, scale=args.scale, mtps=args.mtps,
         faults=_parse_faults(args),
     )
-    runner = ExperimentRunner(_runner_config(args, len(jobs)))
+    runner = _build_runner(args, len(jobs))
     suite = runner.run(jobs)
 
     per_trace = per_trace_results(jobs, suite)
@@ -212,6 +242,13 @@ def cmd_suite(args) -> int:
     print(suite.banner(), file=sys.stderr)
     for f in suite.failures:
         print(f"  FAILED [{f.kind}] {f.key}: {f.message}", file=sys.stderr)
+    quarantined = suite.quarantined
+    if quarantined:
+        groups = sorted({q.group for q in quarantined})
+        print(f"  quarantined: {len(quarantined)} jobs across "
+              f"{len(groups)} groups ({', '.join(groups)}); a later "
+              f"--resume sends one half-open probe per group",
+              file=sys.stderr)
     print(format_table(
         ["prefetcher", "geomean speedup"], rows,
         title=f"suite {args.suite} ({len(survivors)}/{len(trace_names)} "
@@ -280,6 +317,34 @@ def cmd_sancheck(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Host-level chaos scenarios against the supervised runner."""
+    from repro.runner.chaos import run_chaos
+
+    try:
+        results = run_chaos(
+            scenarios=args.scenario or None,
+            quick=args.quick,
+            workdir=args.workdir,
+            verbose=True,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    ran = [r for r in results if not r.skipped]
+    failed = [r for r in ran if not r.passed]
+    mode = ("quick" if args.quick and not args.scenario else
+            "selected" if args.scenario else "full")
+    print(f"chaos ({mode}): {len(ran) - len(failed)}/{len(ran)} "
+          f"scenarios passed")
+    if failed:
+        for r in failed:
+            for problem in r.problems:
+                print(f"  {r.name}: {problem}", file=sys.stderr)
+        return 5
+    return 0
+
+
 def cmd_storage(args) -> int:
     from repro.core.config import BertiConfig
 
@@ -311,7 +376,24 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
     g.add_argument("--inject", action="append", default=None,
                    metavar="KIND:TRACE[:PERIOD]",
                    help="inject a fault (crash/hang/corrupt/mshr_full/"
-                        "pq_full/flaky) into every job of TRACE")
+                        "pq_full/flaky/balloon) into every job of TRACE")
+    s = p.add_argument_group("supervision (docs/runner.md)")
+    s.add_argument("--supervise", action="store_true",
+                   help="run under the campaign supervisor: heartbeat "
+                        "liveness, resource guards, circuit breakers, "
+                        "graceful Ctrl-C drain (requires --workers >= 1)")
+    s.add_argument("--heartbeat-every", type=int, default=5000,
+                   metavar="N", help="worker progress ping every N "
+                   "simulated accesses (default 5000; 0 disables)")
+    s.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   metavar="SEC", help="preempt a worker after SEC "
+                   "seconds without progress (default 10)")
+    s.add_argument("--quarantine-after", type=int, default=3, metavar="K",
+                   help="open a (trace, prefetcher) circuit breaker "
+                        "after K consecutive failures (default 3)")
+    s.add_argument("--manifest", default=None, metavar="PATH",
+                   help="campaign manifest JSON (default: "
+                        "<journal>.manifest.json)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -394,6 +476,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="perturb the optimized engine at access N; the "
                           "oracle must localise the divergence to N")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="hostile-host scenarios against the supervised runner",
+    )
+    chaos.add_argument("--quick", action="store_true",
+                       help="CI subset: disk-full + sigkill + hung-worker")
+    chaos.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME",
+                       help="run one scenario by name (repeatable): "
+                            "disk-full, sigkill, hung-worker, balloon, "
+                            "clock-skew")
+    chaos.add_argument("--workdir", default=None,
+                       help="directory for scenario artifacts "
+                            "(default: a fresh temp dir)")
+
     sub.add_parser("storage", help="hardware budgets incl. Table I")
     return p
 
@@ -405,6 +502,7 @@ COMMANDS = {
     "sancheck": cmd_sancheck,
     "compare": cmd_compare,
     "suite": cmd_suite,
+    "chaos": cmd_chaos,
     "storage": cmd_storage,
 }
 

@@ -157,6 +157,17 @@ class SnapshotError(ReproError):
     """
 
 
+class ResourceError(ReproError):
+    """A host resource guard tripped (low memory, low disk, fat worker).
+
+    Retryable: resource pressure is environmental — after the supervisor
+    degrades the campaign (fewer workers, paused submissions) a retry of
+    the same job may well succeed.
+    """
+
+    retryable = True
+
+
 class JobTimeout(ReproError):
     """A job exceeded its wall-clock budget and was killed."""
 
@@ -184,3 +195,12 @@ class JobTimeout(ReproError):
 def _rebuild_timeout(cls, message, trace, prefetcher, field, timeout):
     return cls(message, trace=trace, prefetcher=prefetcher, field=field,
                timeout=timeout)
+
+
+class HeartbeatTimeout(JobTimeout):
+    """A worker stopped emitting progress heartbeats and was preempted.
+
+    Distinct from :class:`JobTimeout` so campaign reports can tell
+    "killed by liveness, long before the wall-clock budget" apart from
+    "ran out its full budget" — the supervisor preempts on the former.
+    """

@@ -1,5 +1,7 @@
 """Resilient experiment runner: fault-isolated parallel execution with
-retry, timeout, and checkpoint/resume.
+retry, timeout, checkpoint/resume — and, via the campaign supervisor,
+heartbeat liveness, resource-aware degradation, circuit breakers, and
+graceful shutdown.
 
 Quick use::
 
@@ -15,14 +17,25 @@ Quick use::
     for run in suite.completed:
         print(run.key, run.result.ipc)
 
+Long campaigns should run under supervision::
+
+    from repro.runner import CampaignSupervisor, SupervisorConfig
+
+    runner = CampaignSupervisor(
+        RunnerConfig(workers=4, journal_path="suite.jsonl"),
+        SupervisorConfig(heartbeat_timeout=30.0, quarantine_after=3),
+    )
+
 See ``docs/runner.md`` for the journal format, the failure taxonomy,
-and the fault-injection harness.
+supervision, quarantine, and the chaos harness (``repro chaos``).
 """
 
 from repro.errors import (
     ConfigError,
+    HeartbeatTimeout,
     JobTimeout,
     ReproError,
+    ResourceError,
     SimulationError,
     TraceError,
 )
@@ -34,31 +47,52 @@ from repro.runner.jobs import (
     CompletedRun,
     FailedRun,
     JobSpec,
+    QuarantinedRun,
     SuiteResult,
+    TaggedResult,
     run_callable,
 )
 from repro.runner.journal import Journal
+from repro.runner.resources import (
+    Heartbeat,
+    ResourceMonitor,
+    ResourcePolicy,
+    ResourceStatus,
+    read_heartbeat,
+)
 from repro.runner.suite import build_matrix_jobs, per_trace_results
+from repro.runner.supervisor import CampaignSupervisor, SupervisorConfig
 from repro.runner.worker import run_job
 
 __all__ = [
     "CallableJob",
+    "CampaignSupervisor",
     "CompletedRun",
     "ConfigError",
     "ExperimentRunner",
     "FailedRun",
     "FaultSpec",
+    "Heartbeat",
+    "HeartbeatTimeout",
     "JobSpec",
     "JobTimeout",
     "Journal",
+    "QuarantinedRun",
     "ReproError",
+    "ResourceError",
+    "ResourceMonitor",
+    "ResourcePolicy",
+    "ResourceStatus",
     "RunnerConfig",
     "SimulationError",
     "SuiteResult",
+    "SupervisorConfig",
+    "TaggedResult",
     "TraceError",
     "build_matrix_jobs",
     "check_invariants",
     "per_trace_results",
+    "read_heartbeat",
     "run_callable",
     "run_job",
 ]

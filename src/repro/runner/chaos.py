@@ -1,0 +1,547 @@
+"""Host-level chaos harness for the campaign supervisor.
+
+Where :mod:`repro.runner.faultinject` perturbs a *job* (crashes, hangs,
+corrupt traces), this module perturbs the *host* around a whole
+campaign, deterministically, and then asserts the campaign invariants
+held:
+
+* ``disk-full``   — chosen journal appends raise ``ENOSPC``; outcomes
+  must be buffered and flushed once the disk "recovers", in order,
+  losing and duplicating nothing.
+* ``sigkill``     — the campaign process SIGKILLs *itself* in the middle
+  of a journal append (after spilling a torn half-line, the classic
+  crash artefact); the journal must stay parseable and a plain resume
+  must execute exactly the missing jobs.
+* ``hung-worker`` — a worker sleeps forever; the heartbeat watchdog must
+  preempt it long before any wall-clock budget.
+* ``balloon``     — a worker allocates real resident memory and idles;
+  the per-worker RSS guard must preempt it with a typed
+  ``ResourceError``.
+* ``clock-skew``  — the supervisor's clock jumps forward minutes while
+  jobs are in flight; deadlines must be rebased, nothing spuriously
+  expired.
+
+After every scenario the harness checks the **journal invariants**: all
+lines parse (a torn line is tolerated only at EOF), no key has more than
+one ``ok`` record, a resume executes exactly the missing keys, and the
+merged results are bit-identical to a fault-free reference run.
+
+Everything is counter-based — no randomness, no reliance on real host
+pressure — so a failing scenario reproduces exactly.  ``repro chaos``
+is the CLI entry point; ``--quick`` runs the subset CI exercises.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import multiprocessing
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.runner import worker
+from repro.runner.executor import ExperimentRunner, RunnerConfig
+from repro.runner.faultinject import FaultSpec
+from repro.runner.jobs import JobSpec
+from repro.runner.journal import Journal
+from repro.runner.resources import ResourceMonitor, ResourcePolicy
+from repro.runner.supervisor import CampaignSupervisor, SupervisorConfig
+
+__all__ = [
+    "ENOSPCJournal",
+    "KillerJournal",
+    "QUICK_SCENARIOS",
+    "SCENARIOS",
+    "ScenarioResult",
+    "SkewedClock",
+    "run_chaos",
+    "verify_journal",
+]
+
+_TRACE = "lbm_s-2676B"
+_TRACE2 = "mcf_s-1554B"
+_SCALE = 0.03  # a few hundred records: real simulations, chaos-fast
+
+
+# ----------------------------------------------------------------------
+# Injection primitives
+# ----------------------------------------------------------------------
+
+class ENOSPCJournal(Journal):
+    """A journal whose N-th appends fail with ``ENOSPC`` (1-based)."""
+
+    def __init__(self, path: Union[str, Path],
+                 fail_on: Sequence[int] = ()) -> None:
+        super().__init__(path)
+        self.fail_on = frozenset(fail_on)
+        self.refused = 0
+        self._appends = 0
+
+    def append(self, outcome) -> None:
+        self._appends += 1
+        if self._appends in self.fail_on:
+            self.refused += 1
+            raise OSError(errno.ENOSPC,
+                          "No space left on device (injected)")
+        super().append(outcome)
+
+
+class KillerJournal(Journal):
+    """A journal that SIGKILLs its own process mid-append.
+
+    On the ``kill_on``-th append it first spills a torn half-line
+    directly into the journal file — the artefact a real power cut or
+    OOM kill leaves behind — and then SIGKILLs the process, so neither
+    ``finally`` blocks nor ``atexit`` hooks get to tidy up.
+    """
+
+    def __init__(self, path: Union[str, Path], kill_on: int = 2) -> None:
+        super().__init__(path)
+        self.kill_on = kill_on
+        self._appends = 0
+
+    def append(self, outcome) -> None:
+        self._appends += 1
+        if self._appends == self.kill_on:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write('{"schema": 2, "key": "torn-')
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
+        super().append(outcome)
+
+
+class SkewedClock:
+    """A monotonic clock that jumps ``jump`` seconds forward after
+    ``after`` readings — an NTP step / suspend-resume, deterministically.
+    """
+
+    def __init__(self, jump: float = 120.0, after: int = 40) -> None:
+        self.jump = jump
+        self.after = after
+        self.jumped = False
+        self._calls = 0
+        self._offset = 0.0
+
+    def __call__(self) -> float:
+        self._calls += 1
+        if not self.jumped and self._calls > self.after:
+            self.jumped = True
+            self._offset = self.jump
+        return time.monotonic() + self._offset
+
+
+# ----------------------------------------------------------------------
+# Journal invariants
+# ----------------------------------------------------------------------
+
+def verify_journal(path: Union[str, Path]) -> List[str]:
+    """Check the journal invariants; returns human-readable problems.
+
+    * every line parses as JSON — a torn line is tolerated only as the
+      very last line (the artefact of a mid-append kill);
+    * no key has more than one ``ok`` record (a resume must replay, not
+      re-run, finished jobs).
+    """
+    path = Path(path)
+    problems: List[str] = []
+    if not path.exists():
+        return ["journal file does not exist"]
+    lines = path.read_text(encoding="utf-8").splitlines()
+    ok_counts: Dict[str, int] = {}
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            if i != len(lines) - 1:
+                problems.append(
+                    f"torn/corrupt line {i + 1} of {len(lines)} is not "
+                    f"at EOF: {line[:60]!r}"
+                )
+            continue
+        if rec.get("status") == "ok" and rec.get("key"):
+            ok_counts[rec["key"]] = ok_counts.get(rec["key"], 0) + 1
+    for key, count in sorted(ok_counts.items()):
+        if count > 1:
+            problems.append(f"{count} duplicate ok records for {key!r}")
+    return problems
+
+
+def _reference_results(specs: Sequence[JobSpec]) -> Dict[str, dict]:
+    """Fault-free inline results, as dicts, for bit-identity checks."""
+    return {spec.key: worker.run_job(spec, 1).to_dict() for spec in specs}
+
+
+def _check_resume(
+    journal_path: Path,
+    specs: Sequence[JobSpec],
+    reference: Dict[str, dict],
+    expect_executed: Optional[set] = None,
+) -> List[str]:
+    """Resume the campaign inline; assert it executes exactly the
+    missing keys and that the merged results are bit-identical to the
+    fault-free reference."""
+    problems: List[str] = []
+    executed: List[str] = []
+
+    def counting_run(job, attempt):
+        executed.append(job.key)
+        return worker.run_job(job, attempt)
+
+    runner = ExperimentRunner(
+        RunnerConfig(workers=0, retries=0, journal_path=journal_path,
+                     resume=True),
+        run_fn=counting_run,
+    )
+    suite = runner.run(specs)
+
+    if expect_executed is not None and set(executed) != expect_executed:
+        problems.append(
+            f"resume executed {sorted(executed)}, expected "
+            f"{sorted(expect_executed)}"
+        )
+    if len(suite.outcomes) != len(specs):
+        problems.append(
+            f"resume finished {len(suite.outcomes)}/{len(specs)} jobs"
+        )
+    for outcome in suite.outcomes:
+        if not outcome.ok:
+            problems.append(f"resume failed {outcome.key}: "
+                            f"{outcome.message}")
+            continue
+        result = outcome.result
+        as_dict = result.to_dict() if hasattr(result, "to_dict") else result
+        if as_dict != reference[outcome.key]:
+            problems.append(
+                f"results for {outcome.key} are not bit-identical to the "
+                f"fault-free reference"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Scenario harness
+# ----------------------------------------------------------------------
+
+@dataclass
+class ScenarioResult:
+    name: str
+    passed: bool
+    skipped: bool = False
+    duration: float = 0.0
+    problems: List[str] = field(default_factory=list)
+
+    def banner(self) -> str:
+        if self.skipped:
+            state = "SKIP"
+        else:
+            state = "PASS" if self.passed else "FAIL"
+        return f"[{state}] {self.name} ({self.duration:.1f}s)"
+
+
+def _campaign_specs() -> List[JobSpec]:
+    """Four cheap-but-real jobs with distinct journal keys."""
+    return [
+        JobSpec(trace=t, l1d="none", scale=_SCALE, warmup_fraction=wf)
+        for t in (_TRACE, _TRACE2)
+        for wf in (0.2, 0.25)
+    ]
+
+
+def _supervisor(
+    journal: Journal,
+    workers: int = 1,
+    timeout: Optional[float] = 120.0,
+    retries: int = 0,
+    sup: Optional[SupervisorConfig] = None,
+    **kwargs,
+) -> CampaignSupervisor:
+    return CampaignSupervisor(
+        RunnerConfig(workers=workers, timeout=timeout, retries=retries),
+        supervisor=sup or SupervisorConfig(
+            heartbeat_every=200, heartbeat_timeout=30.0,
+            poll_interval=0.05, handle_signals=False,
+        ),
+        journal=journal,
+        **kwargs,
+    )
+
+
+def _read_manifest(journal_path: Path) -> dict:
+    path = journal_path.with_name(journal_path.name + ".manifest.json")
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def _event_kinds(manifest: dict) -> List[str]:
+    return [e.get("event") for e in manifest.get("events", [])]
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+def _scenario_disk_full(workdir: Path) -> List[str]:
+    """Appends 2 and 3 hit ENOSPC; nothing may be lost or reordered."""
+    specs = _campaign_specs()
+    reference = _reference_results(specs)
+    journal = ENOSPCJournal(workdir / "journal.jsonl", fail_on=(2, 3))
+    suite = _supervisor(journal).run(specs)
+
+    problems = []
+    if len(suite.completed) != len(specs):
+        problems.append(f"campaign completed {len(suite.completed)}/"
+                        f"{len(specs)} jobs under ENOSPC")
+    if journal.refused != 2:
+        problems.append(f"expected 2 refused appends, saw "
+                        f"{journal.refused}")
+    problems += verify_journal(journal.path)
+    records = journal.load()
+    missing = {s.key for s in specs} - set(records)
+    if missing:
+        problems.append(f"journal lost entries for {sorted(missing)}")
+    if "journal-degraded" not in _event_kinds(_read_manifest(journal.path)):
+        problems.append("manifest records no journal-degraded event")
+    # The backlog was flushed, so a resume replays everything.
+    problems += _check_resume(journal.path, specs, reference,
+                              expect_executed=set())
+    return problems
+
+
+def _sigkill_campaign(workdir_str: str, kill_on: int) -> None:
+    """Child-process body for the sigkill scenario (killed mid-append)."""
+    journal = KillerJournal(Path(workdir_str) / "journal.jsonl",
+                            kill_on=kill_on)
+    _supervisor(journal).run(_campaign_specs())
+
+
+def _scenario_sigkill(workdir: Path) -> List[str]:
+    """SIGKILL mid-journal-append: torn tail, then a perfect resume."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return ["fork start method unavailable (platform)"]
+    specs = _campaign_specs()
+    reference = _reference_results(specs)
+    kill_on = 2
+    proc = ctx.Process(target=_sigkill_campaign,
+                       args=(str(workdir), kill_on))
+    proc.start()
+    # Poll is_alive() (waitpid-backed) rather than join(): join waits on
+    # a sentinel pipe that surviving grandchildren would hold open, and
+    # this scenario is exactly about ungraceful process death.
+    deadline = time.monotonic() + 120
+    while proc.is_alive() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    problems = []
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+        problems.append("campaign child did not die within 120s")
+    elif proc.exitcode != -signal.SIGKILL:
+        problems.append(f"campaign child exited {proc.exitcode}, "
+                        f"expected -SIGKILL")
+
+    journal_path = workdir / "journal.jsonl"
+    problems += verify_journal(journal_path)
+    recorded = {
+        key for key, rec in Journal(journal_path).load().items()
+        if rec.get("status") == "ok"
+    }
+    if len(recorded) != kill_on - 1:
+        problems.append(
+            f"expected {kill_on - 1} durable records before the kill, "
+            f"found {len(recorded)}"
+        )
+    missing = {s.key for s in specs} - recorded
+    problems += _check_resume(journal_path, specs, reference,
+                              expect_executed=missing)
+    return problems
+
+
+def _scenario_hung_worker(workdir: Path) -> List[str]:
+    """A wedged worker must die by heartbeat, not by wall clock."""
+    spec = JobSpec(
+        trace=_TRACE, l1d="none", scale=_SCALE,
+        fault=FaultSpec(kind="hang", hang_seconds=600.0),
+    )
+    wall_budget = 300.0
+    journal = Journal(workdir / "journal.jsonl")
+    sup = SupervisorConfig(heartbeat_every=200, heartbeat_timeout=1.0,
+                           poll_interval=0.05, handle_signals=False)
+    started = time.monotonic()
+    suite = _supervisor(journal, timeout=wall_budget, sup=sup).run([spec])
+    took = time.monotonic() - started
+
+    problems = []
+    outcome = suite.outcomes[0] if suite.outcomes else None
+    if outcome is None or outcome.ok:
+        problems.append("hung job did not fail")
+    else:
+        if outcome.error_type != "HeartbeatTimeout":
+            problems.append(f"expected HeartbeatTimeout, got "
+                            f"{outcome.error_type}: {outcome.message}")
+        if outcome.kind != "timeout":
+            problems.append(f"expected kind=timeout, got {outcome.kind}")
+    if took > wall_budget / 10:
+        problems.append(
+            f"preemption took {took:.1f}s — not 'well before' the "
+            f"{wall_budget:.0f}s wall-clock budget"
+        )
+    problems += verify_journal(journal.path)
+    return problems
+
+
+def _scenario_balloon(workdir: Path) -> List[str]:
+    """A worker over the RSS cap is preempted with a ResourceError."""
+    from repro.runner.resources import process_rss_mb
+
+    spec = JobSpec(
+        trace=_TRACE, l1d="none", scale=_SCALE,
+        fault=FaultSpec(kind="balloon", balloon_mb=256,
+                        hang_seconds=600.0),
+    )
+    journal = Journal(workdir / "journal.jsonl")
+    # Forked workers share pages with this process, so the cap is
+    # anchored to our own RSS — only the balloon can push a worker over.
+    base_rss = process_rss_mb(os.getpid()) or 128.0
+    sup = SupervisorConfig(
+        heartbeat_every=200, heartbeat_timeout=60.0, poll_interval=0.05,
+        handle_signals=False,
+        policy=ResourcePolicy(max_worker_rss_mb=base_rss + 128.0),
+    )
+    # Memory/disk readers are scripted to "plenty" so only the RSS guard
+    # (reading the real /proc) can act — the scenario is then immune to
+    # whatever the host happens to be doing.
+    monitor = ResourceMonitor(
+        sup.policy,
+        mem_reader=lambda: 65536.0,
+        disk_reader=lambda path: 65536.0,
+    )
+    suite = _supervisor(journal, timeout=600.0, sup=sup,
+                        monitor=monitor).run([spec])
+
+    problems = []
+    outcome = suite.outcomes[0] if suite.outcomes else None
+    if outcome is None or outcome.ok:
+        problems.append("ballooning job did not fail")
+    else:
+        if outcome.kind != "resource":
+            problems.append(f"expected kind=resource, got "
+                            f"{outcome.kind}: {outcome.message}")
+        if outcome.error_type != "ResourceError":
+            problems.append(f"expected ResourceError, got "
+                            f"{outcome.error_type}")
+    kinds = _event_kinds(_read_manifest(journal.path))
+    if "rss-preempt" not in kinds:
+        problems.append(f"manifest records no rss-preempt event "
+                        f"(events: {kinds})")
+    problems += verify_journal(journal.path)
+    return problems
+
+
+def _scenario_clock_skew(workdir: Path) -> List[str]:
+    """A +120s clock jump mid-campaign must not expire healthy jobs."""
+    specs = [
+        JobSpec(trace=_TRACE, l1d="none", scale=_SCALE,
+                fault=FaultSpec(kind="hang", hang_seconds=1.5)),
+        JobSpec(trace=_TRACE2, l1d="none", scale=_SCALE),
+    ]
+    journal = Journal(workdir / "journal.jsonl")
+    clock = SkewedClock(jump=120.0, after=40)
+    sup = SupervisorConfig(heartbeat_every=0, poll_interval=0.05,
+                           skew_threshold=30.0, handle_signals=False)
+    suite = _supervisor(journal, timeout=30.0, sup=sup,
+                        now_fn=clock).run(specs)
+
+    problems = []
+    if not clock.jumped:
+        problems.append("clock never jumped — scenario misconfigured")
+    for outcome in suite.outcomes:
+        if not outcome.ok:
+            problems.append(
+                f"{outcome.key} failed after the clock jump "
+                f"[{outcome.kind}] {outcome.message}"
+            )
+    if len(suite.outcomes) != len(specs):
+        problems.append(f"only {len(suite.outcomes)}/{len(specs)} "
+                        f"outcomes recorded")
+    if "clock-skew" not in _event_kinds(_read_manifest(journal.path)):
+        problems.append("manifest records no clock-skew event")
+    problems += verify_journal(journal.path)
+    return problems
+
+
+SCENARIOS: Dict[str, Callable[[Path], List[str]]] = {
+    "disk-full": _scenario_disk_full,
+    "sigkill": _scenario_sigkill,
+    "hung-worker": _scenario_hung_worker,
+    "balloon": _scenario_balloon,
+    "clock-skew": _scenario_clock_skew,
+}
+
+#: The CI subset: one journal-durability kill, one ENOSPC storm, one
+#: liveness preemption — the three invariants a campaign lives or dies by.
+QUICK_SCENARIOS = ("disk-full", "sigkill", "hung-worker")
+
+
+def run_chaos(
+    scenarios: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    workdir: Optional[Union[str, Path]] = None,
+    verbose: bool = False,
+) -> List[ScenarioResult]:
+    """Run chaos scenarios; each gets a private subdirectory.
+
+    ``scenarios`` selects by name (default: all, or ``QUICK_SCENARIOS``
+    when ``quick``).  Unknown names raise ``KeyError`` so typos fail
+    loudly rather than silently passing.
+    """
+    names = list(scenarios) if scenarios else (
+        list(QUICK_SCENARIOS) if quick else list(SCENARIOS)
+    )
+    for name in names:
+        if name not in SCENARIOS:
+            raise KeyError(
+                f"unknown chaos scenario {name!r}; choose from "
+                f"{sorted(SCENARIOS)}"
+            )
+    base = Path(workdir) if workdir else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    results: List[ScenarioResult] = []
+    for name in names:
+        subdir = base / name.replace("-", "_")
+        subdir.mkdir(parents=True, exist_ok=True)
+        started = time.monotonic()
+        try:
+            problems = SCENARIOS[name](subdir)
+            skipped = False
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 — harness must report, not die
+            problems = [f"scenario crashed: {type(exc).__name__}: {exc}"]
+            skipped = False
+        result = ScenarioResult(
+            name=name,
+            passed=not problems,
+            skipped=skipped,
+            duration=time.monotonic() - started,
+            problems=problems,
+        )
+        results.append(result)
+        if verbose:
+            print(result.banner())
+            for problem in problems:
+                print(f"         - {problem}")
+    return results

@@ -15,6 +15,16 @@ perturb a job in every way the error taxonomy classifies:
                    ``dropped_queue_full``.
 * ``flaky``      — the job crashes on its first ``fail_attempts`` attempts
                    and then succeeds (exercises retry with backoff).
+* ``balloon``    — the worker allocates ``balloon_mb`` of resident memory
+                   and then sleeps; the supervisor's per-worker RSS guard
+                   must preempt it (→ :class:`~repro.errors.ResourceError`,
+                   kind "resource").
+
+Host-level faults (a journal that reports ``ENOSPC`` on chosen appends,
+a journal that SIGKILLs its own process mid-append, a monotonic clock
+that jumps forward, scripted ``/proc`` readers) live one layer up in the
+chaos harness, :mod:`repro.runner.chaos`, which injects them around a
+whole campaign and asserts the campaign invariants afterwards.
 
 All faults are deterministic (counter-based, no randomness), so an
 injected run is exactly reproducible — and the *surviving* jobs of a
@@ -31,7 +41,8 @@ from repro.memory.hierarchy import Hierarchy, _FIFOQueue
 from repro.memory.mshr import MSHR
 from repro.workloads.trace import Trace
 
-FAULT_KINDS = ("crash", "hang", "corrupt", "mshr_full", "pq_full", "flaky")
+FAULT_KINDS = ("crash", "hang", "corrupt", "mshr_full", "pq_full", "flaky",
+               "balloon")
 
 
 @dataclass(frozen=True)
@@ -41,12 +52,15 @@ class FaultSpec:
     ``period`` means: for ``crash``, crash on the N-th prefetcher
     invocation; for ``corrupt``, corrupt every N-th record; for
     ``mshr_full``/``pq_full``, fail every N-th allocation query.
+    ``balloon_mb`` is the resident allocation of a ``balloon`` fault
+    (which then sleeps ``hang_seconds``, waiting to be preempted).
     """
 
     kind: str
     period: int = 3
     hang_seconds: float = 3600.0
     fail_attempts: int = 1
+    balloon_mb: int = 96
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -58,6 +72,11 @@ class FaultSpec:
             raise ConfigError(
                 f"fault period must be >= 1, got {self.period}",
                 field="period",
+            )
+        if self.balloon_mb < 1:
+            raise ConfigError(
+                f"balloon_mb must be >= 1, got {self.balloon_mb}",
+                field="balloon_mb",
             )
 
 

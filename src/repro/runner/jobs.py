@@ -15,10 +15,17 @@ suite keeps going either way.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.errors import JobTimeout, ReproError, TraceError, ConfigError
+from repro.errors import (
+    ConfigError,
+    JobTimeout,
+    ReproError,
+    ResourceError,
+    TraceError,
+)
 from repro.runner.faultinject import FaultSpec
 from repro.simulator.stats import SimResult
 
@@ -44,6 +51,12 @@ class JobSpec:
     snapshot_every: int = 0
     snapshot_dir: Optional[str] = None
     resume_from: Optional[str] = None
+    # Supervision knobs (repro.runner.supervisor).  Heartbeats are pure
+    # observation — the worker writes progress pings to heartbeat_path
+    # every heartbeat_every simulated accesses — so, like the sanitizer
+    # fields above, they are excluded from `key`.
+    heartbeat_path: Optional[str] = None
+    heartbeat_every: int = 0
 
     @property
     def key(self) -> str:
@@ -71,6 +84,24 @@ def run_callable(job: "CallableJob", attempt: int = 1) -> Any:
     return job.fn()
 
 
+@dataclass(frozen=True)
+class TaggedResult:
+    """A worker's result wrapped with the pid that produced it.
+
+    The pool submits :func:`tag_worker` rather than the raw job
+    function, so the parent learns which OS process ran each job — the
+    ``worker_pid`` journal field — without touching the result payload.
+    """
+
+    worker_pid: int
+    result: Any
+
+
+def tag_worker(run_fn: Callable, job: Any, attempt: int) -> "TaggedResult":
+    """Run ``run_fn(job, attempt)`` and tag the result with our pid."""
+    return TaggedResult(worker_pid=os.getpid(), result=run_fn(job, attempt))
+
+
 @dataclass
 class CompletedRun:
     """A job that finished and produced a result."""
@@ -80,6 +111,7 @@ class CompletedRun:
     attempts: int = 1
     elapsed: float = 0.0
     from_journal: bool = False  # replayed from the checkpoint, not re-run
+    worker_pid: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -91,25 +123,60 @@ class FailedRun:
     """A job that was given up on, with its classified failure."""
 
     key: str
-    kind: str                   # "trace"|"config"|"crash"|"timeout"|"worker-lost"
+    kind: str                   # "trace"|"config"|"crash"|"timeout"|"worker-lost"|"resource"
     error_type: str
     message: str
     attempts: int = 1
     elapsed: float = 0.0
     context: Dict[str, Any] = field(default_factory=dict)
+    worker_pid: Optional[int] = None
 
     @property
     def ok(self) -> bool:
         return False
 
 
-RunOutcome = Union[CompletedRun, FailedRun]
+@dataclass
+class QuarantinedRun:
+    """A job skipped because its (trace, prefetcher) circuit breaker is
+    open: the group failed ``failures`` consecutive times and re-running
+    it would only burn campaign budget.  A resumed campaign sends one
+    half-open probe per quarantined group; on success the breaker closes
+    and the group's remaining jobs run normally on the next pass."""
+
+    key: str
+    group: str                  # "trace|prefetcher" breaker identity
+    failures: int               # consecutive failures that tripped it
+    message: str = ""
+    kind: str = "quarantined"
+    error_type: str = "CircuitOpen"
+    attempts: int = 0
+    elapsed: float = 0.0
+    context: Dict[str, Any] = field(default_factory=dict)
+    worker_pid: Optional[int] = None
+    from_journal: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.message:
+            self.message = (
+                f"circuit breaker open for {self.group} after "
+                f"{self.failures} consecutive failures; job skipped"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+RunOutcome = Union[CompletedRun, FailedRun, QuarantinedRun]
 
 
 def classify_error(exc: BaseException) -> str:
     """Map an exception to the failure taxonomy the journal records."""
     if isinstance(exc, JobTimeout):
         return "timeout"
+    if isinstance(exc, ResourceError):
+        return "resource"
     if isinstance(exc, TraceError):
         return "trace"
     if isinstance(exc, ConfigError):
@@ -119,7 +186,7 @@ def classify_error(exc: BaseException) -> str:
 
 def failed_run_from(
     key: str, exc: BaseException, attempts: int, elapsed: float,
-    kind: Optional[str] = None,
+    kind: Optional[str] = None, worker_pid: Optional[int] = None,
 ) -> FailedRun:
     return FailedRun(
         key=key,
@@ -129,22 +196,33 @@ def failed_run_from(
         attempts=attempts,
         elapsed=elapsed,
         context=exc.context() if isinstance(exc, ReproError) else {},
+        worker_pid=worker_pid,
     )
 
 
 @dataclass
 class SuiteResult:
-    """All outcomes of one runner invocation, in submission order."""
+    """All outcomes of one runner invocation, in submission order.
+
+    ``interrupted=True`` means the campaign was drained early (graceful
+    shutdown): the outcomes list covers only the jobs that finished, and
+    a journal-backed resume will execute exactly the missing ones.
+    """
 
     outcomes: List[RunOutcome] = field(default_factory=list)
+    interrupted: bool = False
 
     @property
     def completed(self) -> List[CompletedRun]:
         return [o for o in self.outcomes if o.ok]
 
     @property
-    def failures(self) -> List[FailedRun]:
+    def failures(self) -> List[RunOutcome]:
         return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def quarantined(self) -> List[QuarantinedRun]:
+        return [o for o in self.outcomes if isinstance(o, QuarantinedRun)]
 
     def result(self, key: str) -> Optional[SimResult]:
         for o in self.outcomes:
@@ -159,13 +237,14 @@ class SuiteResult:
         """The "N/M completed" line every suite report leads with."""
         total = len(self.outcomes)
         done = len(self.completed)
+        suffix = " [interrupted]" if self.interrupted else ""
         if done == total:
-            return f"{done}/{total} jobs completed"
+            return f"{done}/{total} jobs completed{suffix}"
         kinds: Dict[str, int] = {}
         for f in self.failures:
             kinds[f.kind] = kinds.get(f.kind, 0) + 1
         detail = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
-        return f"{done}/{total} jobs completed ({detail})"
+        return f"{done}/{total} jobs completed ({detail}){suffix}"
 
     def raise_if_all_failed(self) -> None:
         if self.outcomes and not self.completed:

@@ -1,18 +1,29 @@
 """JSONL checkpoint journal: crash-safe progress for long campaigns.
 
-One line per finished job (completed *or* given up on), appended and
-flushed immediately, so an interrupted suite loses at most the jobs that
-were still in flight.  On ``--resume`` the journal is replayed: jobs
-with a stored ``ok`` record return their deserialised result without
-re-running; failed records are retried.
+One line per finished job (completed, given up on, *or* quarantined),
+appended and flushed immediately, so an interrupted suite loses at most
+the jobs that were still in flight.  On ``--resume`` the journal is
+replayed: jobs with a stored ``ok`` record return their deserialised
+result without re-running; failed and quarantined records are retried
+(the supervisor turns quarantined groups into half-open probes).
 
-Line format (all lines are independent JSON objects)::
+Line format — schema version 2 (all lines are independent JSON
+objects)::
 
-    {"key": "<job key>", "status": "ok", "attempts": 1, "elapsed": 1.2,
+    {"schema": 2, "key": "<job key>", "status": "ok", "attempt": 1,
+     "elapsed_seconds": 1.2, "worker_pid": 4242,
      "result": {<SimResult.to_dict()>}}
-    {"key": "<job key>", "status": "failed", "kind": "timeout",
-     "error_type": "JobTimeout", "message": "...", "attempts": 2,
-     "elapsed": 30.1, "context": {"trace": "...", "prefetcher": "..."}}
+    {"schema": 2, "key": "<job key>", "status": "failed",
+     "kind": "timeout", "error_type": "JobTimeout", "message": "...",
+     "attempt": 2, "elapsed_seconds": 30.1, "worker_pid": 4243,
+     "context": {"trace": "...", "prefetcher": "..."}}
+    {"schema": 2, "key": "<job key>", "status": "quarantined",
+     "group": "<trace>|<prefetcher>", "failures": 3, "message": "..."}
+
+Version-1 journals (no ``schema`` field; ``attempts`` / ``elapsed``
+instead of ``attempt`` / ``elapsed_seconds``; no ``worker_pid``) are
+still read: missing fields default, so pre-supervisor campaigns resume
+unchanged.
 
 The *last* record for a key wins, so re-runs simply append.  Truncated
 or corrupt lines (a worker killed mid-write) are skipped, not fatal.
@@ -24,17 +35,34 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
-from repro.runner.jobs import CompletedRun, RunOutcome
+from repro.errors import ResourceError
+from repro.runner.jobs import CompletedRun, QuarantinedRun, RunOutcome
 from repro.simulator.stats import SimResult
+
+#: Bumped when the record shape changes; readers accept all versions.
+SCHEMA_VERSION = 2
 
 
 class Journal:
-    """Append-only JSONL record of job outcomes."""
+    """Append-only JSONL record of job outcomes.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``guard`` is an optional pre-write check (the supervisor installs a
+    free-disk probe): it returns a human-readable reason to refuse the
+    write, or ``None`` to proceed.  A refused append raises
+    :class:`~repro.errors.ResourceError` *before* any bytes are written,
+    so the journal is never half-updated by a full disk — the runner
+    buffers the outcome and flushes it once the guard clears.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        guard: Optional[Callable[[], Optional[str]]] = None,
+    ) -> None:
         self.path = Path(path)
+        self.guard = guard
 
     def load(self) -> Dict[str, dict]:
         """Parse the journal; returns the last record per job key."""
@@ -66,6 +94,12 @@ class Journal:
         still tolerated by :meth:`load`).  Journals are one line per
         finished job, so the rewrite is a few kilobytes per append.
         """
+        if self.guard is not None:
+            reason = self.guard()
+            if reason:
+                raise ResourceError(
+                    f"journal append refused: {reason}", field="journal"
+                )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
             existing = self.path.read_bytes()
@@ -102,30 +136,55 @@ class Journal:
 
     @staticmethod
     def _encode(outcome: RunOutcome) -> dict:
+        if isinstance(outcome, QuarantinedRun):
+            return {
+                "schema": SCHEMA_VERSION,
+                "key": outcome.key,
+                "status": "quarantined",
+                "group": outcome.group,
+                "failures": outcome.failures,
+                "message": outcome.message,
+            }
         if outcome.ok:
             result = outcome.result
             return {
+                "schema": SCHEMA_VERSION,
                 "key": outcome.key,
                 "status": "ok",
-                "attempts": outcome.attempts,
-                "elapsed": round(outcome.elapsed, 4),
+                "attempt": outcome.attempts,
+                "elapsed_seconds": round(outcome.elapsed, 4),
+                "worker_pid": outcome.worker_pid,
                 "result": result.to_dict()
                 if isinstance(result, SimResult) else result,
             }
         return {
+            "schema": SCHEMA_VERSION,
             "key": outcome.key,
             "status": "failed",
             "kind": outcome.kind,
             "error_type": outcome.error_type,
             "message": outcome.message,
-            "attempts": outcome.attempts,
-            "elapsed": round(outcome.elapsed, 4),
+            "attempt": outcome.attempts,
+            "elapsed_seconds": round(outcome.elapsed, 4),
+            "worker_pid": outcome.worker_pid,
             "context": outcome.context,
         }
 
     @staticmethod
+    def _attempts(rec: dict) -> int:
+        return rec.get("attempt", rec.get("attempts", 1))
+
+    @staticmethod
+    def _elapsed(rec: dict) -> float:
+        return rec.get("elapsed_seconds", rec.get("elapsed", 0.0))
+
+    @staticmethod
     def decode_completed(rec: dict) -> Optional[CompletedRun]:
-        """Rebuild a :class:`CompletedRun` from an ``ok`` journal record."""
+        """Rebuild a :class:`CompletedRun` from an ``ok`` journal record.
+
+        Handles both schema versions: v1 records use ``attempts`` /
+        ``elapsed`` and carry no ``worker_pid``; the fields default.
+        """
         if rec.get("status") != "ok":
             return None
         result = rec.get("result")
@@ -134,7 +193,21 @@ class Journal:
         return CompletedRun(
             key=rec["key"],
             result=result,
-            attempts=rec.get("attempts", 1),
-            elapsed=rec.get("elapsed", 0.0),
+            attempts=Journal._attempts(rec),
+            elapsed=Journal._elapsed(rec),
+            from_journal=True,
+            worker_pid=rec.get("worker_pid"),
+        )
+
+    @staticmethod
+    def decode_quarantined(rec: dict) -> Optional[QuarantinedRun]:
+        """Rebuild a :class:`QuarantinedRun` from a journal record."""
+        if rec.get("status") != "quarantined":
+            return None
+        return QuarantinedRun(
+            key=rec["key"],
+            group=rec.get("group", rec["key"]),
+            failures=rec.get("failures", 0),
+            message=rec.get("message", ""),
             from_journal=True,
         )

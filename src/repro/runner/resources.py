@@ -1,0 +1,238 @@
+"""Host resource guards and the worker heartbeat channel.
+
+Two small, dependency-free facilities the campaign supervisor
+(:mod:`repro.runner.supervisor`) builds on:
+
+* **Resource probes** — ``/proc/meminfo`` available memory,
+  ``os.statvfs`` free disk, and per-process RSS from
+  ``/proc/<pid>/status``.  Every probe degrades to ``None`` on platforms
+  without ``/proc`` (or on any read error), and the monitor treats
+  ``None`` as "cannot tell → no pressure", so supervision is safe to
+  enable anywhere and only *acts* where it can actually observe.
+* **Heartbeats** — a worker writes a tiny JSON file every N simulated
+  accesses (:class:`Heartbeat`); the supervisor polls it
+  (:func:`read_heartbeat`) and treats a stalled sequence number as a
+  dead worker.  Progress is detected by *content change observed by the
+  supervisor's own clock*, never by comparing worker timestamps, so the
+  channel is immune to cross-process clock skew.
+
+All probes are deliberately cheap (one small file read each) — the
+supervisor calls them every poll tick.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Heartbeat",
+    "ResourceMonitor",
+    "ResourcePolicy",
+    "ResourceStatus",
+    "disk_free_mb",
+    "meminfo_available_mb",
+    "process_rss_mb",
+    "read_heartbeat",
+]
+
+_MB = 1024.0 * 1024.0
+
+
+# ----------------------------------------------------------------------
+# Probes (each returns None when it cannot observe)
+# ----------------------------------------------------------------------
+
+def meminfo_available_mb(path: str = "/proc/meminfo") -> Optional[float]:
+    """``MemAvailable`` in MB, or ``None`` off-Linux / on read failure."""
+    try:
+        with open(path, "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def disk_free_mb(path: Union[str, Path]) -> Optional[float]:
+    """Free bytes (in MB) on the filesystem holding ``path``."""
+    probe = Path(path)
+    # statvfs needs an existing path; walk up to the nearest parent.
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            return None
+        probe = parent
+    try:
+        st = os.statvfs(probe)
+    except OSError:
+        return None
+    return st.f_bavail * st.f_frsize / _MB
+
+
+def process_rss_mb(pid: int) -> Optional[float]:
+    """Resident set size of ``pid`` in MB (``/proc/<pid>/status``)."""
+    try:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+# ----------------------------------------------------------------------
+# Policy + monitor
+# ----------------------------------------------------------------------
+
+@dataclass
+class ResourcePolicy:
+    """Thresholds below/above which the supervisor degrades the campaign."""
+
+    min_free_memory_mb: float = 256.0   # host MemAvailable floor
+    min_free_disk_mb: float = 64.0      # journal/snapshot filesystem floor
+    max_worker_rss_mb: Optional[float] = None  # per-worker RSS cap
+    recovery_factor: float = 1.5        # hysteresis: recover above floor×this
+
+    def __post_init__(self) -> None:
+        if self.min_free_memory_mb < 0:
+            raise ConfigError(
+                f"min_free_memory_mb must be >= 0, got "
+                f"{self.min_free_memory_mb}", field="min_free_memory_mb",
+            )
+        if self.min_free_disk_mb < 0:
+            raise ConfigError(
+                f"min_free_disk_mb must be >= 0, got {self.min_free_disk_mb}",
+                field="min_free_disk_mb",
+            )
+        if (self.max_worker_rss_mb is not None
+                and self.max_worker_rss_mb <= 0):
+            raise ConfigError(
+                f"max_worker_rss_mb must be positive, got "
+                f"{self.max_worker_rss_mb}", field="max_worker_rss_mb",
+            )
+        if self.recovery_factor < 1.0:
+            raise ConfigError(
+                f"recovery_factor must be >= 1, got {self.recovery_factor}",
+                field="recovery_factor",
+            )
+
+
+@dataclass
+class ResourceStatus:
+    """One sample of host pressure, as seen by the monitor."""
+
+    available_mb: Optional[float] = None
+    disk_free_mb: Optional[float] = None
+    memory_pressure: bool = False
+    memory_recovered: bool = True
+    disk_pressure: bool = False
+    fat_workers: List[int] = field(default_factory=list)  # pids over RSS cap
+
+
+class ResourceMonitor:
+    """Samples host pressure against a :class:`ResourcePolicy`.
+
+    The reader callables are injectable so the chaos harness can script
+    deterministic pressure sequences (a fake ``/proc`` that reports low
+    memory for exactly N samples) without actually starving the host.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ResourcePolicy] = None,
+        mem_reader: Optional[Callable[[], Optional[float]]] = None,
+        disk_reader: Optional[Callable[[Union[str, Path]], Optional[float]]] = None,
+        rss_reader: Optional[Callable[[int], Optional[float]]] = None,
+    ) -> None:
+        self.policy = policy or ResourcePolicy()
+        self._mem = mem_reader or meminfo_available_mb
+        self._disk = disk_reader or disk_free_mb
+        self._rss = rss_reader or process_rss_mb
+
+    def sample(
+        self,
+        pids: Iterable[int] = (),
+        disk_path: Optional[Union[str, Path]] = None,
+    ) -> ResourceStatus:
+        pol = self.policy
+        status = ResourceStatus()
+        status.available_mb = self._mem()
+        if status.available_mb is not None:
+            status.memory_pressure = (
+                status.available_mb < pol.min_free_memory_mb
+            )
+            status.memory_recovered = (
+                status.available_mb
+                >= pol.min_free_memory_mb * pol.recovery_factor
+            )
+        if disk_path is not None:
+            status.disk_free_mb = self._disk(disk_path)
+            if status.disk_free_mb is not None:
+                status.disk_pressure = (
+                    status.disk_free_mb < pol.min_free_disk_mb
+                )
+        if pol.max_worker_rss_mb is not None:
+            for pid in pids:
+                rss = self._rss(pid)
+                if rss is not None and rss > pol.max_worker_rss_mb:
+                    status.fat_workers.append(pid)
+        return status
+
+
+# ----------------------------------------------------------------------
+# Heartbeat channel
+# ----------------------------------------------------------------------
+
+class Heartbeat:
+    """Worker-side progress pings: one small JSON file, rewritten in place.
+
+    Each ping bumps a sequence number; the supervisor declares progress
+    whenever the sequence changes.  Writes are tiny (<200 bytes) and a
+    torn read on the supervisor side is simply skipped until the next
+    tick, so no locking is needed.
+    """
+
+    def __init__(self, path: Union[str, Path], key: str = "") -> None:
+        self.path = Path(path)
+        self.key = key
+        self.total = 0
+        self._seq = 0
+
+    def set_total(self, total: int) -> None:
+        self.total = total
+
+    def ping(self, accesses: int) -> None:
+        self._seq += 1
+        payload = {
+            "key": self.key,
+            "pid": os.getpid(),
+            "seq": self._seq,
+            "accesses": int(accesses),
+            "total": self.total,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("w", encoding="utf-8") as fh:
+                fh.write(json.dumps(payload))
+        except OSError:
+            pass  # a heartbeat must never fail the job it reports on
+
+
+def read_heartbeat(path: Union[str, Path]) -> Optional[Dict]:
+    """Parse a heartbeat file; ``None`` for missing/torn files."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+    if not isinstance(data, dict) or "seq" not in data:
+        return None
+    return data

@@ -9,6 +9,11 @@ hierarchy with (trace, prefetcher) context attached:
 * unknown prefetcher, bad knobs     → :class:`ConfigError`
 * a crash inside the simulator      → :class:`SimulationError`
 * inconsistent statistics           → :class:`SimulationError`
+
+When the job carries heartbeat fields (set by the campaign supervisor),
+the worker additionally writes a progress ping to ``heartbeat_path``
+every ``heartbeat_every`` simulated accesses — pure observation; the
+simulation itself is bit-identical with or without it.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.runner.faultinject import (
 )
 from repro.runner.invariants import check_invariants
 from repro.runner.jobs import JobSpec
+from repro.runner.resources import Heartbeat
 from repro.simulator.config import default_config
 from repro.simulator.engine import simulate
 from repro.simulator.stats import SimResult
@@ -35,6 +41,11 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
     classified :class:`~repro.errors.ReproError`."""
     fault = spec.fault
 
+    hb = None
+    if spec.heartbeat_path and spec.heartbeat_every > 0:
+        hb = Heartbeat(spec.heartbeat_path, key=spec.key)
+        hb.ping(0)  # registers our pid before any slow work starts
+
     if fault and fault.kind == "flaky" and attempt <= fault.fail_attempts:
         raise SimulationError(
             f"injected transient failure (attempt {attempt} of "
@@ -43,11 +54,22 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
         )
     if fault and fault.kind == "hang":
         time.sleep(fault.hang_seconds)
+    ballast = None
+    if fault and fault.kind == "balloon":
+        # Genuinely resident memory (bytearrays are touched pages), then
+        # a sleep: the worker is alive but fat, and stays that way until
+        # the supervisor's RSS guard preempts it.
+        ballast = bytearray(fault.balloon_mb << 20)
+        time.sleep(fault.hang_seconds)
+        del ballast
 
     trace = resolve_trace(spec.trace, spec.scale)
     if fault and fault.kind == "corrupt":
         trace = corrupt_trace(trace, period=fault.period)
     trace.validate()
+    if hb is not None:
+        hb.set_total(len(trace))
+        hb.ping(0)  # trace built; the supervisor can now estimate ETA
 
     try:
         l1d = make_prefetcher(spec.l1d)
@@ -95,6 +117,8 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
                 config=config,
                 warmup_fraction=spec.warmup_fraction,
                 post_build=post_build,
+                progress=hb.ping if hb is not None else None,
+                progress_every=spec.heartbeat_every,
             )
     except ReproError:
         raise

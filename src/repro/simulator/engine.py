@@ -144,6 +144,8 @@ def simulate(
     warmup_fraction: float = 0.2,
     prewarm_tlb: bool = True,
     post_build: Optional[Callable[[Hierarchy], None]] = None,
+    progress: Optional[Callable[[int], None]] = None,
+    progress_every: int = 0,
 ) -> SimResult:
     """Run one trace on one core and return its measured statistics.
 
@@ -155,6 +157,11 @@ def simulate(
     ``post_build`` is an extension hook invoked with the freshly built
     hierarchy before the run starts — used by the fault-injection
     harness (:mod:`repro.runner.faultinject`) and by instrumentation.
+    ``progress``, when set, is called with the number of records consumed
+    every ``progress_every`` records — the supervisor's heartbeat hook.
+    It only splits the record spans at chunk boundaries (the same split
+    the snapshot machinery relies on), so results are bit-identical and
+    the default path (``progress=None``) is untouched.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
@@ -219,7 +226,21 @@ def simulate(
                 field="record_index",
             ) from exc
 
-    _run_span(0, warmup_end)
+    if progress is not None and progress_every > 0:
+        # Heartbeat mode: run each span in chunks, pinging between them.
+        # Splitting a span at a record boundary performs exactly the same
+        # operations in the same order, so results stay bit-identical.
+        def _run(lo: int, hi: int) -> None:
+            i = lo
+            while i < hi:
+                j = min(i + progress_every, hi)
+                _run_span(i, j)
+                progress(j)
+                i = j
+    else:
+        _run = _run_span
+
+    _run(0, warmup_end)
     if warmup_end > 0:
         hierarchy.reset_stats()
         carryover = hierarchy.prefetched_line_counts()
@@ -227,7 +248,7 @@ def simulate(
         start = _Snapshot(snap_i, snap_c)
     else:
         start = _Snapshot(0, 0.0)
-    _run_span(warmup_end, n)
+    _run(warmup_end, n)
     res = _collect(trace, hierarchy, core, start)
     # Prefetched lines still resident (or in flight) at the end of warmup
     # can be demanded — and credited as useful — after the stats reset.

@@ -106,6 +106,20 @@ class TestConfigValidation:
         with pytest.raises(ConfigError):
             RunnerConfig(workers=-1)
 
+    def test_nonpositive_backoff_base(self):
+        with pytest.raises(ConfigError) as exc:
+            RunnerConfig(backoff_base=0)
+        assert exc.value.field == "backoff_base"
+
+    def test_negative_backoff_base(self):
+        with pytest.raises(ConfigError):
+            RunnerConfig(backoff_base=-0.5)
+
+    def test_nonpositive_backoff_factor(self):
+        with pytest.raises(ConfigError) as exc:
+            RunnerConfig(backoff_factor=0)
+        assert exc.value.field == "backoff_factor"
+
     def test_negative_retries(self):
         with pytest.raises(ConfigError):
             RunnerConfig(retries=-1)
@@ -287,6 +301,77 @@ class TestJournalDurability:
         first_bytes = journal.read_bytes()
         j.append(self._completed("b", result=2))
         assert journal.read_bytes().startswith(first_bytes)
+
+
+class TestJournalSchemaV2:
+    """PR 4: records carry schema 2 with attempt / elapsed_seconds /
+    worker_pid; version-1 journals still resume (fields default)."""
+
+    def test_new_records_carry_schema_2_fields(self, tmp_path):
+        import os
+
+        journal = tmp_path / "suite.jsonl"
+        jobs = make_jobs(traces=(TRACE,), prefetchers=("ip_stride",))
+        ExperimentRunner(
+            RunnerConfig(workers=0, journal_path=journal)
+        ).run(jobs)
+        [rec] = [json.loads(line)
+                 for line in journal.read_text().splitlines()]
+        assert rec["schema"] == 2
+        assert rec["attempt"] == 1
+        assert rec["elapsed_seconds"] > 0
+        assert rec["worker_pid"] == os.getpid()  # inline = this process
+
+    def test_pool_records_tag_the_worker_pid(self, tmp_path):
+        import os
+
+        journal = tmp_path / "suite.jsonl"
+        jobs = make_jobs(traces=(TRACE,), prefetchers=("ip_stride",))
+        suite = ExperimentRunner(
+            RunnerConfig(workers=1, journal_path=journal)
+        ).run(jobs)
+        [done] = suite.completed
+        assert done.worker_pid is not None
+        assert done.worker_pid != os.getpid()  # ran in a pool worker
+        [rec] = [json.loads(line)
+                 for line in journal.read_text().splitlines()]
+        assert rec["worker_pid"] == done.worker_pid
+
+    def test_v1_journal_still_resumes(self, tmp_path):
+        """A journal written before the schema bump (no ``schema`` field,
+        ``attempts``/``elapsed`` names, no ``worker_pid``) must replay."""
+        journal = tmp_path / "suite.jsonl"
+        jobs = make_jobs(traces=(TRACE,), prefetchers=("ip_stride",))
+        reference = ExperimentRunner(RunnerConfig(workers=0)).run(jobs)
+
+        v1 = {
+            "key": jobs[0].key,
+            "status": "ok",
+            "attempts": 3,
+            "elapsed": 1.25,
+            "result": reference.completed[0].result.to_dict(),
+        }
+        journal.write_text(json.dumps(v1) + "\n")
+
+        resumed = ExperimentRunner(
+            RunnerConfig(workers=0, journal_path=journal, resume=True)
+        ).run(jobs, run_fn=lambda j, a: pytest.fail("must replay, not run"))
+        [done] = resumed.completed
+        assert done.from_journal
+        assert done.attempts == 3       # migrated from "attempts"
+        assert done.elapsed == 1.25     # migrated from "elapsed"
+        assert done.worker_pid is None  # absent in v1: defaults
+        assert done.result.to_dict() == v1["result"]
+
+    def test_decode_quarantined_record(self):
+        from repro.runner import QuarantinedRun
+
+        rec = {"schema": 2, "key": "k", "status": "quarantined",
+               "group": "t|pf", "failures": 3, "message": ""}
+        q = Journal.decode_quarantined(rec)
+        assert isinstance(q, QuarantinedRun)
+        assert q.group == "t|pf" and q.failures == 3 and not q.ok
+        assert Journal.decode_quarantined({"status": "ok", "key": "k"}) is None
 
 
 class TestSuiteHelpers:
