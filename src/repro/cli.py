@@ -183,6 +183,15 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _attach_stores(args, jobs):
+    """Apply ``--trace-store DIR``: convert once, map per worker."""
+    if not getattr(args, "trace_store", None):
+        return jobs
+    from repro.memory.tracestore import attach_trace_stores
+
+    return attach_trace_stores(jobs, args.trace_store)
+
+
 def cmd_compare(args) -> int:
     t = resolve_trace(args.trace, args.scale)  # fail fast on a bad name
     names = args.l1d.split(",")
@@ -192,6 +201,7 @@ def cmd_compare(args) -> int:
         [args.trace], names, scale=args.scale, mtps=args.mtps,
         faults=_parse_faults(args),
     )
+    jobs = _attach_stores(args, jobs)
     runner = _build_runner(args, len(jobs))
     suite = runner.run(jobs)
     print(suite.banner(), file=sys.stderr)
@@ -231,6 +241,7 @@ def cmd_suite(args) -> int:
         trace_names, names, scale=args.scale, mtps=args.mtps,
         faults=_parse_faults(args),
     )
+    jobs = _attach_stores(args, jobs)
     runner = _build_runner(args, len(jobs))
     suite = runner.run(jobs)
 
@@ -345,6 +356,39 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_trace_store(args) -> int:
+    """Convert catalog traces to mmap stores / inspect store files."""
+    from repro.memory.tracestore import ensure_store, store_info
+
+    if args.action == "convert":
+        names: List[str] = []
+        if args.suite:
+            names.extend(suite_trace_names(args.suite, args.all_graphs))
+        for item in args.trace or []:
+            names.extend(t for t in item.split(",") if t)
+        if not names:
+            print("error: pass --trace NAME[,NAME...] and/or --suite",
+                  file=sys.stderr)
+            return 2
+        rows = []
+        for name in names:
+            path = ensure_store(args.out, name, args.scale)
+            info = store_info(path)
+            rows.append([name, info["records"],
+                         f"{info['bytes'] / 1024:.0f} KB", str(path)])
+        print(format_table(["trace", "records", "size", "store"], rows,
+                           title=f"trace stores (scale {args.scale})"))
+        return 0
+    # info
+    for path in args.path:
+        info = store_info(path)
+        for k in ("path", "name", "suite", "records", "bytes", "version"):
+            print(f"{k + ':':10s} {info[k]}")
+        if info["description"]:
+            print(f"{'descr:':10s} {info['description']}")
+    return 0
+
+
 def cmd_storage(args) -> int:
     from repro.core.config import BertiConfig
 
@@ -377,6 +421,11 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
                    metavar="KIND:TRACE[:PERIOD]",
                    help="inject a fault (crash/hang/corrupt/mshr_full/"
                         "pq_full/flaky/balloon) into every job of TRACE")
+    g.add_argument("--trace-store", default=None, metavar="DIR",
+                   help="convert each unique trace once into DIR and "
+                        "have workers mmap the store read-only instead "
+                        "of regenerating the trace per job "
+                        "(docs/runner.md)")
     s = p.add_argument_group("supervision (docs/runner.md)")
     s.add_argument("--supervise", action="store_true",
                    help="run under the campaign supervisor: heartbeat "
@@ -491,6 +540,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for scenario artifacts "
                             "(default: a fresh temp dir)")
 
+    ts = sub.add_parser(
+        "trace-store",
+        help="convert traces to mmap-backed stores / inspect them",
+    )
+    ts.add_argument("action", choices=["convert", "info"],
+                    help="convert catalog traces, or describe store files")
+    ts.add_argument("--trace", action="append", default=None,
+                    metavar="NAME[,NAME...]",
+                    help="catalog trace(s) to convert (repeatable)")
+    ts.add_argument("--suite", default=None,
+                    choices=["spec17", "gap", "cloudsuite"],
+                    help="convert every trace of a suite")
+    ts.add_argument("--all-graphs", action="store_true",
+                    help="with --suite gap: all graphs, not just kron/urand")
+    ts.add_argument("--scale", type=float, default=0.5)
+    ts.add_argument("--out", default="traces/store", metavar="DIR",
+                    help="store directory (default traces/store)")
+    ts.add_argument("path", nargs="*", default=[],
+                    help="store files to describe (info action)")
+
     sub.add_parser("storage", help="hardware budgets incl. Table I")
     return p
 
@@ -504,6 +573,7 @@ COMMANDS = {
     "suite": cmd_suite,
     "chaos": cmd_chaos,
     "storage": cmd_storage,
+    "trace-store": cmd_trace_store,
 }
 
 

@@ -43,12 +43,21 @@ class BertiPrefetcher(Prefetcher):
 
     name = "berti"
     level = "l1d"
+    # Opt into the hierarchy's kernel protocol (see Prefetcher): the
+    # on_*_kernel methods below are behaviourally identical to the
+    # virtual hooks, minus the per-call AccessInfo/FillInfo/Request
+    # allocations.  Subclasses fall back to virtual dispatch unless they
+    # re-declare the flag in their own class body.
+    kernel_hooks = True
 
     def __init__(self, config: BertiConfig | None = None) -> None:
         self.config = config or BertiConfig()
         self.history = HistoryTable(self.config)
         self.deltas = DeltaTable(self.config)
         self._latency_mask = (1 << self.config.latency_bits) - 1
+        # Reusable timely-delta buffer for the kernel fill path (bounded
+        # by max_deltas_per_search; record_search does not retain it).
+        self._scratch: List[int] = []
         # Statistics for analysis/benchmarks.
         self.cross_page_suppressed = 0
 
@@ -132,6 +141,53 @@ class BertiPrefetcher(Prefetcher):
                 fill_level = FILL_L2
             append(PrefetchRequest(line=target, fill_level=fill_level))
         return requests
+
+    # ------------------------------------------------------------------
+    # Kernel protocol (allocation-free mirrors of the hooks above)
+    # ------------------------------------------------------------------
+
+    def on_access_kernel(
+        self, ip: int, line: int, hit: bool, now: int
+    ) -> List:
+        """``on_access`` minus the wrappers: insert on miss, then return
+        the memoised ``(delta, status)`` selection for the context.
+
+        The hierarchy applies the prediction policy (MSHR watermark,
+        cross-page filter, fill levels) inline — callers must not mutate
+        the returned list.
+        """
+        key = self._key(ip, line)
+        if not hit:
+            self.history.insert(key, line, now)
+        return self.deltas.prefetch_deltas(key)
+
+    def on_fill_kernel(self, line: int, now: int, latency: int, ip: int) -> None:
+        """``on_fill`` for a demand-miss fill, as one packed update.
+
+        The latency clamp is inlined (the 12-bit field drops overflow)
+        and the timely-delta search reuses one scratch buffer instead of
+        allocating a result list per fill.
+        """
+        if latency <= 0 or latency > self._latency_mask:
+            return  # overflow: not considered for learning
+        key = self._key(ip, line)
+        timely = self._scratch
+        timely.clear()
+        self.history.search_timely_into(key, line, now - latency, latency, timely)
+        self.deltas.record_search(key, timely)
+
+    def on_prefetch_hit_kernel(
+        self, ip: int, line: int, now: int, pf_latency: int
+    ) -> None:
+        """``on_prefetch_hit`` as one packed update (see on_fill_kernel)."""
+        key = self._key(ip, line)
+        self.history.insert(key, line, now)
+        if pf_latency <= 0 or pf_latency > self._latency_mask:
+            return
+        timely = self._scratch
+        timely.clear()
+        self.history.search_timely_into(key, line, now, pf_latency, timely)
+        self.deltas.record_search(key, timely)
 
     # ------------------------------------------------------------------
 

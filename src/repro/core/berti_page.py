@@ -25,6 +25,9 @@ class BertiPagePrefetcher(BertiPrefetcher):
 
     name = "berti_page"
     level = "l1d"
+    # Re-declare the opt-in: the hierarchy checks the *own* class body,
+    # so subclasses do not inherit kernel dispatch by accident.
+    kernel_hooks = True
 
     def __init__(self, config: BertiConfig | None = None) -> None:
         super().__init__(config)

@@ -1,4 +1,4 @@
-"""Berti's table of deltas (paper §III-C, Figures 5 and 6).
+"""Berti's table of deltas (paper §III-C, Figures 5 and 6) — kernelized.
 
 A 16-entry fully-associative FIFO cache tagged by a 10-bit hash of the
 IP.  Each entry holds a 4-bit search counter and an array of 16 deltas,
@@ -17,10 +17,42 @@ the counter and coverages are then reset and a new learning phase begins.
 While the first phase is still warming up, deltas are used for L1D
 prefetching with a stricter 80 % watermark once at least eight searches
 have been gathered.
+
+Kernel layout.  Entries are parallel preallocated lists (no per-slot
+objects): coverage is maintained *incrementally* by running counters on
+the per-entry slot lists, and every read-side product is cached with
+dirty-bit invalidation —
+
+* ``_pf_cache`` memoises the warmed-up selected-delta list (invalidated
+  only at phase close and on the rare eviction of a prefetching slot),
+* ``_warm_cache`` memoises the warmup selection (invalidated whenever
+  the entry's counter or slots change, i.e. on each ``record_search``
+  that touches the entry),
+* ``_evict_heap`` keeps the replacement-candidate slots as a lazy
+  min-heap of ``(coverage, slot)`` pairs — lexicographic order is
+  exactly the reference scan's lowest-coverage-first-occurrence victim
+  rule.  Entries go stale when a slot's coverage moves (a fresh pair is
+  pushed; the old one is discarded on pop against the live columns), and
+  the heap is rebuilt at phase close, the only time statuses change.
+  This matters because irregular traces (graph kernels) present mostly
+  *unseen* deltas: nearly every timely delta needs a victim, and the
+  reference rescans all 16 slots each time,
+
+so :meth:`prefetch_deltas` — called on **every** L1D access — is a dict
+probe plus a list return on the common path, and a victim election on
+the training path is a heap pop.  Slots fill densely from index 0 (the
+victim scan prefers the first empty slot and slots never empty
+mid-lifetime), so slot validity is a single ``_slot_count`` per entry
+rather than a flag per slot.
+
+The original object-per-slot implementation is preserved as
+:class:`~repro.core.reference_tables.ReferenceDeltaTable` and drives the
+differential lockstep oracle; both produce bit-identical results.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import List, Optional, Tuple
 
 from repro.core.config import BertiConfig
@@ -38,50 +70,42 @@ STATUS_NAMES = {
 }
 
 
-class _DeltaSlot:
-    __slots__ = ("valid", "delta", "coverage", "status")
-
-    def __init__(self) -> None:
-        self.valid = False
-        self.delta = 0
-        self.coverage = 0
-        self.status = NO_PREF
-
-
-class _Entry:
-    __slots__ = (
-        "valid", "tag", "counter", "slots", "order", "warmed_up",
-        "by_delta", "pf_cache",
-    )
-
-    def __init__(self, num_deltas: int) -> None:
-        self.valid = False
-        self.tag = 0
-        self.counter = 0
-        self.slots = [_DeltaSlot() for _ in range(num_deltas)]
-        self.order = 0
-        self.warmed_up = False  # first learning phase completed
-        # delta -> occupied slot, mirroring the valid slots (O(1) lookup
-        # in record_search instead of a scan per timely delta).
-        self.by_delta: dict = {}
-        # Memoised prefetch_deltas() result for warmed-up entries;
-        # invalidated whenever a status or a stored delta changes.
-        self.pf_cache: Optional[List[Tuple[int, int]]] = None
-
-
 class DeltaTable:
     """Per-IP delta coverage accumulation and prefetch-status selection."""
 
     def __init__(self, config: BertiConfig | None = None) -> None:
         self.config = config or BertiConfig()
         cfg = self.config
-        self._entries = [
-            _Entry(cfg.deltas_per_entry) for _ in range(cfg.delta_table_entries)
+        entries = cfg.delta_table_entries
+        per_entry = cfg.deltas_per_entry
+        # Entry-level columns.
+        self._valid = [False] * entries
+        self._tags = [0] * entries
+        self._counters = [0] * entries
+        self._orders = [0] * entries
+        self._warmed = [False] * entries
+        # Slot-level columns: per-entry parallel lists, preallocated.
+        # Valid slots are the dense prefix [0, _slot_count).
+        self._slot_count = [0] * entries
+        self._slot_delta = [[0] * per_entry for _ in range(entries)]
+        self._slot_cov = [[0] * per_entry for _ in range(entries)]
+        self._slot_status = [[NO_PREF] * per_entry for _ in range(entries)]
+        # Per-entry indices and caches.
+        self._by_delta: List[dict] = [{} for _ in range(entries)]
+        self._pf_cache: List[Optional[List[Tuple[int, int]]]] = [None] * entries
+        self._warm_cache: List[Optional[List[Tuple[int, int]]]] = [None] * entries
+        # Lazy victim heaps: (coverage, slot) pairs for every slot whose
+        # status allows replacement.  May hold stale pairs; pops validate
+        # against the live columns.  Invariant: the *current* pair of
+        # every replacement-candidate slot is present.
+        self._evict_heap: List[List[Tuple[int, int]]] = [
+            [] for _ in range(entries)
         ]
-        self._by_tag: dict = {}  # tag -> _Entry, for O(1) lookup
+        self._by_tag: dict = {}  # tag -> entry index, for O(1) lookup
         self._fifo_clock = 0
         self._fifo_ptr = 0
         self._tag_mask = (1 << cfg.delta_tag_bits) - 1
+        self._coverage_cap = (1 << cfg.coverage_bits) - 1
         self.phase_completions = 0
         self.discarded_deltas = 0
 
@@ -94,28 +118,30 @@ class DeltaTable:
         h ^= h >> 20
         return h & self._tag_mask
 
-    def _find(self, tag: int) -> Optional[_Entry]:
-        return self._by_tag.get(tag)
-
-    def _allocate(self, tag: int) -> _Entry:
+    def _allocate(self, tag: int) -> int:
         # FIFO replacement: a circular pointer over the entries.
-        victim = self._entries[self._fifo_ptr]
-        self._fifo_ptr = (self._fifo_ptr + 1) % len(self._entries)
-        if victim.valid:
-            self._by_tag.pop(victim.tag, None)
+        victim = self._fifo_ptr
+        self._fifo_ptr = (victim + 1) % len(self._valid)
+        if self._valid[victim]:
+            self._by_tag.pop(self._tags[victim], None)
         self._fifo_clock += 1
-        victim.valid = True
-        victim.tag = tag
-        victim.counter = 0
-        victim.order = self._fifo_clock
-        victim.warmed_up = False
-        victim.by_delta.clear()
-        victim.pf_cache = None
-        for slot in victim.slots:
-            slot.valid = False
-            slot.delta = 0
-            slot.coverage = 0
-            slot.status = NO_PREF
+        self._valid[victim] = True
+        self._tags[victim] = tag
+        self._counters[victim] = 0
+        self._orders[victim] = self._fifo_clock
+        self._warmed[victim] = False
+        self._slot_count[victim] = 0
+        deltas = self._slot_delta[victim]
+        covs = self._slot_cov[victim]
+        statuses = self._slot_status[victim]
+        for i in range(len(deltas)):
+            deltas[i] = 0
+            covs[i] = 0
+            statuses[i] = NO_PREF
+        self._by_delta[victim].clear()
+        self._pf_cache[victim] = None
+        self._warm_cache[victim] = None
+        del self._evict_heap[victim][:]
         self._by_tag[tag] = victim
         return victim
 
@@ -132,53 +158,75 @@ class DeltaTable:
         """
         cfg = self.config
         tag = self._tag_of(ip)
-        entry = self._find(tag)
-        if entry is None:
-            entry = self._allocate(tag)
+        e = self._by_tag.get(tag)
+        if e is None:
+            e = self._allocate(tag)
 
-        entry.counter += 1
-        coverage_cap = (1 << cfg.coverage_bits) - 1
-        by_delta = entry.by_delta
-        for delta in timely_deltas:
-            slot = by_delta.get(delta)
-            if slot is not None:
-                if slot.coverage < coverage_cap:
-                    slot.coverage += 1
-                continue
-            slot = self._victim_slot(entry)
-            if slot is None:
-                self.discarded_deltas += 1
-                continue
-            if slot.valid:
-                del by_delta[slot.delta]
-                if slot.status != NO_PREF:
-                    # Evicting a prefetching (L2_PREF_REPL) slot changes
-                    # the selected set for warmed-up entries.
-                    entry.pf_cache = None
-            slot.valid = True
-            slot.delta = delta
-            slot.coverage = 1
-            slot.status = NO_PREF
-            by_delta[delta] = slot
+        counter = self._counters[e] + 1
+        self._counters[e] = counter
+        # The warmup selection depends on the counter (threshold) and on
+        # every slot this loop may touch: invalidate unconditionally.
+        self._warm_cache[e] = None
+        if timely_deltas:
+            coverage_cap = self._coverage_cap
+            by_delta = self._by_delta[e]
+            deltas = self._slot_delta[e]
+            covs = self._slot_cov[e]
+            statuses = self._slot_status[e]
+            per_entry = cfg.deltas_per_entry
+            heap = self._evict_heap[e]
+            count = self._slot_count[e]
+            for delta in timely_deltas:
+                s = by_delta.get(delta)
+                if s is not None:
+                    c = covs[s]
+                    if c < coverage_cap:
+                        covs[s] = c + 1
+                        st = statuses[s]
+                        if st == NO_PREF or st == L2_PREF_REPL:
+                            # Keep the heap's view of this candidate
+                            # current; the (c, s) pair goes stale.
+                            heappush(heap, (c + 1, s))
+                    continue
+                if count < per_entry:
+                    # First empty slot in slot order == the dense tail.
+                    s = count
+                    count += 1
+                    self._slot_count[e] = count
+                else:
+                    # Lowest-coverage slot whose status allows
+                    # replacement; ties keep the first occurrence — the
+                    # reference's min() semantics, i.e. the lexicographic
+                    # minimum over (coverage, slot), i.e. the heap order.
+                    # Pairs that no longer match the live columns are
+                    # stale leftovers: discard and keep popping.
+                    s = -1
+                    while heap:
+                        c, i = heappop(heap)
+                        st = statuses[i]
+                        if covs[i] == c and (
+                            st == NO_PREF or st == L2_PREF_REPL
+                        ):
+                            s = i
+                            break
+                    if s < 0:
+                        self.discarded_deltas += 1
+                        continue
+                    del by_delta[deltas[s]]
+                    if statuses[s] != NO_PREF:
+                        # Evicting a prefetching (L2_PREF_REPL) slot
+                        # changes the selected set for warmed-up entries.
+                        self._pf_cache[e] = None
+                deltas[s] = delta
+                covs[s] = 1
+                statuses[s] = NO_PREF
+                by_delta[delta] = s
+                heappush(heap, (1, s))
 
-        if entry.counter >= cfg.counter_max:
-            self._close_phase(entry)
+        if counter >= cfg.counter_max:
+            self._close_phase(e)
 
-    @staticmethod
-    def _victim_slot(entry: _Entry) -> Optional[_DeltaSlot]:
-        """Slot for a newly seen delta: an empty slot, else the
-        lowest-coverage slot whose status allows replacement."""
-        empty = next((s for s in entry.slots if not s.valid), None)
-        if empty is not None:
-            return empty
-        candidates = [
-            s for s in entry.slots if s.status in (NO_PREF, L2_PREF_REPL)
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda s: s.coverage)
-
-    def _close_phase(self, entry: _Entry) -> None:
+    def _close_phase(self, e: int) -> None:
         """Counter overflowed: assign statuses, reset for the next phase."""
         cfg = self.config
         self.phase_completions += 1
@@ -186,26 +234,37 @@ class DeltaTable:
         medium = cfg.medium_watermark * cfg.counter_max
         repl = cfg.repl_watermark * cfg.counter_max
 
+        count = self._slot_count[e]
+        covs = self._slot_cov[e]
+        statuses = self._slot_status[e]
         promoted = 0
+        max_prefetch = cfg.max_prefetch_deltas
         # Consider highest-coverage deltas first so the 12-delta bound
-        # keeps the best ones.
-        for slot in sorted(
-            (s for s in entry.slots if s.valid),
-            key=lambda s: s.coverage,
-            reverse=True,
-        ):
-            if slot.coverage > high and promoted < cfg.max_prefetch_deltas:
-                slot.status = L1D_PREF
+        # keeps the best ones (stable: equal coverages keep slot order).
+        for i in sorted(range(count), key=covs.__getitem__, reverse=True):
+            coverage = covs[i]
+            if coverage > high and promoted < max_prefetch:
+                statuses[i] = L1D_PREF
                 promoted += 1
-            elif slot.coverage > medium and promoted < cfg.max_prefetch_deltas:
-                slot.status = L2_PREF_REPL if slot.coverage < repl else L2_PREF
+            elif coverage > medium and promoted < max_prefetch:
+                statuses[i] = L2_PREF_REPL if coverage < repl else L2_PREF
                 promoted += 1
             else:
-                slot.status = NO_PREF
-            slot.coverage = 0
-        entry.counter = 0
-        entry.warmed_up = True
-        entry.pf_cache = None  # statuses changed: recompute on next access
+                statuses[i] = NO_PREF
+            covs[i] = 0
+        self._counters[e] = 0
+        self._warmed[e] = True
+        self._pf_cache[e] = None   # statuses changed: recompute lazily
+        self._warm_cache[e] = None
+        # Rebuild the victim heap: statuses changed and every coverage is
+        # back to zero.  Ascending slot index with equal coverages is
+        # already heap-ordered, so no heapify is needed.
+        heap = self._evict_heap[e]
+        del heap[:]
+        for i in range(count):
+            st = statuses[i]
+            if st == NO_PREF or st == L2_PREF_REPL:
+                heap.append((0, i))
 
     # ------------------------------------------------------------------
     # Prediction
@@ -218,51 +277,76 @@ class DeltaTable:
         During warmup (no phase completed yet) it applies the stricter
         80 % watermark once ``warmup_min_searches`` searches have been
         gathered, returning those deltas as ``L1D_PREF``.
+
+        This runs on every L1D access; both branches return a memoised
+        list (callers must not mutate it).
         """
-        cfg = self.config
-        entry = self._find(self._tag_of(ip))
-        if entry is None:
+        e = self._by_tag.get(self._tag_of(ip))
+        if e is None:
             return []
-        if entry.warmed_up:
-            # Statuses only change at phase boundaries (and on the rare
-            # eviction of a prefetching slot), so the selected list is
-            # memoised on the entry; this path runs on every L1D access.
-            selected = entry.pf_cache
+        cfg = self.config
+        if self._warmed[e]:
+            selected = self._pf_cache[e]
             if selected is None:
+                count = self._slot_count[e]
+                deltas = self._slot_delta[e]
+                statuses = self._slot_status[e]
                 selected = [
-                    (s.delta, s.status)
-                    for s in entry.slots
-                    if s.valid and s.status != NO_PREF
+                    (deltas[i], statuses[i])
+                    for i in range(count)
+                    if statuses[i] != NO_PREF
                 ]
                 # High-coverage deltas first: under PQ pressure the queue
                 # sheds the low-coverage tail, not the best predictions.
                 selected.sort(key=lambda ds: ds[1] != L1D_PREF)
                 selected = selected[: cfg.max_prefetch_deltas]
-                entry.pf_cache = selected
+                self._pf_cache[e] = selected
             return selected
-        if entry.counter < cfg.warmup_min_searches:
+        counter = self._counters[e]
+        if counter < cfg.warmup_min_searches:
             return []
-        threshold = cfg.warmup_watermark * entry.counter
-        return [
-            (s.delta, L1D_PREF)
-            for s in entry.slots
-            if s.valid and s.coverage >= threshold
-        ][: cfg.max_prefetch_deltas]
+        selected = self._warm_cache[e]
+        if selected is None:
+            threshold = cfg.warmup_watermark * counter
+            count = self._slot_count[e]
+            deltas = self._slot_delta[e]
+            covs = self._slot_cov[e]
+            selected = [
+                (deltas[i], L1D_PREF)
+                for i in range(count)
+                if covs[i] >= threshold
+            ][: cfg.max_prefetch_deltas]
+            self._warm_cache[e] = selected
+        return selected
 
     def entry_snapshot(self, ip: int) -> List[Tuple[int, int, int]]:
         """(delta, coverage, status) triples for inspection/tests."""
-        entry = self._find(self._tag_of(ip))
-        if entry is None:
+        e = self._by_tag.get(self._tag_of(ip))
+        if e is None:
             return []
-        return [
-            (s.delta, s.coverage, s.status) for s in entry.slots if s.valid
-        ]
+        count = self._slot_count[e]
+        deltas = self._slot_delta[e]
+        covs = self._slot_cov[e]
+        statuses = self._slot_status[e]
+        return [(deltas[i], covs[i], statuses[i]) for i in range(count)]
 
     def reset(self) -> None:
         cfg = self.config
-        self._entries = [
-            _Entry(cfg.deltas_per_entry) for _ in range(cfg.delta_table_entries)
-        ]
+        entries = cfg.delta_table_entries
+        per_entry = cfg.deltas_per_entry
+        self._valid = [False] * entries
+        self._tags = [0] * entries
+        self._counters = [0] * entries
+        self._orders = [0] * entries
+        self._warmed = [False] * entries
+        self._slot_count = [0] * entries
+        self._slot_delta = [[0] * per_entry for _ in range(entries)]
+        self._slot_cov = [[0] * per_entry for _ in range(entries)]
+        self._slot_status = [[NO_PREF] * per_entry for _ in range(entries)]
+        self._by_delta = [{} for _ in range(entries)]
+        self._pf_cache = [None] * entries
+        self._warm_cache = [None] * entries
+        self._evict_heap = [[] for _ in range(entries)]
         self._by_tag = {}
         self._fifo_clock = 0
         self._fifo_ptr = 0

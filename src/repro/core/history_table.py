@@ -1,4 +1,4 @@
-"""Berti's history table (paper §III-C, Figures 5 and 6).
+"""Berti's history table (paper §III-C, Figures 5 and 6) — kernelized.
 
 An 8-set, 16-way cache with FIFO replacement, indexed and tagged by the
 IP.  Each entry records the 24 least-significant bits of the accessed
@@ -11,32 +11,59 @@ time.
 
 Timestamps and line addresses are stored in their hardware widths, so
 both wrap; comparisons are wraparound-aware like real hardware would be.
+
+Storage is **columnar**: four flat preallocated ``array('q')`` columns
+(tag / line / timestamp / insertion order) indexed ``set * ways + way``,
+mirroring PR 2's columnar trace layout, instead of a tuple object per
+way.  Each set additionally keeps an *IP-tag skip chain* — a dict from
+tag to the deque of ``(line, timestamp)`` pairs held by that tag's ways,
+in insertion order.  A skip chain is a skip mask (which ways can match)
+augmented with the ring order, so the backward search iterates exactly
+the matching entries youngest-first — no ring walk, no per-way tag
+compare — and returns immediately for tags with no occupied way.  This
+matters because the hot traces concentrate accesses in few IPs: a set's
+16 ways are typically all owned by one tag, making a mask-guided ring
+walk no cheaper than a full scan.  The search allocates nothing beyond
+its (bounded, at most 8-element) result list; callers on the kernel
+fill path can pass a reusable list to
+:meth:`HistoryTable.search_timely_into` to avoid even that.
+
+The original tuple-row implementation is preserved as
+:class:`~repro.core.reference_tables.ReferenceHistoryTable` and drives
+the differential lockstep oracle; both produce bit-identical results.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from array import array
+from collections import deque
+from typing import Deque, Dict, List, Tuple
 
 from repro.core.config import BertiConfig
 
-# Entries are stored as (ip_tag, line, timestamp, order) tuples — or None
-# while the way is empty.  Tuple rows cost one unpack in the search loop
-# where attribute-carrying objects cost five attribute loads, and this
-# search runs once per L1D miss.
-_Row = Tuple[int, int, int, int]
-
 
 class HistoryTable:
-    """IP-indexed access history with timely-delta search."""
+    """IP-indexed access history with timely-delta search (flat rings)."""
 
     def __init__(self, config: BertiConfig | None = None) -> None:
         self.config = config or BertiConfig()
         cfg = self.config
-        self._sets: List[List[Optional[_Row]]] = [
-            [None] * cfg.history_ways for _ in range(cfg.history_sets)
+        sets, ways = cfg.history_sets, cfg.history_ways
+        # Flat columnar rings: index = set * ways + way.  tag == -1 marks
+        # an empty way (real tags fit history_ip_tag_bits >= 0).
+        self._tags = array("q", [-1]) * (sets * ways)
+        self._lines = array("q", [0]) * (sets * ways)
+        self._tss = array("q", [0]) * (sets * ways)
+        self._orders = array("q", [0]) * (sets * ways)
+        self._fifo_clock = array("q", [0]) * sets
+        self._fifo_ptr = array("q", [0]) * sets  # next way to replace
+        # Per-set skip chains: tag -> deque of (line, ts) in insertion
+        # order.  Maintained on insert (the evicted way is the set's
+        # globally oldest entry, hence its tag's oldest chain element),
+        # so a search iterates only matching entries, youngest-first.
+        self._chains: List[Dict[int, Deque[Tuple[int, int]]]] = [
+            {} for _ in range(sets)
         ]
-        self._fifo_clock = [0] * cfg.history_sets
-        self._fifo_ptr = [0] * cfg.history_sets  # next way to replace
         self._ts_mask = (1 << cfg.timestamp_bits) - 1
         self._line_mask = (1 << cfg.history_line_bits) - 1
         self._tag_mask = (1 << cfg.history_ip_tag_bits) - 1
@@ -64,18 +91,41 @@ class HistoryTable:
     def insert(self, ip: int, line: int, now: int) -> None:
         """Record an access (demand miss or first hit on a prefetch)."""
         self.inserts += 1
-        sidx = self._set_index(ip)
+        cfg = self.config
+        sets = cfg.history_sets
+        ways = cfg.history_ways
+        folded = ip ^ (ip >> 3) ^ (ip >> 7)
+        sidx = folded % sets
         # FIFO replacement: a circular pointer over the ways.
         ptr = self._fifo_ptr[sidx]
-        self._fifo_ptr[sidx] = (ptr + 1) % self.config.history_ways
+        self._fifo_ptr[sidx] = (ptr + 1) % ways
         clock = self._fifo_clock[sidx] + 1
         self._fifo_clock[sidx] = clock
-        self._sets[sidx][ptr] = (
-            self._ip_tag(ip), line & self._line_mask, now & self._ts_mask,
-            clock,
-        )
+        idx = sidx * ways + ptr
+        chains = self._chains[sidx]
+        old_tag = self._tags[idx]
+        if old_tag >= 0:
+            dq = chains[old_tag]
+            # The replaced way is the set's oldest entry (FIFO), so it
+            # is necessarily its tag's oldest chain element.
+            dq.popleft()
+            if not dq:
+                del chains[old_tag]
+        tag = (ip // sets) & self._tag_mask
+        line_m = line & self._line_mask
+        ts = now & self._ts_mask
+        self._tags[idx] = tag
+        self._lines[idx] = line_m
+        self._tss[idx] = ts
+        self._orders[idx] = clock
+        dq = chains.get(tag)
+        if dq is None:
+            chains[tag] = dq = deque()
+        dq.append((line_m, ts))
 
-    def search_timely(self, ip: int, line: int, demand_time: int, latency: int) -> List[int]:
+    def search_timely(
+        self, ip: int, line: int, demand_time: int, latency: int
+    ) -> List[int]:
         """Timely local deltas for an access to ``line`` by ``ip``.
 
         ``demand_time`` is when the core demanded the line and ``latency``
@@ -85,64 +135,80 @@ class HistoryTable:
         ``max_deltas_per_search`` deltas, youngest qualifying entries
         first, each fitting the 13-bit delta field and non-zero.
         """
+        out: List[int] = []
+        self.search_timely_into(ip, line, demand_time, latency, out)
+        return out
+
+    def search_timely_into(
+        self, ip: int, line: int, demand_time: int, latency: int,
+        out: List[int],
+    ) -> List[int]:
+        """Allocation-free variant: appends the deltas to ``out``.
+
+        ``out`` must be empty on entry; the kernel fill path clears and
+        reuses one scratch list across searches.
+        """
         self.searches += 1
         cfg = self.config
-        tag = self._ip_tag(ip)
-        now_ts = demand_time & self._ts_mask
-        line_masked = line & self._line_mask
-        half_range = 1 << (cfg.timestamp_bits - 1)
+        sets = cfg.history_sets
+        folded = ip ^ (ip >> 3) ^ (ip >> 7)
+        # Skip chain: exactly the entries inserted by this tag, oldest
+        # first.  No occupied way with the tag means the backward walk
+        # would filter everything — return without touching the ring.
+        dq = self._chains[folded % sets].get(
+            (ip // sets) & self._tag_mask
+        )
+        if not dq:
+            return out
 
-        # Hot path: the bit arithmetic of sign_extend/fits_in_signed is
-        # inlined here (this runs once per L1D miss).
+        ts_mask = self._ts_mask
+        now_ts = demand_time & ts_mask
         line_mask = self._line_mask
+        line_masked = line & line_mask
+        half_range = 1 << (cfg.timestamp_bits - 1)
         line_bits = cfg.history_line_bits
         sign_bit = 1 << (line_bits - 1)
         delta_lo = -(1 << (cfg.delta_bits - 1))
         delta_hi = (1 << (cfg.delta_bits - 1)) - 1
-        ts_mask = self._ts_mask
-
-        # FIFO insertion makes the ring order the age order: walking the
-        # ways backwards from the insertion pointer visits entries
-        # youngest-first, so no sort is needed and the scan can stop at
-        # the delta cap.  A None way means the ring has not wrapped yet,
-        # and every way older than it is also empty.
-        sidx = self._set_index(ip)
-        ways = self._sets[sidx]
-        nways = len(ways)
-        ptr = self._fifo_ptr[sidx]
         max_deltas = cfg.max_deltas_per_search
-        deltas: List[int] = []
-        for i in range(1, nways + 1):
-            e = ways[(ptr - i) % nways]
-            if e is None:
-                break
-            if e[0] != tag:
-                continue
-            age = (now_ts - e[2]) & ts_mask
+
+        # FIFO insertion makes the ring order the age order, and a chain
+        # records its tag's entries in exactly that order — so iterating
+        # the chain reversed visits this tag's entries youngest-first,
+        # matching the reference's backward ring walk over the matching
+        # ways (ways older than an empty way are all empty, so no empty
+        # way is ever chained, and the visit order and outcome are
+        # identical).
+        found = 0
+        for line_then, ts_then in reversed(dq):
+            age = (now_ts - ts_then) & ts_mask
             # Ages beyond half the timestamp range are ambiguous under
             # wraparound; hardware treats them as stale.  Ages below the
             # latency are too recent: a prefetch would have been late.
             if age >= half_range or age < latency:
                 continue
-            delta = (line_masked - e[1]) & line_mask
+            delta = (line_masked - line_then) & line_mask
             if delta & sign_bit:
                 delta -= 1 << line_bits
-            if delta == 0 or delta < delta_lo or delta > delta_hi:
-                continue
-            deltas.append(delta)
-            if len(deltas) >= max_deltas:
-                break
-        return deltas
+            if delta != 0 and delta_lo <= delta <= delta_hi:
+                out.append(delta)
+                found += 1
+                if found >= max_deltas:
+                    break
+        return out
 
     def occupancy(self) -> int:
-        return sum(e is not None for ways in self._sets for e in ways)
+        return sum(t >= 0 for t in self._tags)
 
     def reset(self) -> None:
         cfg = self.config
-        self._sets = [
-            [None] * cfg.history_ways for _ in range(cfg.history_sets)
-        ]
-        self._fifo_clock = [0] * cfg.history_sets
-        self._fifo_ptr = [0] * cfg.history_sets
+        n = cfg.history_sets * cfg.history_ways
+        self._tags = array("q", [-1]) * n
+        self._lines = array("q", [0]) * n
+        self._tss = array("q", [0]) * n
+        self._orders = array("q", [0]) * n
+        self._fifo_clock = array("q", [0]) * cfg.history_sets
+        self._fifo_ptr = array("q", [0]) * cfg.history_sets
+        self._chains = [{} for _ in range(cfg.history_sets)]
         self.inserts = 0
         self.searches = 0

@@ -1,0 +1,356 @@
+"""Virtual-dispatch reference implementations of Berti's tables.
+
+The kernelized :class:`~repro.core.history_table.HistoryTable` and
+:class:`~repro.core.delta_table.DeltaTable` store their state in flat
+preallocated arrays for speed.  The classes here are the *original*
+object-per-entry implementations, preserved verbatim so the differential
+lockstep oracle (``repro sancheck``) can drive the whole Berti training
+and prediction path through an independently-written twin: the sanitizer
+swaps these in for the reference engine (see
+:mod:`repro.sanitizer.reference`), and any behavioural drift in the
+kernels shows up as a bit-level divergence.
+
+They expose exactly the public API the kernels expose — ``insert`` /
+``search_timely`` / ``occupancy`` / ``reset`` and ``record_search`` /
+``prefetch_deltas`` / ``entry_snapshot`` / ``reset`` — so
+:class:`~repro.core.berti.BertiPrefetcher`'s virtual hooks run unchanged
+against either implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import BertiConfig
+from repro.core.delta_table import L1D_PREF, L2_PREF, L2_PREF_REPL, NO_PREF
+
+# Entries are stored as (ip_tag, line, timestamp, order) tuples — or None
+# while the way is empty.
+_Row = Tuple[int, int, int, int]
+
+
+class ReferenceHistoryTable:
+    """IP-indexed access history: the original tuple-row implementation."""
+
+    def __init__(self, config: BertiConfig | None = None) -> None:
+        self.config = config or BertiConfig()
+        cfg = self.config
+        self._sets: List[List[Optional[_Row]]] = [
+            [None] * cfg.history_ways for _ in range(cfg.history_sets)
+        ]
+        self._fifo_clock = [0] * cfg.history_sets
+        self._fifo_ptr = [0] * cfg.history_sets  # next way to replace
+        self._ts_mask = (1 << cfg.timestamp_bits) - 1
+        self._line_mask = (1 << cfg.history_line_bits) - 1
+        self._tag_mask = (1 << cfg.history_ip_tag_bits) - 1
+        self.inserts = 0
+        self.searches = 0
+
+    # ------------------------------------------------------------------
+
+    def _set_index(self, ip: int) -> int:
+        # XOR-fold the IP before indexing: x86 instruction addresses have
+        # strongly biased low bits, so raw modulo would pile every IP of
+        # an aligned code region into one set.
+        folded = ip ^ (ip >> 3) ^ (ip >> 7)
+        return folded % self.config.history_sets
+
+    def _ip_tag(self, ip: int) -> int:
+        return (ip // self.config.history_sets) & self._tag_mask
+
+    def _ts_age(self, now_ts: int, then_ts: int) -> int:
+        """Wraparound-aware ``now - then`` over the timestamp width."""
+        return (now_ts - then_ts) & self._ts_mask
+
+    # ------------------------------------------------------------------
+
+    def insert(self, ip: int, line: int, now: int) -> None:
+        """Record an access (demand miss or first hit on a prefetch)."""
+        self.inserts += 1
+        sidx = self._set_index(ip)
+        # FIFO replacement: a circular pointer over the ways.
+        ptr = self._fifo_ptr[sidx]
+        self._fifo_ptr[sidx] = (ptr + 1) % self.config.history_ways
+        clock = self._fifo_clock[sidx] + 1
+        self._fifo_clock[sidx] = clock
+        self._sets[sidx][ptr] = (
+            self._ip_tag(ip), line & self._line_mask, now & self._ts_mask,
+            clock,
+        )
+
+    def search_timely(self, ip: int, line: int, demand_time: int, latency: int) -> List[int]:
+        """Timely local deltas for an access to ``line`` by ``ip``."""
+        self.searches += 1
+        cfg = self.config
+        tag = self._ip_tag(ip)
+        now_ts = demand_time & self._ts_mask
+        line_masked = line & self._line_mask
+        half_range = 1 << (cfg.timestamp_bits - 1)
+
+        line_mask = self._line_mask
+        line_bits = cfg.history_line_bits
+        sign_bit = 1 << (line_bits - 1)
+        delta_lo = -(1 << (cfg.delta_bits - 1))
+        delta_hi = (1 << (cfg.delta_bits - 1)) - 1
+        ts_mask = self._ts_mask
+
+        # FIFO insertion makes the ring order the age order: walking the
+        # ways backwards from the insertion pointer visits entries
+        # youngest-first.  A None way means the ring has not wrapped yet,
+        # and every way older than it is also empty.
+        sidx = self._set_index(ip)
+        ways = self._sets[sidx]
+        nways = len(ways)
+        ptr = self._fifo_ptr[sidx]
+        max_deltas = cfg.max_deltas_per_search
+        deltas: List[int] = []
+        for i in range(1, nways + 1):
+            e = ways[(ptr - i) % nways]
+            if e is None:
+                break
+            if e[0] != tag:
+                continue
+            age = (now_ts - e[2]) & ts_mask
+            # Ages beyond half the timestamp range are ambiguous under
+            # wraparound; hardware treats them as stale.  Ages below the
+            # latency are too recent: a prefetch would have been late.
+            if age >= half_range or age < latency:
+                continue
+            delta = (line_masked - e[1]) & line_mask
+            if delta & sign_bit:
+                delta -= 1 << line_bits
+            if delta == 0 or delta < delta_lo or delta > delta_hi:
+                continue
+            deltas.append(delta)
+            if len(deltas) >= max_deltas:
+                break
+        return deltas
+
+    def occupancy(self) -> int:
+        return sum(e is not None for ways in self._sets for e in ways)
+
+    def reset(self) -> None:
+        cfg = self.config
+        self._sets = [
+            [None] * cfg.history_ways for _ in range(cfg.history_sets)
+        ]
+        self._fifo_clock = [0] * cfg.history_sets
+        self._fifo_ptr = [0] * cfg.history_sets
+        self.inserts = 0
+        self.searches = 0
+
+
+class _DeltaSlot:
+    __slots__ = ("valid", "delta", "coverage", "status")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.delta = 0
+        self.coverage = 0
+        self.status = NO_PREF
+
+
+class _Entry:
+    __slots__ = (
+        "valid", "tag", "counter", "slots", "order", "warmed_up",
+        "by_delta", "pf_cache",
+    )
+
+    def __init__(self, num_deltas: int) -> None:
+        self.valid = False
+        self.tag = 0
+        self.counter = 0
+        self.slots = [_DeltaSlot() for _ in range(num_deltas)]
+        self.order = 0
+        self.warmed_up = False  # first learning phase completed
+        # delta -> occupied slot, mirroring the valid slots.
+        self.by_delta: dict = {}
+        # Memoised prefetch_deltas() result for warmed-up entries.
+        self.pf_cache: Optional[List[Tuple[int, int]]] = None
+
+
+class ReferenceDeltaTable:
+    """Per-IP delta coverage: the original object-per-slot implementation."""
+
+    def __init__(self, config: BertiConfig | None = None) -> None:
+        self.config = config or BertiConfig()
+        cfg = self.config
+        self._entries = [
+            _Entry(cfg.deltas_per_entry) for _ in range(cfg.delta_table_entries)
+        ]
+        self._by_tag: dict = {}  # tag -> _Entry, for O(1) lookup
+        self._fifo_clock = 0
+        self._fifo_ptr = 0
+        self._tag_mask = (1 << cfg.delta_tag_bits) - 1
+        self.phase_completions = 0
+        self.discarded_deltas = 0
+
+    # ------------------------------------------------------------------
+
+    def _tag_of(self, ip: int) -> int:
+        """10-bit IP hash (folded XOR, cheap in hardware)."""
+        h = ip
+        h ^= h >> 10
+        h ^= h >> 20
+        return h & self._tag_mask
+
+    def _find(self, tag: int) -> Optional[_Entry]:
+        return self._by_tag.get(tag)
+
+    def _allocate(self, tag: int) -> _Entry:
+        # FIFO replacement: a circular pointer over the entries.
+        victim = self._entries[self._fifo_ptr]
+        self._fifo_ptr = (self._fifo_ptr + 1) % len(self._entries)
+        if victim.valid:
+            self._by_tag.pop(victim.tag, None)
+        self._fifo_clock += 1
+        victim.valid = True
+        victim.tag = tag
+        victim.counter = 0
+        victim.order = self._fifo_clock
+        victim.warmed_up = False
+        victim.by_delta.clear()
+        victim.pf_cache = None
+        for slot in victim.slots:
+            slot.valid = False
+            slot.delta = 0
+            slot.coverage = 0
+            slot.status = NO_PREF
+        self._by_tag[tag] = victim
+        return victim
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def record_search(self, ip: int, timely_deltas: List[int]) -> None:
+        """Accumulate one history-search result for ``ip``."""
+        cfg = self.config
+        tag = self._tag_of(ip)
+        entry = self._find(tag)
+        if entry is None:
+            entry = self._allocate(tag)
+
+        entry.counter += 1
+        coverage_cap = (1 << cfg.coverage_bits) - 1
+        by_delta = entry.by_delta
+        for delta in timely_deltas:
+            slot = by_delta.get(delta)
+            if slot is not None:
+                if slot.coverage < coverage_cap:
+                    slot.coverage += 1
+                continue
+            slot = self._victim_slot(entry)
+            if slot is None:
+                self.discarded_deltas += 1
+                continue
+            if slot.valid:
+                del by_delta[slot.delta]
+                if slot.status != NO_PREF:
+                    # Evicting a prefetching (L2_PREF_REPL) slot changes
+                    # the selected set for warmed-up entries.
+                    entry.pf_cache = None
+            slot.valid = True
+            slot.delta = delta
+            slot.coverage = 1
+            slot.status = NO_PREF
+            by_delta[delta] = slot
+
+        if entry.counter >= cfg.counter_max:
+            self._close_phase(entry)
+
+    @staticmethod
+    def _victim_slot(entry: _Entry) -> Optional[_DeltaSlot]:
+        """Slot for a newly seen delta: an empty slot, else the
+        lowest-coverage slot whose status allows replacement."""
+        empty = next((s for s in entry.slots if not s.valid), None)
+        if empty is not None:
+            return empty
+        candidates = [
+            s for s in entry.slots if s.status in (NO_PREF, L2_PREF_REPL)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: s.coverage)
+
+    def _close_phase(self, entry: _Entry) -> None:
+        """Counter overflowed: assign statuses, reset for the next phase."""
+        cfg = self.config
+        self.phase_completions += 1
+        high = cfg.high_watermark * cfg.counter_max
+        medium = cfg.medium_watermark * cfg.counter_max
+        repl = cfg.repl_watermark * cfg.counter_max
+
+        promoted = 0
+        # Consider highest-coverage deltas first so the 12-delta bound
+        # keeps the best ones.
+        for slot in sorted(
+            (s for s in entry.slots if s.valid),
+            key=lambda s: s.coverage,
+            reverse=True,
+        ):
+            if slot.coverage > high and promoted < cfg.max_prefetch_deltas:
+                slot.status = L1D_PREF
+                promoted += 1
+            elif slot.coverage > medium and promoted < cfg.max_prefetch_deltas:
+                slot.status = L2_PREF_REPL if slot.coverage < repl else L2_PREF
+                promoted += 1
+            else:
+                slot.status = NO_PREF
+            slot.coverage = 0
+        entry.counter = 0
+        entry.warmed_up = True
+        entry.pf_cache = None  # statuses changed: recompute on next access
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def prefetch_deltas(self, ip: int) -> List[Tuple[int, int]]:
+        """Deltas to prefetch for ``ip`` as ``(delta, status)`` pairs."""
+        cfg = self.config
+        entry = self._find(self._tag_of(ip))
+        if entry is None:
+            return []
+        if entry.warmed_up:
+            selected = entry.pf_cache
+            if selected is None:
+                selected = [
+                    (s.delta, s.status)
+                    for s in entry.slots
+                    if s.valid and s.status != NO_PREF
+                ]
+                # High-coverage deltas first: under PQ pressure the queue
+                # sheds the low-coverage tail, not the best predictions.
+                selected.sort(key=lambda ds: ds[1] != L1D_PREF)
+                selected = selected[: cfg.max_prefetch_deltas]
+                entry.pf_cache = selected
+            return selected
+        if entry.counter < cfg.warmup_min_searches:
+            return []
+        threshold = cfg.warmup_watermark * entry.counter
+        return [
+            (s.delta, L1D_PREF)
+            for s in entry.slots
+            if s.valid and s.coverage >= threshold
+        ][: cfg.max_prefetch_deltas]
+
+    def entry_snapshot(self, ip: int) -> List[Tuple[int, int, int]]:
+        """(delta, coverage, status) triples for inspection/tests."""
+        entry = self._find(self._tag_of(ip))
+        if entry is None:
+            return []
+        return [
+            (s.delta, s.coverage, s.status) for s in entry.slots if s.valid
+        ]
+
+    def reset(self) -> None:
+        cfg = self.config
+        self._entries = [
+            _Entry(cfg.deltas_per_entry) for _ in range(cfg.delta_table_entries)
+        ]
+        self._by_tag = {}
+        self._fifo_clock = 0
+        self._fifo_ptr = 0
+        self.phase_completions = 0
+        self.discarded_deltas = 0

@@ -122,24 +122,34 @@ class MMU:
         """
         # Runs once per prefetch suggestion: the TLB probe bookkeeping is
         # inlined here (identical counters to TLB.probe) to avoid two
-        # function calls on this hot path.
+        # function calls on this hot path.  The hierarchy's kernel issue
+        # loop additionally inlines this STLB-hit path itself and falls
+        # back to _translate_prefetch_cold below, so the counter
+        # bookkeeping must stay split exactly this way.
         vpage = vline >> _LINES_PER_PAGE_BITS
         stlb_stats = self.stlb.stats
         stlb_stats.prefetch_probes += 1
         ppage = self.stlb._map.get(vpage)
-        if ppage is not None:
-            stlb_stats.prefetch_probe_hits += 1
-        else:
-            # Also allow a dTLB hit to serve the translation; ChampSim's
-            # L1D prefetches consult the full TLB path available at L1.
-            dtlb_stats = self.dtlb.stats
-            dtlb_stats.prefetch_probes += 1
-            ppage = self.dtlb._map.get(vpage)
-            if ppage is not None:
-                dtlb_stats.prefetch_probe_hits += 1
-            else:
-                self.stats.dropped_prefetch_translations += 1
-                return None
+        if ppage is None:
+            return self._translate_prefetch_cold(vline, vpage)
+        stlb_stats.prefetch_probe_hits += 1
+        return (ppage << _LINES_PER_PAGE_BITS) | (vline & _PAGE_OFFSET_MASK)
+
+    def _translate_prefetch_cold(
+        self, vline: int, vpage: int
+    ) -> Optional[int]:
+        """STLB-miss tail of :meth:`translate_prefetch` (probes counted).
+
+        Also allow a dTLB hit to serve the translation; ChampSim's L1D
+        prefetches consult the full TLB path available at L1.
+        """
+        dtlb_stats = self.dtlb.stats
+        dtlb_stats.prefetch_probes += 1
+        ppage = self.dtlb._map.get(vpage)
+        if ppage is None:
+            self.stats.dropped_prefetch_translations += 1
+            return None
+        dtlb_stats.prefetch_probe_hits += 1
         return (ppage << _LINES_PER_PAGE_BITS) | (vline & _PAGE_OFFSET_MASK)
 
     def prewarm(self, vlines) -> None:

@@ -19,7 +19,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
-from repro.cpu.mmu import MMU
+from repro.core.delta_table import L1D_PREF
+from repro.cpu.mmu import (
+    MMU,
+    _LINES_PER_PAGE_BITS as LINES_PER_PAGE_BITS,
+    _PAGE_OFFSET_MASK as PAGE_OFFSET_MASK,
+)
+from repro.memory.address import same_page
 from repro.memory.cache import Cache, CacheLine
 from repro.memory.dram import DRAM
 from repro.memory.mshr import MSHR
@@ -205,7 +211,28 @@ class Hierarchy:
         # Hot-path alias: reset_stats() zeroes these objects in place, so
         # the reference stays valid for the lifetime of the hierarchy.
         self._pf_l1d_stats = self.pf_stats["l1d"]
+        self._refresh_kernel_hooks()
         self._wire_eviction_hooks()
+
+    def _refresh_kernel_hooks(self) -> None:
+        """Cache the L1D prefetcher's kernel entry points, if it opts in.
+
+        ``kernel_hooks`` must appear in the prefetcher's *own* class body
+        (``type().__dict__``), so subclasses — fault injectors, the
+        lockstep reference engine — fall back to the virtual hook
+        protocol automatically.  Must be re-run whenever the prefetcher
+        object or its class is swapped (snapshot restore, the sanitizer's
+        ``to_reference``).
+        """
+        pf = self.l1d_prefetcher
+        if type(pf).__dict__.get("kernel_hooks"):
+            self._l1d_kernel = pf
+            self._l1d_kern_watermark = pf.config.mshr_watermark
+            self._l1d_kern_cross_page = pf.config.cross_page
+        else:
+            self._l1d_kernel = None
+            self._l1d_kern_watermark = 0.0
+            self._l1d_kern_cross_page = True
 
     def _wire_eviction_hooks(self) -> None:
         def account_useless(victim: CacheLine) -> None:
@@ -239,6 +266,9 @@ class Hierarchy:
         # Cache.__getstate__ drops the eviction-hook closures; restore
         # the useless-prefetch accounting against *this* hierarchy.
         self._wire_eviction_hooks()
+        # Re-resolve kernel dispatch: the restorer may swap classes
+        # (sanitizer reference engine) after unpickling.
+        self._refresh_kernel_hooks()
 
     # ------------------------------------------------------------------
     # Demand path
@@ -545,16 +575,81 @@ class Hierarchy:
         # injectors override occupancy) keep the virtual call.
         mshr = self.l1d_mshr
         if type(mshr) is MSHR:
-            mshr._expire(now)
+            if now != mshr._last_expire:
+                if mshr._entries and now >= mshr._min_ready:
+                    mshr._expire(now)
+                else:
+                    mshr._last_expire = now
             mshr_occ = len(mshr._entries) / mshr.size if mshr.size else 0.0
         else:
             mshr_occ = mshr.occupancy_fraction(now)
         pq = self.pq
         if type(pq) is _FIFOQueue:
-            pq._expire(now)
-            pq_occ = len(pq._service_times) / pq.size if pq.size else 0.0
+            st = pq._service_times
+            while st and st[0] <= now:
+                st.popleft()
+            pq_occ = len(st) / pq.size if pq.size else 0.0
         else:
             pq_occ = pq.occupancy_fraction(now)
+        # Kernel dispatch: a prefetcher that opted in (Berti) trains and
+        # predicts without AccessInfo/PrefetchRequest objects; the
+        # prediction policy (_predict) is applied inline over its
+        # memoised (delta, status) list.  Counter order is identical to
+        # the virtual path: deltas whose target underflows are skipped
+        # uncounted (as _predict does), cross-page suppression precedes
+        # the suggested count, and the translate → duplicate → issue
+        # ladder below mirrors the prologue inlined for the virtual path.
+        kern = self._l1d_kernel
+        if kern is not None:
+            selected = kern.on_access_kernel(ip, vline, hit, now)
+            if not selected:
+                return
+            if (
+                type(self.mmu) is MMU
+                and type(mshr) is MSHR
+                and type(pq) is _FIFOQueue
+                and type(self.l1d) is Cache
+                and type(self.l2) is Cache
+                and type(self.l2_mshr) is MSHR
+            ):
+                # Every structure on the issue ladder is the stock
+                # implementation: run the fully inlined loop.
+                self._kernel_issue_selected(
+                    kern, selected, ip, vline, now, mshr_occ
+                )
+                return
+            # Generic kernel path (a wrapped or fault-injected structure
+            # is present): identical counters through virtual calls.
+            pf_stats = self._pf_l1d_stats
+            translate = self.mmu.translate_prefetch
+            l1d_where = self.l1d._where
+            l2_where = self.l2._where
+            mshr_below = mshr_occ < self._l1d_kern_watermark
+            cross_ok = self._l1d_kern_cross_page
+            issue = self._issue_l1d_prefetch_fast
+            for delta, status in selected:
+                target = vline + delta
+                if target < 0:
+                    continue
+                if not cross_ok and not same_page(vline, target):
+                    kern.cross_page_suppressed += 1
+                    continue
+                if status == L1D_PREF and mshr_below:
+                    fill_level = FILL_L1
+                    where = l1d_where
+                else:
+                    fill_level = FILL_L2
+                    where = l2_where
+                pf_stats.suggested += 1
+                pline = translate(target)
+                if pline is None:
+                    pf_stats.dropped_translation += 1
+                    continue
+                if pline in where:
+                    pf_stats.dropped_duplicate += 1
+                    continue
+                issue(target, pline, fill_level, ip, now)
+            return
         info = AccessInfo(
             ip=ip,
             line=vline,
@@ -604,9 +699,237 @@ class Hierarchy:
                 continue
             issue(req, ip, now, _pline=pline)
 
+    def _kernel_issue_selected(
+        self, kern, selected, ip: int, vline: int, now: int,
+        mshr_occ: float,
+    ) -> None:
+        """Issue a kernel prefetcher's ``(delta, status)`` suggestions.
+
+        This is ``_issue_l1d_prefetch_fast`` unrolled into the suggestion
+        loop for the exact-type fast case (the caller has verified every
+        structure on the ladder is the stock implementation): the
+        translate → dedup → PQ → MSHR-reserve → fill sequence runs on
+        hoisted locals with no per-suggestion calls beyond the real work
+        (``_access_l2``/``_access_llc``, ``allocate``, ``fill``).  Side
+        effects happen in the same order as the call-based path; pure
+        counter increments are batched in locals and flushed once after
+        the loop, which is unobservable — the lockstep digest and all
+        stats readers only sample between accesses.  Two loop-level
+        facts the call-based path cannot exploit:
+
+        * a PQ push that failed at ``now`` fails for every later push at
+          the same ``now`` (expiry cannot free a slot: surviving service
+          times all exceed ``now``), so a sticky flag skips the deque
+          work while still counting each drop;
+        * the kernel prediction list only carries L1/L2 fill levels, so
+          the FILL_LLC branch is dead here.
+        """
+        mmu = self.mmu
+        stlb_stats = mmu.stlb.stats
+        stlb_map = mmu.stlb._map
+        translate_cold = mmu._translate_prefetch_cold
+        l1d = self.l1d
+        l2 = self.l2
+        l1d_where = l1d._where
+        l2_where = l2._where
+        l1d_fill = l1d.fill
+        l2_fill = l2.fill
+        l2_latency = l2.latency
+        mshr = self.l1d_mshr
+        mshr_entries = mshr._entries
+        mshr_allocate = mshr.allocate
+        mshr_reserve = mshr.size - 2
+        l2_mshr = self.l2_mshr
+        l2_entries = l2_mshr._entries
+        l2_size = l2_mshr.size
+        pq = self.pq
+        st = pq._service_times
+        pq_size = pq.size
+        period = 1.0 / pq.rate
+        access_l2 = self._access_l2
+        access_llc = self._access_llc
+        mshr_below = mshr_occ < self._l1d_kern_watermark
+        cross_ok = self._l1d_kern_cross_page
+        latency_cap = 1 << LATENCY_FIELD_BITS
+
+        suggested = 0
+        dropped_translation = 0
+        dropped_duplicate = 0
+        dropped_queue_full = 0
+        dropped_mshr_full = 0
+        fills = 0
+        issued = 0
+        stlb_probes = 0
+        stlb_hits = 0
+        tr_l1d_l2 = 0
+        tr_l2_llc = 0
+        pq_full = False
+
+        for delta, status in selected:
+            target = vline + delta
+            if target < 0:
+                continue
+            if not cross_ok and not same_page(vline, target):
+                kern.cross_page_suppressed += 1
+                continue
+            fill_l1 = status == L1D_PREF and mshr_below
+            suggested += 1
+            # translate_prefetch, STLB-hit path inlined.
+            vpage = target >> LINES_PER_PAGE_BITS
+            stlb_probes += 1
+            ppage = stlb_map.get(vpage)
+            if ppage is None:
+                pline = translate_cold(target, vpage)
+                if pline is None:
+                    dropped_translation += 1
+                    continue
+            else:
+                stlb_hits += 1
+                pline = (ppage << LINES_PER_PAGE_BITS) | (
+                    target & PAGE_OFFSET_MASK
+                )
+            if fill_l1:
+                if pline in l1d_where:
+                    dropped_duplicate += 1
+                    continue
+                # MSHR.lookup inlined.  The expire scan is memoised per
+                # cycle, and skipped entirely — bar the memo write _expire
+                # itself would do — when nothing can have expired yet.
+                if now != mshr._last_expire:
+                    if mshr_entries and now >= mshr._min_ready:
+                        mshr._expire(now)
+                    else:
+                        mshr._last_expire = now
+                if pline in mshr_entries:
+                    dropped_duplicate += 1
+                    continue
+                if pq_full:
+                    dropped_queue_full += 1
+                    continue
+                # _FIFOQueue.push inlined.
+                while st and st[0] <= now:
+                    st.popleft()
+                if len(st) >= pq_size:
+                    pq_full = True
+                    dropped_queue_full += 1
+                    continue
+                start = now
+                if st and st[-1] > start:
+                    start = st[-1]
+                service = start + period
+                st.append(service)
+                issue_time = now + int(service - now)
+                # Demand-reserve check (occupancy inlined at issue time).
+                if issue_time != mshr._last_expire:
+                    if mshr_entries and issue_time >= mshr._min_ready:
+                        mshr._expire(issue_time)
+                    else:
+                        mshr._last_expire = issue_time
+                if len(mshr_entries) >= mshr_reserve:
+                    dropped_mshr_full += 1
+                    continue
+                ready = access_l2(ip, pline, issue_time, is_prefetch=True)
+                latency = ready - now
+                mshr_allocate(
+                    pline, issue_time, ready, is_prefetch=True, ip=ip,
+                    vline=target,
+                )
+                l1d_fill(
+                    pline,
+                    now=issue_time,
+                    arrival_cycle=ready,
+                    is_prefetch=True,
+                    ip=ip,
+                    vline=target,
+                    pf_latency=(
+                        latency if 0 < latency < latency_cap else 0
+                    ),
+                    pf_origin="l1d",
+                )
+                tr_l1d_l2 += 1
+                fills += 1
+                issued += 1
+            else:
+                if pline in l2_where:
+                    dropped_duplicate += 1
+                    continue
+                if pq_full:
+                    dropped_queue_full += 1
+                    continue
+                while st and st[0] <= now:
+                    st.popleft()
+                if len(st) >= pq_size:
+                    pq_full = True
+                    dropped_queue_full += 1
+                    continue
+                start = now
+                if st and st[-1] > start:
+                    start = st[-1]
+                service = start + period
+                st.append(service)
+                issue_time = now + int(service - now)
+                # The L2 dedup probe runs after the PQ slot is consumed
+                # (hardware matches in-queue entries at the L2, not at
+                # PQ insert) — same order as the call-based path.
+                if now != l2_mshr._last_expire:
+                    if l2_entries and now >= l2_mshr._min_ready:
+                        l2_mshr._expire(now)
+                    else:
+                        l2_mshr._last_expire = now
+                if pline in l2_where or pline in l2_entries:
+                    dropped_duplicate += 1
+                    continue
+                if issue_time != l2_mshr._last_expire:
+                    if l2_entries and issue_time >= l2_mshr._min_ready:
+                        l2_mshr._expire(issue_time)
+                    else:
+                        l2_mshr._last_expire = issue_time
+                if len(l2_entries) >= l2_size:
+                    dropped_mshr_full += 1
+                    continue
+                ready = access_llc(pline, issue_time + l2_latency, True)
+                l2_mshr.allocate(pline, issue_time, ready, True, ip=ip)
+                latency = ready - now
+                l2_fill(
+                    pline,
+                    now=issue_time,
+                    arrival_cycle=ready,
+                    is_prefetch=True,
+                    ip=ip,
+                    vline=target,
+                    pf_latency=(
+                        latency if 0 < latency < latency_cap else 0
+                    ),
+                    pf_origin="l1d",
+                )
+                tr_l1d_l2 += 1
+                tr_l2_llc += 1
+                fills += 1
+                issued += 1
+
+        pf_stats = self._pf_l1d_stats
+        pf_stats.suggested += suggested
+        pf_stats.dropped_translation += dropped_translation
+        pf_stats.dropped_duplicate += dropped_duplicate
+        pf_stats.dropped_queue_full += dropped_queue_full
+        pf_stats.dropped_mshr_full += dropped_mshr_full
+        pf_stats.fills += fills
+        pf_stats.issued += issued
+        stlb_stats.prefetch_probes += stlb_probes
+        stlb_stats.prefetch_probe_hits += stlb_hits
+        self.traffic_l1d_l2.prefetch += tr_l1d_l2
+        self.traffic_l2_llc.prefetch += tr_l2_llc
+
     def _run_l1d_prefetcher_on_fill(
         self, vline: int, now: int, latency: int, was_prefetch: bool, ip: int
     ) -> None:
+        kern = self._l1d_kernel
+        if kern is not None:
+            # One packed update, no FillInfo: Berti trains on demand-miss
+            # fills only and never emits requests from this hook.
+            if not was_prefetch:
+                kern.on_fill_kernel(vline, now, latency, ip)
+            return
         fill = FillInfo(
             line=vline, now=now, latency=latency, was_prefetch=was_prefetch, ip=ip
         )
@@ -616,12 +939,22 @@ class Hierarchy:
     def _notify_l1d_prefetch_hit(
         self, ip: int, vline: int, now: int, pf_latency: int
     ) -> None:
+        # The MSHR sampling (and its lazy-expiry side effect) runs on
+        # both paths: the lockstep digest reads the raw entry map.
         mshr = self.l1d_mshr
         if type(mshr) is MSHR:
-            mshr._expire(now)
+            if now != mshr._last_expire:
+                if mshr._entries and now >= mshr._min_ready:
+                    mshr._expire(now)
+                else:
+                    mshr._last_expire = now
             mshr_occ = len(mshr._entries) / mshr.size if mshr.size else 0.0
         else:
             mshr_occ = mshr.occupancy_fraction(now)
+        kern = self._l1d_kernel
+        if kern is not None:
+            kern.on_prefetch_hit_kernel(ip, vline, now, pf_latency)
+            return
         info = AccessInfo(
             ip=ip,
             line=vline,
@@ -673,22 +1006,69 @@ class Hierarchy:
             if pline in target._where:
                 stats.dropped_duplicate += 1
                 return False
-        if fill_level == FILL_L1 and self.l1d_mshr.lookup(pline, now):
-            stats.dropped_duplicate += 1
-            return False
+        return self._issue_l1d_prefetch_fast(vline, pline, fill_level, ip, now)
+
+    def _issue_l1d_prefetch_fast(
+        self, vline: int, pline: int, fill_level: int, ip: int, now: int
+    ) -> bool:
+        """The post-dedup issue tail shared by the kernel and virtual
+        paths: PQ admission, MSHR reservation, and the fill walk.  The
+        caller has already counted the suggestion, translated ``vline``
+        to ``pline``, and run the presence-index duplicate filter.
+        """
+        stats = self._pf_l1d_stats
+        l1d_mshr = self.l1d_mshr
+        mshr_exact = type(l1d_mshr) is MSHR
+        if fill_level == FILL_L1:
+            # MSHR.lookup inlined (the expire scan is memoised per cycle,
+            # so repeated calls cost one comparison); fault-injection
+            # subclasses keep the virtual call.
+            if mshr_exact:
+                if now != l1d_mshr._last_expire:
+                    l1d_mshr._expire(now)
+                inflight = l1d_mshr._entries.get(pline)
+            else:
+                inflight = l1d_mshr.lookup(pline, now)
+            if inflight is not None:
+                stats.dropped_duplicate += 1
+                return False
 
         # The bounded PQ (16 entries, Table I) drains through the two
-        # L1D read ports; overflow drops the request.
-        pq_delay = self.pq.push(now)
-        if pq_delay is None:
-            stats.dropped_queue_full += 1
-            return False
-        issue_time = now + pq_delay
+        # L1D read ports; overflow drops the request.  push() is inlined
+        # (identical arithmetic and drop behaviour) — it runs once per
+        # suggestion that survives the duplicate filter.
+        pq = self.pq
+        if type(pq) is _FIFOQueue:
+            st = pq._service_times
+            while st and st[0] <= now:
+                st.popleft()
+            if len(st) >= pq.size:
+                stats.dropped_queue_full += 1
+                return False
+            start = now
+            if st and st[-1] > start:
+                start = st[-1]
+            service = start + 1.0 / pq.rate
+            st.append(service)
+            issue_time = now + int(service - now)
+        else:
+            pq_delay = pq.push(now)
+            if pq_delay is None:
+                stats.dropped_queue_full += 1
+                return False
+            issue_time = now + pq_delay
 
         if fill_level == FILL_L1:
             # Keep two MSHR entries in reserve for demand misses, so a
             # prefetch burst cannot stall the demand path outright.
-            if self.l1d_mshr.occupancy(issue_time) >= self.l1d_mshr.size - 2:
+            # (occupancy inlined, same expire memo as above.)
+            if mshr_exact:
+                if issue_time != l1d_mshr._last_expire:
+                    l1d_mshr._expire(issue_time)
+                occ = len(l1d_mshr._entries)
+            else:
+                occ = l1d_mshr.occupancy(issue_time)
+            if occ >= l1d_mshr.size - 2:
                 stats.dropped_mshr_full += 1
                 return False
             ready = self._access_l2(ip, pline, issue_time, is_prefetch=True)
@@ -709,14 +1089,31 @@ class Hierarchy:
             self.traffic_l1d_l2.prefetch += 1
             stats.fills += 1
         elif fill_level == FILL_L2:
-            if self.l2.probe(pline) or self.l2_mshr.lookup(pline, now):
-                stats.dropped_duplicate += 1
-                return False
-            if not self.l2_mshr.can_allocate(issue_time):
-                stats.dropped_mshr_full += 1
-                return False
+            # Cache.probe is a pure presence test and MSHR.lookup /
+            # can_allocate reduce to the memoised expire plus a dict
+            # probe / length check, so all three are inlined here under
+            # the same exact-type guards as elsewhere on this path.
+            l2_mshr = self.l2_mshr
+            if type(self.l2) is Cache and type(l2_mshr) is MSHR:
+                if now != l2_mshr._last_expire:
+                    l2_mshr._expire(now)
+                if pline in self.l2._where or pline in l2_mshr._entries:
+                    stats.dropped_duplicate += 1
+                    return False
+                if issue_time != l2_mshr._last_expire:
+                    l2_mshr._expire(issue_time)
+                if len(l2_mshr._entries) >= l2_mshr.size:
+                    stats.dropped_mshr_full += 1
+                    return False
+            else:
+                if self.l2.probe(pline) or l2_mshr.lookup(pline, now):
+                    stats.dropped_duplicate += 1
+                    return False
+                if not l2_mshr.can_allocate(issue_time):
+                    stats.dropped_mshr_full += 1
+                    return False
             ready = self._access_llc(pline, issue_time + self.l2.latency, True)
-            self.l2_mshr.allocate(pline, issue_time, ready, True, ip=ip)
+            l2_mshr.allocate(pline, issue_time, ready, True, ip=ip)
             self.l2.fill(
                 pline, now=issue_time, arrival_cycle=ready, is_prefetch=True,
                 ip=ip, vline=vline,

@@ -160,11 +160,17 @@ class MSHR:
 
         Demand misses that find the MSHR full stall until this cycle, the
         behaviour ChampSim models by replaying the access.
+
+        ``_min_ready`` is exact whenever entries are outstanding: the
+        expire scan recomputes it as the min over survivors, allocate
+        lowers it for earlier entries, and nothing else mutates ready
+        cycles (the sanitizer's unsound-guard check enforces this), so
+        after the expire below no min() scan is needed.
         """
         self._expire(now)
         if not self._entries:
             return now
-        return min(e.ready_cycle for e in self._entries.values())
+        return self._min_ready
 
     def outstanding(self, now: int) -> List[MSHREntry]:
         """Snapshot of in-flight entries at cycle ``now``."""

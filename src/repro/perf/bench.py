@@ -46,6 +46,7 @@ class BenchCase:
     trace: str          #: catalog trace spec, or "synth:bench"
     l1d: str            #: L1D prefetcher registry name
     scale: float = 1.0  #: trace scale passed to the catalog
+    cores: int = 1      #: >1 runs the trace on every core of a shared-LLC mix
 
 
 @dataclass
@@ -67,6 +68,7 @@ class BenchResult:
             "trace": self.case.trace,
             "l1d": self.case.l1d,
             "scale": self.case.scale,
+            "cores": self.case.cores,
             "records": self.records,
             "repeats": self.repeats,
             "best_seconds": self.best_seconds,
@@ -96,6 +98,13 @@ def default_cases(scale: float = 1.0) -> List[BenchCase]:
             cases.append(
                 BenchCase(name=f"{short}/{pf}", trace=spec, l1d=pf, scale=scale)
             )
+    # Shared-LLC/DRAM replay loop with the full Berti machinery on both
+    # cores: the configuration parallel campaigns actually sweep, and
+    # the one the mmap trace store exists to feed.
+    cases.append(BenchCase(name="mc2-synth/berti", trace="synth:bench",
+                           l1d="berti", scale=scale, cores=2))
+    cases.append(BenchCase(name="mc2-bfs/berti", trace="bfs-kron",
+                           l1d="berti", scale=scale, cores=2))
     return cases
 
 
@@ -171,24 +180,38 @@ def calibrate_host(target_seconds: float = 0.2) -> float:
 # ----------------------------------------------------------------------
 
 
+def _time_once(case: BenchCase, trace) -> float:
+    """One timed simulation of ``case`` (fresh prefetchers each call)."""
+    from repro.prefetchers.registry import make_prefetcher
+
+    if case.cores <= 1:
+        from repro.simulator.engine import simulate
+
+        pf = make_prefetcher(case.l1d)
+        t0 = time.perf_counter()
+        simulate(trace, l1d_prefetcher=pf)
+        return time.perf_counter() - t0
+    from repro.simulator.multicore import simulate_multicore
+
+    l1ds = [make_prefetcher(case.l1d) for _ in range(case.cores)]
+    l2s = [make_prefetcher("none") for _ in range(case.cores)]
+    t0 = time.perf_counter()
+    simulate_multicore([trace] * case.cores, l1ds, l2s)
+    return time.perf_counter() - t0
+
+
 def run_case(
     case: BenchCase,
     repeats: int = 3,
     calibration_mops: Optional[float] = None,
 ) -> BenchResult:
     """Time one case, best-of-``repeats`` (fresh prefetcher per repeat)."""
-    from repro.prefetchers.registry import make_prefetcher
-    from repro.simulator.engine import simulate
-
     trace = build_bench_trace(case.trace, case.scale)
     times: List[float] = []
     for _ in range(max(1, repeats)):
-        pf = make_prefetcher(case.l1d)
-        t0 = time.perf_counter()
-        simulate(trace, l1d_prefetcher=pf)
-        times.append(time.perf_counter() - t0)
+        times.append(_time_once(case, trace))
     best = min(times)
-    records = len(trace)
+    records = len(trace) * max(1, case.cores)
     rps = records / best if best > 0 else 0.0
     return BenchResult(
         case=case,
@@ -231,21 +254,15 @@ def run_suite(
                 )
         return results
 
-    from repro.prefetchers.registry import make_prefetcher
-    from repro.simulator.engine import simulate
-
     traces = [build_bench_trace(c.trace, c.scale) for c in cases]
     times: List[List[float]] = [[] for _ in cases]
     for _round in range(max(1, repeats)):
         for i, case in enumerate(cases):
-            pf = make_prefetcher(case.l1d)
-            t0 = time.perf_counter()
-            simulate(traces[i], l1d_prefetcher=pf)
-            times[i].append(time.perf_counter() - t0)
+            times[i].append(_time_once(case, traces[i]))
     results = []
     for i, case in enumerate(cases):
         best = min(times[i])
-        records = len(traces[i])
+        records = len(traces[i]) * max(1, case.cores)
         rps = records / best if best > 0 else 0.0
         res = BenchResult(
             case=case,

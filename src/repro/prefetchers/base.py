@@ -71,6 +71,17 @@ class Prefetcher(ABC):
     name = "none"
     #: "l1d" or "l2" — which cache's events this prefetcher observes
     level = "l1d"
+    #: Kernel-protocol opt-in.  A prefetcher that declares
+    #: ``kernel_hooks = True`` **in its own class body** promises
+    #: allocation-free mirrors of the hooks — ``on_access_kernel(ip,
+    #: line, hit, now) -> list[(delta, status)]``, ``on_fill_kernel(line,
+    #: now, latency, ip)``, ``on_prefetch_hit_kernel(ip, line, now,
+    #: pf_latency)`` — with behaviour bit-identical to the virtual
+    #: protocol, and no ``cycle`` override.  The hierarchy checks
+    #: ``type(pf).__dict__`` (not inheritance), so any subclass — fault
+    #: injectors, the lockstep reference engine — automatically falls
+    #: back to the virtual hooks unless it re-declares the flag.
+    kernel_hooks = False
 
     def on_access(self, access: AccessInfo) -> List[PrefetchRequest]:
         """Called on every demand access to the cache (hit or miss)."""

@@ -41,6 +41,13 @@ class JobSpec:
     mtps: Optional[int] = None
     warmup_fraction: float = 0.2
     fault: Optional[FaultSpec] = None
+    # Optional mmap-backed trace store (repro.memory.tracestore): when
+    # set, the worker maps this file read-only instead of regenerating
+    # the trace from the catalog.  The store holds exactly the records
+    # `resolve_trace(trace, scale)` would rebuild, so it is a transport
+    # detail, not an identity change — excluded from `key` like the
+    # sanitizer knobs below (journals written either way interchange).
+    trace_path: Optional[str] = None
     # Instrumentation/durability knobs (repro.sanitizer).  None of these
     # changes the simulation result — the sanitizer is read-only and a
     # snapshotted/resumed run is bit-identical — so they are deliberately

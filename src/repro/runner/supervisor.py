@@ -185,6 +185,12 @@ class CampaignSupervisor(ExperimentRunner):
         self._trace_est: Dict[str, float] = {}  # elapsed-seconds EMA
         self._events: List[dict] = []
         self._recorded: List[Tuple[str, str, str]] = []  # (key, status, kind)
+        # Campaign throughput: records simulated by fresh (non-replayed)
+        # completions, the worker-seconds they took, and the campaign
+        # wall clock — the manifest's aggregate records/sec.
+        self._records_done = 0
+        self._busy_seconds = 0.0
+        self._campaign_started: Optional[float] = None
         self._drain = False
         self._hard_killed = False
         self._paused = False
@@ -200,6 +206,7 @@ class CampaignSupervisor(ExperimentRunner):
     def run(self, jobs, run_fn: Optional[Callable] = None) -> SuiteResult:
         self._drain = False
         self._hard_killed = False
+        self._campaign_started = self._now()
         if self.config.resume and self._journal is not None:
             self._seed_breakers()
         self._ensure_heartbeat_dir()
@@ -343,6 +350,13 @@ class CampaignSupervisor(ExperimentRunner):
                 pass
         if job is None:
             return
+        if outcome.ok and not getattr(outcome, "from_journal", False):
+            extra = getattr(getattr(outcome, "result", None), "extra", None)
+            if isinstance(extra, dict):
+                records = extra.get("trace_records")
+                if records:
+                    self._records_done += int(records)
+                    self._busy_seconds += outcome.elapsed
         if outcome.ok and isinstance(job, JobSpec):
             prev = self._trace_est.get(job.trace)
             self._trace_est[job.trace] = (
@@ -594,6 +608,32 @@ class CampaignSupervisor(ExperimentRunner):
             )
         return None
 
+    def _throughput(self) -> Dict[str, float]:
+        """Campaign-level records/sec: the manifest's headline metric.
+
+        ``records_per_sec`` divides records by campaign wall time (what
+        the operator experiences — includes scheduling, journal writes,
+        degraded pauses).  ``records_per_sec_busy`` divides by summed
+        worker seconds (per-worker simulation speed, the number to
+        compare against ``BENCH_simcore.json``).  Journal-replayed jobs
+        contribute to neither: they did no simulation this run.
+        """
+        wall = 0.0
+        if self._campaign_started is not None:
+            wall = max(0.0, self._now() - self._campaign_started)
+        return {
+            "records_simulated": float(self._records_done),
+            "busy_seconds": round(self._busy_seconds, 3),
+            "campaign_seconds": round(wall, 3),
+            "records_per_sec": (
+                round(self._records_done / wall, 1) if wall > 0 else 0.0
+            ),
+            "records_per_sec_busy": (
+                round(self._records_done / self._busy_seconds, 1)
+                if self._busy_seconds > 0 else 0.0
+            ),
+        }
+
     def _write_manifest(self) -> None:
         path = self._manifest_path()
         if path is None:
@@ -618,6 +658,7 @@ class CampaignSupervisor(ExperimentRunner):
             "journal": (str(self._journal.path)
                         if self._journal is not None else None),
             "journal_backlog": len(self._journal_backlog),
+            "throughput": self._throughput(),
             "events": self._events,
         }
         try:

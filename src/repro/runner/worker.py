@@ -63,7 +63,17 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
         time.sleep(fault.hang_seconds)
         del ballast
 
-    trace = resolve_trace(spec.trace, spec.scale)
+    if spec.trace_path:
+        # Zero-copy path: map the converted store read-only.  Pages are
+        # shared with every other worker mapping the same file, and
+        # MappedTrace.validate() is O(1) (records were validated at
+        # conversion), so per-job trace cost no longer scales with the
+        # trace length.
+        from repro.memory.tracestore import load_trace_store
+
+        trace = load_trace_store(spec.trace_path)
+    else:
+        trace = resolve_trace(spec.trace, spec.scale)
     if fault and fault.kind == "corrupt":
         trace = corrupt_trace(trace, period=fault.period)
     trace.validate()
@@ -134,4 +144,9 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
             "inconsistent statistics: " + "; ".join(violations),
             trace=spec.trace, prefetcher=spec.l1d,
         )
+    # Record the job's record count so the campaign supervisor can report
+    # aggregate records/sec in the manifest.  Added after the simulation
+    # returns, so engine-level results (golden matrix, lockstep) are
+    # untouched.
+    result.extra["trace_records"] = float(len(trace))
     return result

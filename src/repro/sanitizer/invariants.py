@@ -249,7 +249,148 @@ def check_pq(pq: _FIFOQueue, name: str = "pq") -> List[Violation]:
 
 
 def check_delta_table(table: DeltaTable, name: str) -> List[Violation]:
-    """Berti delta-table coverage/counter bounds and index consistency."""
+    """Berti delta-table coverage/counter bounds and index consistency.
+
+    Validates the kernel's columnar layout: entry columns, dense-prefix
+    slot discipline, the ``_by_tag``/``by_delta`` mirrors, and — new with
+    the kernelized table — that the dirty-bit–invalidated prediction
+    caches agree with a from-scratch recomputation (a stale cache is
+    exactly the corruption the memoisation could introduce).
+    """
+    out: List[Violation] = []
+    cfg = table.config
+    coverage_cap = (1 << cfg.coverage_bits) - 1
+    n = len(table._valid)
+    per_entry = cfg.deltas_per_entry
+    if not 0 <= table._fifo_ptr < n:
+        out.append((name, f"FIFO pointer {table._fifo_ptr} out of "
+                    f"[0, {n})", {"table": name, "ptr": table._fifo_ptr}))
+    for tag, e in table._by_tag.items():
+        if not 0 <= e < n or not table._valid[e] or table._tags[e] != tag:
+            out.append((name, f"_by_tag[{tag:#x}] points at "
+                        f"{'invalid' if (0 <= e < n and not table._valid[e]) else 'mistagged'} "
+                        f"entry {e}",
+                        {"table": name, "tag": tag, "entry": e}))
+    valid_entries = 0
+    for e in range(n):
+        if not table._valid[e]:
+            continue
+        valid_entries += 1
+        tag = table._tags[e]
+        counter = table._counters[e]
+        count = table._slot_count[e]
+        dump = {"table": name, "tag": tag, "counter": counter, "entry": e}
+        if table._by_tag.get(tag) != e:
+            out.append((name, f"valid entry {tag:#x} missing from "
+                        f"_by_tag", dump))
+        if not 0 <= counter < cfg.counter_max:
+            out.append((name, f"entry {tag:#x}: search counter "
+                        f"{counter} out of [0, {cfg.counter_max}) "
+                        f"(phase close missed)", dump))
+        if not 0 <= count <= per_entry:
+            out.append((name, f"entry {tag:#x}: slot count {count} out "
+                        f"of [0, {per_entry}]", dump))
+            continue
+        deltas = table._slot_delta[e]
+        covs = table._slot_cov[e]
+        statuses = table._slot_status[e]
+        by_delta = table._by_delta[e]
+        for i in range(count):
+            sdump = {**dump, "slot": i, "delta": deltas[i],
+                     "coverage": covs[i], "status": statuses[i]}
+            if not 0 <= covs[i] <= coverage_cap:
+                out.append((name, f"entry {tag:#x} slot {i}: "
+                            f"coverage {covs[i]} out of "
+                            f"[0, {coverage_cap}]", sdump))
+            elif covs[i] > counter:
+                out.append((name, f"entry {tag:#x} slot {i}: "
+                            f"coverage {covs[i]} exceeds the "
+                            f"phase's search counter {counter}", sdump))
+            if not NO_PREF <= statuses[i] <= L2_PREF_REPL:
+                out.append((name, f"entry {tag:#x} slot {i}: "
+                            f"unknown status {statuses[i]}", sdump))
+            if by_delta.get(deltas[i]) != i:
+                out.append((name, f"entry {tag:#x} slot {i}: "
+                            f"delta {deltas[i]} not mirrored in "
+                            f"by_delta", sdump))
+        if len(by_delta) != count:
+            out.append((name, f"entry {tag:#x}: {count} valid "
+                        f"slots but by_delta holds {len(by_delta)}",
+                        {**dump, "valid_slots": count,
+                         "by_delta": len(by_delta)}))
+        # The lazy victim heap may hold stale pairs, but the *current*
+        # pair of every replacement-candidate slot must be present —
+        # a missing pair silently protects the slot from eviction.
+        heap_pairs = set(table._evict_heap[e])
+        for i in range(count):
+            st = statuses[i]
+            if (st == NO_PREF or st == L2_PREF_REPL) and \
+                    (covs[i], i) not in heap_pairs:
+                out.append((name, f"entry {tag:#x} slot {i}: "
+                            f"replacement candidate missing from the "
+                            f"victim heap",
+                            {**dump, "slot": i, "coverage": covs[i],
+                             "status": st}))
+        out.extend(_check_delta_caches(table, e, name, dump))
+    if valid_entries != len(table._by_tag):
+        out.append((name, f"{valid_entries} valid entries but _by_tag "
+                    f"holds {len(table._by_tag)}",
+                    {"table": name, "valid": valid_entries,
+                     "by_tag": len(table._by_tag)}))
+    return out
+
+
+def _check_delta_caches(
+    table: DeltaTable, e: int, name: str, dump: Dict[str, Any]
+) -> List[Violation]:
+    """A populated prediction cache must equal a fresh recomputation."""
+    out: List[Violation] = []
+    cfg = table.config
+    count = table._slot_count[e]
+    deltas = table._slot_delta[e]
+    covs = table._slot_cov[e]
+    statuses = table._slot_status[e]
+    cached = table._pf_cache[e]
+    if cached is not None:
+        expected = [
+            (deltas[i], statuses[i])
+            for i in range(count)
+            if statuses[i] != NO_PREF
+        ]
+        expected.sort(key=lambda ds: ds[1] != 1)  # L1D_PREF first
+        expected = expected[: cfg.max_prefetch_deltas]
+        if not table._warmed[e]:
+            out.append((name, f"entry {dump['tag']:#x}: pf_cache "
+                        f"populated before the first phase completed",
+                        dump))
+        elif cached != expected:
+            out.append((name, f"entry {dump['tag']:#x}: stale pf_cache "
+                        f"(dirty-bit invalidation missed)",
+                        {**dump, "cached": list(cached),
+                         "expected": expected}))
+    warm = table._warm_cache[e]
+    if warm is not None:
+        counter = table._counters[e]
+        if table._warmed[e] or counter < cfg.warmup_min_searches:
+            out.append((name, f"entry {dump['tag']:#x}: warm_cache "
+                        f"populated outside the warmup window", dump))
+        else:
+            threshold = cfg.warmup_watermark * counter
+            expected = [
+                (deltas[i], 1)  # L1D_PREF
+                for i in range(count)
+                if covs[i] >= threshold
+            ][: cfg.max_prefetch_deltas]
+            if warm != expected:
+                out.append((name, f"entry {dump['tag']:#x}: stale "
+                            f"warm_cache (counter invalidation missed)",
+                            {**dump, "cached": list(warm),
+                             "expected": expected}))
+    return out
+
+
+def check_reference_delta_table(table: Any, name: str) -> List[Violation]:
+    """The original object-per-slot layout (reference engine only)."""
     out: List[Violation] = []
     cfg = table.config
     coverage_cap = (1 << cfg.coverage_bits) - 1
@@ -314,7 +455,89 @@ def check_delta_table(table: DeltaTable, name: str) -> List[Violation]:
 
 
 def check_history_table(table: HistoryTable, name: str) -> List[Violation]:
-    """Berti history-table FIFO-ring discipline and field widths."""
+    """Berti history-table FIFO-ring discipline and field widths.
+
+    Validates the kernel's flat columnar rings, including the IP-tag
+    skip masks: every mask bit must point at a way holding that tag and
+    every occupied way must be covered by exactly its tag's mask.
+    """
+    out: List[Violation] = []
+    cfg = table.config
+    ways = cfg.history_ways
+    tags = table._tags
+    for sidx in range(cfg.history_sets):
+        base = sidx * ways
+        ptr = table._fifo_ptr[sidx]
+        clock = table._fifo_clock[sidx]
+        if not 0 <= ptr < ways:
+            out.append((name, f"set {sidx}: FIFO pointer {ptr} out of "
+                        f"[0, {ways})", {"table": name, "set": sidx,
+                                         "ptr": ptr}))
+            continue
+        prev_order = None
+        gap_seen = False
+        max_order = 0
+        for i in range(1, ways + 1):
+            way = (ptr - i) % ways
+            idx = base + way
+            if tags[idx] < 0:
+                gap_seen = True
+                continue
+            order = table._orders[idx]
+            dump = {"table": name, "set": sidx, "way": way, "order": order}
+            if gap_seen:
+                # The ring fills contiguously from the pointer; a way
+                # *older* than an empty way means the FIFO order broke.
+                out.append((name, f"set {sidx}: occupied way behind an "
+                            f"empty way (ring discipline broken)", dump))
+                break
+            if prev_order is not None and order >= prev_order:
+                out.append((name, f"set {sidx}: insertion order not "
+                            f"strictly decreasing walking back from the "
+                            f"pointer ({order} after {prev_order})",
+                            {**dump, "previous": prev_order}))
+                break
+            prev_order = order
+            max_order = max(max_order, order)
+            if tags[idx] > table._tag_mask:
+                out.append((name, f"set {sidx}: ip_tag {tags[idx]:#x} "
+                            f"wider than the hardware field", dump))
+            if table._lines[idx] > table._line_mask or table._lines[idx] < 0:
+                out.append((name, f"set {sidx}: line "
+                            f"{table._lines[idx]:#x} wider than the "
+                            f"hardware field", dump))
+            if table._tss[idx] > table._ts_mask or table._tss[idx] < 0:
+                out.append((name, f"set {sidx}: timestamp "
+                            f"{table._tss[idx]} wider than the hardware "
+                            f"field", dump))
+        if max_order > clock:
+            out.append((name, f"set {sidx}: newest order {max_order} "
+                        f"ahead of the set clock {clock}",
+                        {"table": name, "set": sidx,
+                         "max_order": max_order, "clock": clock}))
+        # Skip-chain ↔ ring consistency: the chains are pure acceleration
+        # state, so any drift silently changes search results.  Expected:
+        # for each tag, the (line, ts) pairs of its ways, oldest first.
+        chains = table._chains[sidx]
+        expected: Dict[int, List] = {}
+        for i in range(ways, 0, -1):  # oldest way first
+            idx = base + (ptr - i) % ways
+            t = tags[idx]
+            if t >= 0:
+                expected.setdefault(t, []).append(
+                    (table._lines[idx], table._tss[idx])
+                )
+        actual = {t: list(dq) for t, dq in chains.items()}
+        if actual != expected:
+            out.append((name, f"set {sidx}: IP-tag skip chains disagree "
+                        f"with the ring contents",
+                        {"table": name, "set": sidx,
+                         "chains": actual, "expected": expected}))
+    return out
+
+
+def check_reference_history_table(table: Any, name: str) -> List[Violation]:
+    """The original tuple-row layout (reference engine only)."""
     out: List[Violation] = []
     ways = table.config.history_ways
     for sidx, rows in enumerate(table._sets):
@@ -337,8 +560,6 @@ def check_history_table(table: HistoryTable, name: str) -> List[Violation]:
             dump = {"table": name, "set": sidx, "row": (ptr - i) % ways,
                     "order": order}
             if gap_seen:
-                # The ring fills contiguously from the pointer; a row
-                # *older* than an empty way means the FIFO order broke.
                 out.append((name, f"set {sidx}: occupied way behind an "
                             f"empty way (ring discipline broken)", dump))
                 break
@@ -368,14 +589,29 @@ def check_history_table(table: HistoryTable, name: str) -> List[Violation]:
 
 
 def check_berti(pf: Any, name: str) -> List[Violation]:
-    """Berti-table checks for any prefetcher exposing history/deltas."""
+    """Berti-table checks for any prefetcher exposing history/deltas.
+
+    Dispatches on the concrete table class: the kernel layouts get the
+    columnar checkers (including cache-consistency), the reference
+    engine's object layouts get the original checkers.
+    """
+    from repro.core.reference_tables import (
+        ReferenceDeltaTable,
+        ReferenceHistoryTable,
+    )
+
     out: List[Violation] = []
     deltas = getattr(pf, "deltas", None)
     history = getattr(pf, "history", None)
     if isinstance(deltas, DeltaTable):
         out.extend(check_delta_table(deltas, f"{name}.deltas"))
+    elif isinstance(deltas, ReferenceDeltaTable):
+        out.extend(check_reference_delta_table(deltas, f"{name}.deltas"))
     if isinstance(history, HistoryTable):
         out.extend(check_history_table(history, f"{name}.history"))
+    elif isinstance(history, ReferenceHistoryTable):
+        out.extend(check_reference_history_table(
+            history, f"{name}.history"))
     return out
 
 

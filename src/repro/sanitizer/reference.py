@@ -34,6 +34,12 @@ shared LLC appears in every core's hierarchy.
 
 from __future__ import annotations
 
+from repro.core.berti import BertiPrefetcher
+from repro.core.berti_page import BertiPagePrefetcher
+from repro.core.reference_tables import (
+    ReferenceDeltaTable,
+    ReferenceHistoryTable,
+)
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import Hierarchy, _FIFOQueue
 from repro.memory.mshr import MSHR
@@ -59,6 +65,24 @@ class ReferencePQ(_FIFOQueue):
 
 class ReferenceNoPrefetcher(NoPrefetcher):
     """A NoPrefetcher that still runs the full hook plumbing."""
+
+
+class ReferenceBertiPrefetcher(BertiPrefetcher):
+    """A Berti that takes the virtual-hook path with reference tables.
+
+    ``kernel_hooks`` is deliberately *not* re-declared here: the
+    hierarchy reads the flag from the prefetcher's own class body, so
+    this subclass is dispatched through ``on_access``/``on_fill``/
+    ``on_prefetch_hit`` with per-call AccessInfo/FillInfo/Request
+    objects — the original protocol the kernels must mirror exactly.
+    :func:`to_reference` additionally swaps ``history``/``deltas`` for
+    the object-per-entry reference tables, so the entire training and
+    prediction path runs through an independently-written twin.
+    """
+
+
+class ReferenceBertiPagePrefetcher(BertiPagePrefetcher):
+    """Per-page Berti on the virtual-hook path (see above)."""
 
 
 class ReferenceMSHR(MSHR):
@@ -130,9 +154,37 @@ def to_reference(hierarchy: Hierarchy) -> Hierarchy:
             mshr.__class__ = ReferenceMSHR
     if type(hierarchy.pq) is _FIFOQueue:
         hierarchy.pq.__class__ = ReferencePQ
-    if type(hierarchy.l1d_prefetcher) is NoPrefetcher:
-        hierarchy.l1d_prefetcher.__class__ = ReferenceNoPrefetcher
+    for attr in ("l1d_prefetcher", "l2_prefetcher"):
+        pf = getattr(hierarchy, attr)
+        if type(pf) is NoPrefetcher:
+            pf.__class__ = ReferenceNoPrefetcher
+        elif type(pf) is BertiPrefetcher:
+            pf.__class__ = ReferenceBertiPrefetcher
+            _swap_berti_tables(pf)
+        elif type(pf) is BertiPagePrefetcher:
+            pf.__class__ = ReferenceBertiPagePrefetcher
+            _swap_berti_tables(pf)
+    # The demotion must be visible to the hierarchy's cached kernel
+    # entry points — without this, _l1d_kernel would keep dispatching
+    # into the (now reference-classed) prefetcher's kernel methods.
+    hierarchy._refresh_kernel_hooks()
     return hierarchy
+
+
+def _swap_berti_tables(pf: BertiPrefetcher) -> None:
+    """Replace the kernelized tables with their reference twins.
+
+    Only valid on a freshly built hierarchy (both ``to_reference`` call
+    sites run at ``post_build`` time): the tables are empty, so swapping
+    the implementation cannot lose training state.
+    """
+    if pf.history.inserts or pf.deltas._fifo_clock:
+        raise RuntimeError(
+            "to_reference must run before any simulation: Berti tables "
+            "already hold training state"
+        )
+    pf.history = ReferenceHistoryTable(pf.config)
+    pf.deltas = ReferenceDeltaTable(pf.config)
 
 
 def is_reference(hierarchy: Hierarchy) -> bool:

@@ -8,6 +8,7 @@ a configurable fraction of the — much shorter — synthetic traces).
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -240,15 +241,28 @@ def simulate(
     else:
         _run = _run_span
 
-    _run(0, warmup_end)
-    if warmup_end > 0:
-        hierarchy.reset_stats()
-        carryover = hierarchy.prefetched_line_counts()
-        snap_i, snap_c = core.snapshot()
-        start = _Snapshot(snap_i, snap_c)
-    else:
-        start = _Snapshot(0, 0.0)
-    _run(warmup_end, n)
+    # Suspend the cyclic garbage collector for the hot loop: the run
+    # allocates steadily (cache lines, MSHR entries) and repeatedly trips
+    # generational collections that find almost nothing — reference
+    # counting reclaims the simulator's objects.  The few true cycles
+    # (hierarchy ↔ eviction-hook closures) are picked up by the next
+    # collection after gc is re-enabled.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        _run(0, warmup_end)
+        if warmup_end > 0:
+            hierarchy.reset_stats()
+            carryover = hierarchy.prefetched_line_counts()
+            snap_i, snap_c = core.snapshot()
+            start = _Snapshot(snap_i, snap_c)
+        else:
+            start = _Snapshot(0, 0.0)
+        _run(warmup_end, n)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     res = _collect(trace, hierarchy, core, start)
     # Prefetched lines still resident (or in flight) at the end of warmup
     # can be demanded — and credited as useful — after the stats reset.

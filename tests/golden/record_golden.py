@@ -29,7 +29,10 @@ GOLDEN_TRACES = [
     ("bfs-kron", 0.1),
     ("mcf_s-1554B", 0.1),
 ]
-GOLDEN_PREFETCHERS = ["none", "berti"]
+#: "berti_page" rides the same kernelized history/delta tables as
+#: "berti" but keys them on the page, pinning the kernel path under a
+#: second training-key distribution (denser per-entry delta sets).
+GOLDEN_PREFETCHERS = ["none", "berti", "berti_page"]
 
 
 def build_golden_trace(spec: str, scale: float):

@@ -60,7 +60,7 @@ class TestGoldenMatrix:
     def test_golden_covers_both_engines(self, golden):
         pfs = {key.rsplit("#", 1)[1] for key in golden}
         assert pfs == {
-            "none", "berti", "berti+l1d_srrip", "berti,none"
+            "none", "berti", "berti_page", "berti+l1d_srrip", "berti,none"
         }
 
     def test_golden_covers_multicore_and_srrip(self, golden):

@@ -25,11 +25,16 @@ from repro.perf.profiling import (
 class TestCases:
     def test_default_matrix_shape(self):
         cases = default_cases()
-        # Three trace families plus synthetic, each with and without Berti.
-        assert len(cases) == 8
+        # Three trace families plus synthetic, each with and without
+        # Berti, plus the two berti-on multicore (shared-LLC) cases.
+        assert len(cases) == 10
         names = {c.name for c in cases}
         assert "synth/none" in names and "mcf/berti" in names
+        assert "mc2-synth/berti" in names and "mc2-bfs/berti" in names
         assert all(c.l1d in ("none", "berti") for c in cases)
+        assert all(c.cores == 2 for c in cases if c.name.startswith("mc2"))
+        assert all(c.cores == 1 for c in cases
+                   if not c.name.startswith("mc2"))
 
     def test_scale_propagates(self):
         cases = default_cases(scale=0.125)

@@ -155,46 +155,88 @@ class TestDetection:
 
     def test_berti_counter_overflow(self, trace):
         h = warmed_hierarchy(trace, l1d="berti")
-        pf = h.l1d_prefetcher
-        entry = next(e for e in pf.deltas._entries if e.valid)
-        entry.counter = pf.deltas.config.counter_max + 5
-        msgs = [v[1] for v in check_berti(pf, "l1d_prefetcher")]
+        table = h.l1d_prefetcher.deltas
+        e = next(i for i, v in enumerate(table._valid) if v)
+        table._counters[e] = table.config.counter_max + 5
+        msgs = [v[1] for v in check_berti(h.l1d_prefetcher,
+                                          "l1d_prefetcher")]
         assert any("search counter" in m for m in msgs)
 
     def test_berti_coverage_exceeds_counter(self, trace):
         h = warmed_hierarchy(trace, l1d="berti")
-        pf = h.l1d_prefetcher
-        entry = next(
-            e for e in pf.deltas._entries
-            if e.valid and any(s.valid for s in e.slots)
+        table = h.l1d_prefetcher.deltas
+        e = next(
+            i for i, v in enumerate(table._valid)
+            if v and table._slot_count[i] > 0
         )
-        slot = next(s for s in entry.slots if s.valid)
-        slot.coverage = entry.counter + 1
-        msgs = [v[1] for v in check_berti(pf, "l1d_prefetcher")]
+        table._slot_cov[e][0] = table._counters[e] + 1
+        msgs = [v[1] for v in check_berti(h.l1d_prefetcher,
+                                          "l1d_prefetcher")]
         assert any("exceeds" in m for m in msgs)
 
     def test_berti_by_delta_mirror_broken(self, trace):
         h = warmed_hierarchy(trace, l1d="berti")
-        pf = h.l1d_prefetcher
-        entry = next(
-            e for e in pf.deltas._entries
-            if e.valid and any(s.valid for s in e.slots)
+        table = h.l1d_prefetcher.deltas
+        e = next(
+            i for i, v in enumerate(table._valid)
+            if v and table._slot_count[i] > 0
         )
-        slot = next(s for s in entry.slots if s.valid)
-        del entry.by_delta[slot.delta]
-        assert check_berti(pf, "l1d_prefetcher")
+        del table._by_delta[e][table._slot_delta[e][0]]
+        assert check_berti(h.l1d_prefetcher, "l1d_prefetcher")
+
+    def test_berti_stale_prediction_cache(self, trace):
+        h = warmed_hierarchy(trace, l1d="berti")
+        table = h.l1d_prefetcher.deltas
+        e = next(
+            i for i, v in enumerate(table._valid)
+            if v and table._warmed[i]
+        )
+        table._pf_cache[e] = [(77, 1)]  # no slot holds delta 77
+        msgs = [v[1] for v in check_berti(h.l1d_prefetcher,
+                                          "l1d_prefetcher")]
+        assert any("stale pf_cache" in m for m in msgs)
 
     def test_berti_history_ring_discipline(self, trace):
         h = warmed_hierarchy(trace, l1d="berti")
         hist = h.l1d_prefetcher.history
-        sidx, rows = next(
-            (s, rows) for s, rows in enumerate(hist._sets)
-            if sum(r is not None for r in rows) >= 2
+        ways = hist.config.history_ways
+        sidx = next(
+            s for s in range(hist.config.history_sets)
+            if sum(hist._tags[s * ways + w] >= 0 for w in range(ways)) >= 2
         )
-        occupied = [i for i, r in enumerate(rows) if r is not None]
-        a, b = occupied[0], occupied[1]
-        rows[a], rows[b] = rows[b], rows[a]  # orders no longer monotone
+        base = sidx * ways
+        occupied = [w for w in range(ways) if hist._tags[base + w] >= 0]
+        a, b = base + occupied[0], base + occupied[1]
+        # Swap the two rows column-wise: orders no longer monotone.
+        for col in (hist._tags, hist._lines, hist._tss, hist._orders):
+            col[a], col[b] = col[b], col[a]
         assert check_berti(h.l1d_prefetcher, "l1d_prefetcher")
+
+    def test_berti_history_chain_drift(self, trace):
+        h = warmed_hierarchy(trace, l1d="berti")
+        hist = h.l1d_prefetcher.history
+        dq = next(
+            dq for chains in hist._chains for dq in chains.values() if dq
+        )
+        dq.append((123456, 7))  # phantom entry not present in the ring
+        msgs = [v[1] for v in check_berti(h.l1d_prefetcher,
+                                          "l1d_prefetcher")]
+        assert any("skip chains" in m for m in msgs)
+
+    def test_berti_victim_heap_missing_candidate(self, trace):
+        h = warmed_hierarchy(trace, l1d="berti")
+        table = h.l1d_prefetcher.deltas
+        e = next(
+            i for i, v in enumerate(table._valid)
+            if v and any(
+                st in (0, 3)  # NO_PREF / L2_PREF_REPL: candidates
+                for st in table._slot_status[i][: table._slot_count[i]]
+            )
+        )
+        del table._evict_heap[e][:]
+        msgs = [v[1] for v in check_berti(h.l1d_prefetcher,
+                                          "l1d_prefetcher")]
+        assert any("victim heap" in m for m in msgs)
 
 
 class TestEndToEnd:
