@@ -16,6 +16,10 @@ Examples::
     python -m repro sancheck --quick
     python -m repro chaos --quick
     python -m repro storage
+    python -m repro serve --state-dir svc
+    python -m repro submit --state-dir svc --trace mcf_s-1554B \
+        --l1d berti --wait
+    python -m repro fetch --state-dir svc <campaign-id>
 
 ``suite`` and ``compare`` execute through the resilient runner
 (:mod:`repro.runner`): jobs run in parallel worker processes, crashes
@@ -29,6 +33,12 @@ drains instead of killing.  ``chaos`` turns the hostile-host scenarios
 (disk full, SIGKILL mid-append, hangs, memory balloons, clock skew) on
 the runner itself and verifies that no journal entry is ever lost or
 duplicated.  See ``docs/runner.md``.
+
+``serve`` runs the durable campaign service (:mod:`repro.service`): a
+crash-safe scheduler daemon with a write-ahead journal, job leases,
+idempotent content-hashed submission, and a checksum-verified result
+cache; ``submit`` / ``poll`` / ``fetch`` are its bounded-retry client.
+See ``docs/service.md``.
 
 ``sancheck`` and the ``--sanitize`` / ``--snapshot-every`` /
 ``--resume-from`` flags belong to the sanitizer subsystem
@@ -356,6 +366,116 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the campaign service daemon (blocking; SIGTERM drains)."""
+    from repro.service import CampaignService, ServiceConfig
+
+    config = ServiceConfig(
+        state_dir=args.state_dir, host=args.host, port=args.port,
+        workers=args.workers, lease_duration=args.lease_duration,
+        max_queue=args.max_queue,
+    )
+    service = CampaignService(config)
+    service.start()
+    host, port = service.address
+    print(f"repro service on http://{host}:{port} "
+          f"(state {config.state_dir}, epoch {service.epoch}, "
+          f"{config.workers} workers)", file=sys.stderr)
+    try:
+        # start() already ran; block until SIGTERM/SIGINT drains us.
+        import signal as _signal
+        import threading as _threading
+
+        done = _threading.Event()
+
+        def _on_term(signum, frame):
+            print("draining: finishing leased jobs, refusing intake",
+                  file=sys.stderr)
+            service.drain()
+            done.set()
+
+        _signal.signal(_signal.SIGTERM, _on_term)
+        _signal.signal(_signal.SIGINT, _on_term)
+        while not done.wait(timeout=0.5):
+            pass
+    finally:
+        service.stop()
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient, read_endpoint
+
+    host, port = read_endpoint(args.state_dir)
+    return ServiceClient(host, port, retries=args.retries,
+                         backoff_base=args.backoff)
+
+
+def _parse_submit_jobs(args) -> List[Dict]:
+    jobs: List[Dict] = []
+    for trace in args.trace.split(","):
+        for l1d in args.l1d.split(","):
+            job = {"trace": trace, "l1d": l1d, "l2": args.l2,
+                   "scale": args.scale,
+                   "warmup_fraction": args.warmup_fraction}
+            if args.mtps:
+                job["mtps"] = args.mtps
+            jobs.append(job)
+    return jobs
+
+
+def cmd_submit(args) -> int:
+    """Submit a campaign to a running daemon (idempotent)."""
+    client = _service_client(args)
+    resp = client.submit(_parse_submit_jobs(args))
+    cid = resp["campaign"]
+    print(f"campaign {cid} ({'new' if resp['created'] else 'existing'}): "
+          f"{resp['cache_hits']}/{resp['total']} jobs served from the "
+          f"result cache")
+    if args.wait:
+        status = client.poll(cid, timeout=args.wait_timeout)
+        print(f"campaign {cid}: {status['state']} {status['counts']}")
+        return 0 if status["state"] == "done" else 3
+    print(f"poll with: repro poll --state-dir {args.state_dir} {cid}")
+    return 0
+
+
+def cmd_poll(args) -> int:
+    """Show (or wait for) a campaign's status."""
+    client = _service_client(args)
+    if args.wait:
+        status = client.poll(args.campaign, timeout=args.wait_timeout)
+    else:
+        status = client.status(args.campaign)
+    print(f"campaign {status['campaign']}: {status['state']} "
+          f"{status['counts']}")
+    for job in status["jobs"]:
+        lease = job.get("lease")
+        extra = (f" lease={lease['lease_id']} attempt={job['attempt']}"
+                 if lease else "")
+        print(f"  {job['status']:9s} {job['key']}{extra}")
+    return 0 if status["state"] == "done" else 3
+
+
+def cmd_fetch(args) -> int:
+    """Fetch verified results for a finished campaign (JSON on stdout)."""
+    import json as _json
+
+    client = _service_client(args)
+    resp = client.results(args.campaign)
+    if args.out:
+        from pathlib import Path as _Path
+
+        _Path(args.out).write_text(_json.dumps(resp, indent=2,
+                                               sort_keys=True))
+        print(f"{len(resp['results'])} results written to {args.out}",
+              file=sys.stderr)
+    else:
+        print(_json.dumps(resp, indent=2, sort_keys=True))
+    bad = [r for r in resp["results"] if r["status"] != "ok"]
+    return 0 if not bad else 3
+
+
 def cmd_trace_store(args) -> int:
     """Convert catalog traces to mmap stores / inspect store files."""
     from repro.memory.tracestore import ensure_store, store_info
@@ -527,15 +647,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser(
         "chaos",
-        help="hostile-host scenarios against the supervised runner",
+        help="hostile-host and network scenarios against the runner "
+             "and the campaign service",
     )
     chaos.add_argument("--quick", action="store_true",
-                       help="CI subset: disk-full + sigkill + hung-worker")
+                       help="CI subset: disk-full, sigkill, hung-worker, "
+                            "plus the four service scenarios")
     chaos.add_argument("--scenario", action="append", default=None,
                        metavar="NAME",
                        help="run one scenario by name (repeatable): "
                             "disk-full, sigkill, hung-worker, balloon, "
-                            "clock-skew")
+                            "clock-skew, service-sigkill, "
+                            "client-disconnect, cache-corruption, "
+                            "duplicate-submit")
     chaos.add_argument("--workdir", default=None,
                        help="directory for scenario artifacts "
                             "(default: a fresh temp dir)")
@@ -560,6 +684,69 @@ def build_parser() -> argparse.ArgumentParser:
     ts.add_argument("path", nargs="*", default=[],
                     help="store files to describe (info action)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the durable campaign-service daemon (docs/service.md)",
+    )
+    serve.add_argument("--state-dir", default="service-state",
+                       help="WAL + result cache + endpoint.json directory "
+                            "(default service-state); restarting against "
+                            "the same directory resumes the full queue")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = ephemeral; the bound "
+                            "port is recorded in endpoint.json)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent simulation workers (default 2)")
+    serve.add_argument("--lease-duration", type=float, default=30.0,
+                       metavar="SEC",
+                       help="job lease expiry without heartbeat progress "
+                            "(default 30)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="pending jobs before submissions get 429 "
+                            "(default 64)")
+
+    def _client_args(p_: argparse.ArgumentParser) -> None:
+        p_.add_argument("--state-dir", default="service-state",
+                        help="daemon state dir holding endpoint.json")
+        p_.add_argument("--retries", type=int, default=5,
+                        help="client retry budget for connection errors "
+                             "and 5xx/429 (default 5)")
+        p_.add_argument("--backoff", type=float, default=0.1,
+                        metavar="SEC",
+                        help="base backoff; doubles per attempt with "
+                             "jitter, Retry-After wins (default 0.1)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to a running daemon (idempotent)",
+    )
+    _client_args(submit)
+    submit.add_argument("--trace", required=True,
+                        metavar="NAME[,NAME...]")
+    submit.add_argument("--l1d", default="berti", metavar="PF[,PF...]")
+    submit.add_argument("--l2", default="none")
+    submit.add_argument("--scale", type=float, default=0.5)
+    submit.add_argument("--mtps", type=int, default=None)
+    submit.add_argument("--warmup-fraction", type=float, default=0.25)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the campaign resolves")
+    submit.add_argument("--wait-timeout", type=float, default=600.0)
+
+    poll = sub.add_parser("poll", help="status of a submitted campaign")
+    _client_args(poll)
+    poll.add_argument("campaign", help="campaign id from repro submit")
+    poll.add_argument("--wait", action="store_true",
+                      help="block until the campaign resolves")
+    poll.add_argument("--wait-timeout", type=float, default=600.0)
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch checksum-verified results for a campaign",
+    )
+    _client_args(fetch)
+    fetch.add_argument("campaign", help="campaign id from repro submit")
+    fetch.add_argument("--out", default=None, metavar="PATH",
+                       help="write the results JSON here instead of stdout")
+
     sub.add_parser("storage", help="hardware budgets incl. Table I")
     return p
 
@@ -574,6 +761,10 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "storage": cmd_storage,
     "trace-store": cmd_trace_store,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "poll": cmd_poll,
+    "fetch": cmd_fetch,
 }
 
 

@@ -197,6 +197,76 @@ def _rebuild_timeout(cls, message, trace, prefetcher, field, timeout):
                timeout=timeout)
 
 
+class ServiceError(ReproError):
+    """A campaign-service request could not be honoured.
+
+    Raised by the scheduler daemon (:mod:`repro.service`) and its client
+    for protocol-level failures: malformed submissions, unknown
+    campaigns, a full queue (backpressure), or a daemon that is
+    draining.  ``status`` carries the HTTP status code the API maps the
+    error to, and ``retry_after`` (seconds) is set when the client
+    should back off and try again — the client honours it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        trace: Optional[str] = None,
+        prefetcher: Optional[str] = None,
+        field: Optional[str] = None,
+        status: int = 400,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        self.status = status
+        self.retry_after = retry_after
+        super().__init__(message, trace=trace, prefetcher=prefetcher,
+                         field=field)
+
+    def __reduce__(self):
+        return (
+            _rebuild_service,
+            (self.__class__, self.message, self.trace, self.prefetcher,
+             self.field, self.status, self.retry_after),
+        )
+
+
+def _rebuild_service(cls, message, trace, prefetcher, field, status,
+                     retry_after):
+    return cls(message, trace=trace, prefetcher=prefetcher, field=field,
+               status=status, retry_after=retry_after)
+
+
+class LeaseExpired(ServiceError):
+    """A worker's time-bounded job lease lapsed without a heartbeat.
+
+    The scheduler requeues the job exactly once per expiry (attempt
+    lineage records every grant/expiry), so a lost worker delays a job
+    instead of losing it.  Retryable by construction: expiry *is* the
+    retry signal.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("status", 503)
+        super().__init__(message, **kwargs)
+
+
+class CacheCorruption(ServiceError):
+    """A result-cache entry failed its checksum and cannot be served.
+
+    The cache quarantines the entry (renamed aside, never deleted, never
+    returned) and the scheduler recomputes the result.  Not retryable at
+    the job level — the *cache read* failed, not the job; the recompute
+    path handles it.
+    """
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("status", 500)
+        super().__init__(message, **kwargs)
+
+
 class HeartbeatTimeout(JobTimeout):
     """A worker stopped emitting progress heartbeats and was preempted.
 

@@ -60,6 +60,7 @@ __all__ = [
     "MappedTrace",
     "TraceStoreError",
     "ensure_store",
+    "file_digest",
     "load_trace_store",
     "store_info",
     "store_path",
@@ -90,14 +91,46 @@ def store_path(directory: str | Path, trace: str, scale: float) -> Path:
     return Path(directory) / f"{trace}__s{scale}.trc"
 
 
+def file_digest(path: str | Path, chunk: int = 1 << 20) -> str:
+    """Streamed SHA-256 of a file's bytes (``sha256:<hex>``).
+
+    This is the trace-identity half of the campaign service's content
+    hash — and what ``repro trace-store info`` reports, so the two can
+    never disagree about what was simulated.
+    """
+    import hashlib
+
+    path = Path(path)
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as fh:
+            while True:
+                block = fh.read(chunk)
+                if not block:
+                    break
+                digest.update(block)
+    except OSError as exc:
+        raise TraceStoreError(
+            f"cannot digest trace store {path}: {exc}",
+            trace=str(path), field="trace_store",
+        ) from exc
+    return f"sha256:{digest.hexdigest()}"
+
+
 def write_trace_store(trace: Trace, path: str | Path) -> Path:
     """Serialise ``trace`` to ``path`` atomically; returns the path.
 
     The trace is validated first — a store on disk is trusted by
     :meth:`MappedTrace.validate`, so corruption must be caught here.
+    An empty trace is refused: a zero-record store carries no work and
+    is indistinguishable from a conversion that died before writing
+    records, so it must never be produced (or silently simulated).
     """
     trace.validate()
     path = Path(path)
+    _check(len(trace) > 0,
+           f"refusing to write an empty trace store for {trace.name!r}: "
+           f"0 records", path)
     meta = json.dumps({
         "name": trace.name,
         "suite": trace.suite,
@@ -172,6 +205,9 @@ def _parse_header(buf, path: Path):
     _check(len(buf) == expected,
            f"trace store truncated or oversized: {len(buf)} bytes on disk, "
            f"header promises {expected} ({n_records} records)", path)
+    _check(n_records > 0,
+           "trace store holds 0 records: an empty store cannot drive a "
+           "simulation and is refused at open time", path)
     return n_records, meta, data_off
 
 
@@ -201,6 +237,14 @@ class MappedTrace(Trace):
             )
         try:
             with open(path, "rb") as fh:
+                if os.fstat(fh.fileno()).st_size == 0:
+                    # mmap would refuse a zero-length file with an
+                    # unhelpful ValueError; say what actually happened.
+                    raise TraceStoreError(
+                        f"trace store is zero-length: {path} (truncated "
+                        f"or never written)",
+                        trace=str(path), field="trace_store",
+                    )
                 mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
         except FileNotFoundError as exc:
             raise TraceStoreError(
@@ -297,6 +341,7 @@ def store_info(path: str | Path) -> Dict[str, object]:
             "description": t.description,
             "records": len(t),
             "bytes": path.stat().st_size,
+            "digest": file_digest(path),
         }
     finally:
         t.close()

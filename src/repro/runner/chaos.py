@@ -21,6 +21,26 @@ held:
   jobs are in flight; deadlines must be rebased, nothing spuriously
   expired.
 
+Four further scenarios aim at the campaign *service*
+(:mod:`repro.service` — the durable scheduler daemon behind
+``repro serve``) and its network surface:
+
+* ``service-sigkill``    — the daemon is SIGKILLed mid-campaign; a
+  restart against the same state directory must replay the WAL, requeue
+  the orphaned lease exactly once, and finish with byte-identical
+  results, none lost, none duplicated.
+* ``client-disconnect``  — a client tears the connection mid-upload
+  (truncated POST body) and mid-download (closes before reading the
+  response); the daemon must act on neither partial request nor die,
+  and a well-behaved client then gets byte-identical results.
+* ``cache-corruption``   — a result-cache entry is bit-flipped on disk;
+  the checksum must catch it, the entry must be quarantined (never
+  served), and the recomputed result must match the reference exactly.
+* ``duplicate-submit``   — the same campaign is submitted twice
+  concurrently; both submissions must map onto one campaign, the work
+  must be computed exactly once, and a later resubmit must be a 100%
+  cache hit with zero recomputation.
+
 After every scenario the harness checks the **journal invariants**: all
 lines parse (a torn line is tolerated only at EOF), no key has more than
 one ``ok`` record, a resume executes exactly the missing keys, and the
@@ -482,17 +502,369 @@ def _scenario_clock_skew(workdir: Path) -> List[str]:
     return problems
 
 
+# ----------------------------------------------------------------------
+# Campaign-service scenarios (repro.service)
+# ----------------------------------------------------------------------
+
+def _service_jobs(specs: Sequence[JobSpec]) -> List[dict]:
+    """Submission payload entries matching ``specs``."""
+    from repro.service.daemon import spec_to_dict
+
+    return [spec_to_dict(spec) for spec in specs]
+
+
+def _start_service(state_dir: Path, workers: int = 1,
+                   lease_duration: float = 30.0):
+    from repro.service import CampaignService, ServiceConfig
+
+    service = CampaignService(ServiceConfig(
+        state_dir=state_dir, workers=workers,
+        lease_duration=lease_duration, lease_poll=0.05,
+        heartbeat_every=200,
+    ))
+    service.start()
+    return service
+
+
+def _wait_campaign(service, cid: str, timeout: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = service.status(cid)
+        if status["state"] in ("done", "cancelled"):
+            return status
+        time.sleep(0.05)
+    return service.status(cid)
+
+
+def _service_results_map(service, cid: str) -> Dict[str, dict]:
+    """``job key -> result dict`` from the service's verified results."""
+    resp = service.results(cid)
+    return {r["key"]: r.get("result") for r in resp["results"]}
+
+
+def _wal_records(state_dir: Path) -> List[dict]:
+    records = []
+    path = state_dir / "service.wal"
+    if not path.exists():
+        return records
+    for line in path.read_text(encoding="ascii").splitlines():
+        try:
+            records.append(json.loads(line)["rec"])
+        except (json.JSONDecodeError, KeyError):
+            continue  # torn tail; the WAL's own replay handles it
+    return records
+
+
+def _check_wal_exactly_once(state_dir: Path,
+                            expect_keys: int) -> List[str]:
+    """Every content key must have exactly one ``ok`` result record."""
+    counts: Dict[str, int] = {}
+    for rec in _wal_records(state_dir):
+        if rec.get("type") == "result" and rec.get("status") == "ok":
+            key = rec.get("content_key", "?")
+            counts[key] = counts.get(key, 0) + 1
+    problems = []
+    dupes = {k: n for k, n in counts.items() if n > 1}
+    if dupes:
+        problems.append(f"duplicated WAL result records: {dupes}")
+    if len(counts) != expect_keys:
+        problems.append(f"WAL holds ok results for {len(counts)} content "
+                        f"keys, expected {expect_keys}")
+    return problems
+
+
+def _service_daemon_body(state_dir_str: str) -> None:
+    """Child-process body for the service-sigkill scenario."""
+    service = _start_service(Path(state_dir_str), workers=1)
+    while True:  # parent SIGKILLs us; there is no graceful exit here
+        time.sleep(0.5)
+
+
+def _scenario_service_sigkill(workdir: Path) -> List[str]:
+    """SIGKILL the daemon mid-campaign; a restart must lose nothing."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return ["fork start method unavailable (platform)"]
+    from repro.service import ServiceClient
+
+    specs = _campaign_specs()
+    reference = _reference_results(specs)
+    state_dir = workdir / "state"
+    proc = ctx.Process(target=_service_daemon_body, args=(str(state_dir),))
+    proc.start()
+
+    problems: List[str] = []
+    endpoint = state_dir / "endpoint.json"
+    deadline = time.monotonic() + 30
+    while not endpoint.exists() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    if not endpoint.exists():
+        proc.kill()
+        proc.join()
+        return ["daemon child never wrote endpoint.json"]
+    info = json.loads(endpoint.read_text(encoding="utf-8"))
+    client = ServiceClient(info["host"], info["port"], retries=2,
+                           jitter_seed=0)
+    resp = client.submit(_service_jobs(specs))
+    cid = resp["campaign"]
+    # Let the single worker land at least one result, then kill the
+    # daemon dead — no drain, no cleanup, mid-campaign by construction.
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if client.healthz().get("jobs_computed", 0) >= 1:
+            break
+        time.sleep(0.01)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join()
+
+    computed_before = sum(
+        1 for rec in _wal_records(state_dir)
+        if rec.get("type") == "result" and rec.get("status") == "ok"
+    )
+    if computed_before >= len(specs):
+        problems.append("daemon finished the whole campaign before the "
+                        "kill — not mid-campaign")
+
+    # Restart against the same state directory (in-process this time).
+    service = _start_service(state_dir, workers=1)
+    try:
+        if service.epoch != 2:
+            problems.append(f"restarted daemon has epoch {service.epoch}, "
+                            f"expected 2")
+        # Only the records written before the restart's epoch marker
+        # describe the kill; the resumed workers append concurrently.
+        wal = _wal_records(state_dir)
+        epoch2 = next(i for i, r in enumerate(wal)
+                      if r.get("type") == "epoch" and r.get("epoch") == 2)
+        dead_epoch = wal[:epoch2]
+        open_at_kill = (
+            sum(1 for r in dead_epoch if r.get("type") == "lease")
+            - sum(1 for r in dead_epoch
+                  if r.get("type") in ("result", "lease-expired"))
+        )
+        orphaned = [r for r in wal if r.get("type") == "lease-expired"
+                    and r.get("reason") == "daemon epoch lost"]
+        if open_at_kill > 0 and not orphaned:
+            problems.append("a lease was open at the kill but replay "
+                            "recorded no epoch-lost expiry")
+        if orphaned and len(orphaned) != open_at_kill:
+            problems.append(f"{open_at_kill} leases were open at the kill "
+                            f"but {len(orphaned)} epoch-lost expiries "
+                            f"were recorded")
+        status = _wait_campaign(service, cid)
+        if status["state"] != "done":
+            return problems + [f"campaign stuck {status['state']!r} after "
+                               f"restart: {status['counts']}"]
+        merged = _service_results_map(service, cid)
+        for spec in specs:
+            if merged.get(spec.key) != reference[spec.key]:
+                problems.append(f"results for {spec.key} are not "
+                                f"byte-identical after the restart")
+        problems += _check_wal_exactly_once(state_dir, len(specs))
+    finally:
+        service.stop()
+    return problems
+
+
+def _raw_http(host: str, port: int, payload: bytes) -> None:
+    """Send raw bytes and slam the connection shut (no read)."""
+    import socket
+
+    sock = socket.create_connection((host, port), timeout=5.0)
+    try:
+        sock.sendall(payload)
+    finally:
+        sock.close()
+
+
+def _scenario_client_disconnect(workdir: Path) -> List[str]:
+    """Torn uploads and abandoned downloads must not hurt the daemon."""
+    specs = _campaign_specs()
+    reference = _reference_results(specs)
+    service = _start_service(workdir / "state", workers=2)
+    problems: List[str] = []
+    try:
+        host, port = service.address
+        body = json.dumps({"jobs": _service_jobs(specs)}).encode("utf-8")
+
+        # 1. Truncated POST: promise the full body, send half, hang up.
+        #    The daemon must not act on the partial submission.
+        head = (f"POST /v1/campaigns HTTP/1.1\r\nHost: chaos\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n").encode("ascii")
+        _raw_http(host, port, head + body[:len(body) // 2])
+        time.sleep(0.2)  # let the handler thread trip over the EOF
+        health = service.healthz()
+        if not health.get("ok"):
+            problems.append("daemon unhealthy after truncated upload")
+        if health.get("campaigns") != 0:
+            problems.append("a truncated submission created a campaign")
+
+        # 2. A full, well-formed submission must still work.
+        resp = service.submit({"jobs": _service_jobs(specs)})
+        cid = resp["campaign"]
+        status = _wait_campaign(service, cid)
+        if status["state"] != "done":
+            return problems + [f"campaign did not finish: "
+                               f"{status['counts']}"]
+
+        # 3. Mid-stream disconnect: request the results, vanish before
+        #    reading a byte.  The daemon eats the broken pipe.
+        _raw_http(host, port,
+                  (f"GET /v1/campaigns/{cid}/results HTTP/1.1\r\n"
+                   f"Host: chaos\r\n\r\n").encode("ascii"))
+        time.sleep(0.2)
+        if not service.healthz().get("ok"):
+            problems.append("daemon unhealthy after mid-stream disconnect")
+
+        # 4. The patient client still gets every byte, exactly right.
+        merged = _service_results_map(service, cid)
+        for spec in specs:
+            if merged.get(spec.key) != reference[spec.key]:
+                problems.append(f"results for {spec.key} differ from the "
+                                f"direct-runner reference")
+        problems += _check_wal_exactly_once(workdir / "state", len(specs))
+    finally:
+        service.stop()
+    return problems
+
+
+def _scenario_cache_corruption(workdir: Path) -> List[str]:
+    """A bit-flipped cache entry must be quarantined and recomputed."""
+    specs = _campaign_specs()
+    reference = _reference_results(specs)
+    state_dir = workdir / "state"
+    service = _start_service(state_dir, workers=2)
+    problems: List[str] = []
+    try:
+        resp = service.submit({"jobs": _service_jobs(specs)})
+        cid = resp["campaign"]
+        if _wait_campaign(service, cid)["state"] != "done":
+            return ["campaign did not finish before corruption"]
+
+        entries = sorted((state_dir / "cache").glob("*.json"))
+        if len(entries) != len(specs):
+            return [f"expected {len(specs)} cache entries, found "
+                    f"{len(entries)}"]
+        victim = entries[0]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # deterministic single-byte flip
+        victim.write_bytes(bytes(blob))
+
+        # The verified read must refuse the entry and requeue the job.
+        from repro.errors import ServiceError
+        try:
+            service.results(cid)
+            problems.append("corrupt cache entry was served without "
+                            "complaint")
+        except ServiceError as exc:
+            if exc.status != 409:
+                problems.append(f"expected a 409 recompute signal, got "
+                                f"{exc.status}: {exc}")
+        quarantined = list((state_dir / "cache").glob("*.quarantined-*"))
+        if len(quarantined) != 1:
+            problems.append(f"expected 1 quarantined entry, found "
+                            f"{len(quarantined)}")
+        if _wait_campaign(service, cid)["state"] != "done":
+            return problems + ["recompute after corruption never finished"]
+        merged = _service_results_map(service, cid)
+        for spec in specs:
+            if merged.get(spec.key) != reference[spec.key]:
+                problems.append(f"healed results for {spec.key} are not "
+                                f"byte-identical to the reference")
+        if service.cache.quarantined != 1:
+            problems.append(f"cache counted {service.cache.quarantined} "
+                            f"quarantines, expected 1")
+        if service.jobs_computed != len(specs) + 1:
+            problems.append(f"expected exactly one recompute "
+                            f"({len(specs) + 1} total), daemon computed "
+                            f"{service.jobs_computed}")
+    finally:
+        service.stop()
+    return problems
+
+
+def _scenario_duplicate_submit(workdir: Path) -> List[str]:
+    """Two racing identical submissions must compute each job once."""
+    import threading
+
+    specs = _campaign_specs()
+    reference = _reference_results(specs)
+    state_dir = workdir / "state"
+    service = _start_service(state_dir, workers=2)
+    problems: List[str] = []
+    try:
+        payload = {"jobs": _service_jobs(specs)}
+        barrier = threading.Barrier(2)
+        responses: List[dict] = [None, None]
+
+        def racer(slot: int) -> None:
+            barrier.wait()
+            responses[slot] = service.submit(payload)
+
+        threads = [threading.Thread(target=racer, args=(i,))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        cids = {r["campaign"] for r in responses if r}
+        if len(cids) != 1:
+            return [f"racing submissions produced {len(cids)} campaigns: "
+                    f"{sorted(cids)}"]
+        if sum(1 for r in responses if r and r["created"]) != 1:
+            problems.append("exactly one racer should have created the "
+                            "campaign")
+        cid = cids.pop()
+        if _wait_campaign(service, cid)["state"] != "done":
+            return problems + ["deduplicated campaign did not finish"]
+        if service.jobs_computed != len(specs):
+            problems.append(f"duplicate submission caused recomputation: "
+                            f"{service.jobs_computed} computes for "
+                            f"{len(specs)} unique jobs")
+        campaign_recs = [r for r in _wal_records(state_dir)
+                         if r.get("type") == "campaign"]
+        if len(campaign_recs) != 1:
+            problems.append(f"{len(campaign_recs)} campaign WAL records "
+                            f"for one logical campaign")
+        # A third, late submission: 100% cache hit, zero new work.
+        resp = service.submit(payload)
+        if not resp["all_cached"] or resp["cache_hits"] != len(specs):
+            problems.append(f"resubmit was not fully cached: "
+                            f"{resp['cache_hits']}/{resp['total']}")
+        if service.jobs_computed != len(specs):
+            problems.append("resubmit of a finished campaign recomputed")
+        merged = _service_results_map(service, cid)
+        for spec in specs:
+            if merged.get(spec.key) != reference[spec.key]:
+                problems.append(f"results for {spec.key} differ from the "
+                                f"direct-runner reference")
+        problems += _check_wal_exactly_once(state_dir, len(specs))
+    finally:
+        service.stop()
+    return problems
+
+
 SCENARIOS: Dict[str, Callable[[Path], List[str]]] = {
     "disk-full": _scenario_disk_full,
     "sigkill": _scenario_sigkill,
     "hung-worker": _scenario_hung_worker,
     "balloon": _scenario_balloon,
     "clock-skew": _scenario_clock_skew,
+    "service-sigkill": _scenario_service_sigkill,
+    "client-disconnect": _scenario_client_disconnect,
+    "cache-corruption": _scenario_cache_corruption,
+    "duplicate-submit": _scenario_duplicate_submit,
 }
 
 #: The CI subset: one journal-durability kill, one ENOSPC storm, one
-#: liveness preemption — the three invariants a campaign lives or dies by.
-QUICK_SCENARIOS = ("disk-full", "sigkill", "hung-worker")
+#: liveness preemption — the three invariants a campaign lives or dies
+#: by — plus all four campaign-service scenarios (daemon kill, torn
+#: connections, cache corruption, duplicate submission).
+QUICK_SCENARIOS = ("disk-full", "sigkill", "hung-worker",
+                   "service-sigkill", "client-disconnect",
+                   "cache-corruption", "duplicate-submit")
 
 
 def run_chaos(

@@ -119,6 +119,11 @@ class CompletedRun:
     elapsed: float = 0.0
     from_journal: bool = False  # replayed from the checkpoint, not re-run
     worker_pid: Optional[int] = None
+    # Lease provenance (repro.service): which lease produced this result
+    # and the grant/renew/expiry history behind it.  Empty for direct
+    # runner executions — schema-v3 journal fields, additive.
+    lease_id: Optional[str] = None
+    lineage: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -137,6 +142,9 @@ class FailedRun:
     elapsed: float = 0.0
     context: Dict[str, Any] = field(default_factory=dict)
     worker_pid: Optional[int] = None
+    # Lease provenance (repro.service); see CompletedRun.
+    lease_id: Optional[str] = None
+    lineage: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:

@@ -7,23 +7,29 @@ replayed: jobs with a stored ``ok`` record return their deserialised
 result without re-running; failed and quarantined records are retried
 (the supervisor turns quarantined groups into half-open probes).
 
-Line format — schema version 2 (all lines are independent JSON
+Line format — schema version 3 (all lines are independent JSON
 objects)::
 
-    {"schema": 2, "key": "<job key>", "status": "ok", "attempt": 1,
+    {"schema": 3, "key": "<job key>", "status": "ok", "attempt": 1,
      "elapsed_seconds": 1.2, "worker_pid": 4242,
+     "lease_id": "L2-7", "lineage": [{"event": "grant", ...}, ...],
      "result": {<SimResult.to_dict()>}}
-    {"schema": 2, "key": "<job key>", "status": "failed",
+    {"schema": 3, "key": "<job key>", "status": "failed",
      "kind": "timeout", "error_type": "JobTimeout", "message": "...",
      "attempt": 2, "elapsed_seconds": 30.1, "worker_pid": 4243,
      "context": {"trace": "...", "prefetcher": "..."}}
-    {"schema": 2, "key": "<job key>", "status": "quarantined",
+    {"schema": 3, "key": "<job key>", "status": "quarantined",
      "group": "<trace>|<prefetcher>", "failures": 3, "message": "..."}
 
-Version-1 journals (no ``schema`` field; ``attempts`` / ``elapsed``
-instead of ``attempt`` / ``elapsed_seconds``; no ``worker_pid``) are
-still read: missing fields default, so pre-supervisor campaigns resume
-unchanged.
+Version 3 is purely *additive* over version 2: ``lease_id`` and
+``lineage`` record which campaign-service lease (:mod:`repro.service`)
+produced the outcome and its grant/renew/expiry history; both are
+omitted for direct runner executions, so v2-shaped lines keep being
+written where no lease was involved and v2 journals replay byte-for-
+byte unchanged.  Version-1 journals (no ``schema`` field;
+``attempts`` / ``elapsed`` instead of ``attempt`` /
+``elapsed_seconds``; no ``worker_pid``) are also still read: missing
+fields default, so pre-supervisor campaigns resume unchanged.
 
 The *last* record for a key wins, so re-runs simply append.  Truncated
 or corrupt lines (a worker killed mid-write) are skipped, not fatal.
@@ -42,7 +48,7 @@ from repro.runner.jobs import CompletedRun, QuarantinedRun, RunOutcome
 from repro.simulator.stats import SimResult
 
 #: Bumped when the record shape changes; readers accept all versions.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class Journal:
@@ -147,7 +153,7 @@ class Journal:
             }
         if outcome.ok:
             result = outcome.result
-            return {
+            rec = {
                 "schema": SCHEMA_VERSION,
                 "key": outcome.key,
                 "status": "ok",
@@ -157,18 +163,27 @@ class Journal:
                 "result": result.to_dict()
                 if isinstance(result, SimResult) else result,
             }
-        return {
-            "schema": SCHEMA_VERSION,
-            "key": outcome.key,
-            "status": "failed",
-            "kind": outcome.kind,
-            "error_type": outcome.error_type,
-            "message": outcome.message,
-            "attempt": outcome.attempts,
-            "elapsed_seconds": round(outcome.elapsed, 4),
-            "worker_pid": outcome.worker_pid,
-            "context": outcome.context,
-        }
+        else:
+            rec = {
+                "schema": SCHEMA_VERSION,
+                "key": outcome.key,
+                "status": "failed",
+                "kind": outcome.kind,
+                "error_type": outcome.error_type,
+                "message": outcome.message,
+                "attempt": outcome.attempts,
+                "elapsed_seconds": round(outcome.elapsed, 4),
+                "worker_pid": outcome.worker_pid,
+                "context": outcome.context,
+            }
+        # v3 additive lease provenance: only written when a campaign-
+        # service lease actually produced the outcome, so direct-runner
+        # journals keep their v2 line shape.
+        if getattr(outcome, "lease_id", None):
+            rec["lease_id"] = outcome.lease_id
+        if getattr(outcome, "lineage", None):
+            rec["lineage"] = outcome.lineage
+        return rec
 
     @staticmethod
     def _attempts(rec: dict) -> int:
@@ -182,8 +197,9 @@ class Journal:
     def decode_completed(rec: dict) -> Optional[CompletedRun]:
         """Rebuild a :class:`CompletedRun` from an ``ok`` journal record.
 
-        Handles both schema versions: v1 records use ``attempts`` /
-        ``elapsed`` and carry no ``worker_pid``; the fields default.
+        Handles every schema version: v1 records use ``attempts`` /
+        ``elapsed`` and carry no ``worker_pid``; v2 records carry no
+        lease provenance.  All missing fields default.
         """
         if rec.get("status") != "ok":
             return None
@@ -197,6 +213,8 @@ class Journal:
             elapsed=Journal._elapsed(rec),
             from_journal=True,
             worker_pid=rec.get("worker_pid"),
+            lease_id=rec.get("lease_id"),
+            lineage=rec.get("lineage") or [],
         )
 
     @staticmethod

@@ -185,6 +185,10 @@ class CampaignSupervisor(ExperimentRunner):
         self._trace_est: Dict[str, float] = {}  # elapsed-seconds EMA
         self._events: List[dict] = []
         self._recorded: List[Tuple[str, str, str]] = []  # (key, status, kind)
+        # Half-open probe audit trail: one entry per breaker release
+        # (probe admitted), updated in place with the probe's verdict.
+        # Lands in the manifest as ``quarantine_probes``.
+        self._probe_history: List[dict] = []
         # Campaign throughput: records simulated by fresh (non-replayed)
         # completions, the worker-seconds they took, and the campaign
         # wall clock — the manifest's aggregate records/sec.
@@ -269,7 +273,13 @@ class CampaignSupervisor(ExperimentRunner):
                 # Half-open: admit exactly one probe for this group.
                 breaker.state = "probing"
                 breaker.probing_key = job.key
-                self._event("breaker-probe", group=group, key=job.key)
+                released_at = round(self._now(), 3)
+                self._probe_history.append({
+                    "group": group, "key": job.key,
+                    "released_at": released_at, "outcome": "pending",
+                })
+                self._event("breaker-probe", group=group, key=job.key,
+                            released_at=released_at)
             elif (breaker.state == "probing"
                     and breaker.probing_key != job.key):
                 return job, DEFER  # wait for the probe's verdict
@@ -529,6 +539,8 @@ class CampaignSupervisor(ExperimentRunner):
         breaker = self._breakers.get(group)
         if outcome.ok:
             if breaker is not None:
+                if breaker.state == "probing":
+                    self._probe_verdict(group, outcome.key, "closed")
                 if breaker.state != "closed":
                     self._event("breaker-close", group=group)
                 breaker.state = "closed"
@@ -542,6 +554,7 @@ class CampaignSupervisor(ExperimentRunner):
             breaker.state = "open"
             breaker.probing_key = None
             breaker.probe_spent = True
+            self._probe_verdict(group, outcome.key, "reopened")
             self._event("breaker-reopen", group=group,
                         strikes=breaker.strikes)
         elif (breaker.state == "closed"
@@ -554,6 +567,17 @@ class CampaignSupervisor(ExperimentRunner):
                 print(f"[supervisor] quarantining {group} after "
                       f"{breaker.strikes} consecutive failures",
                       file=sys.stderr)
+
+    def _probe_verdict(self, group: str, key: str, outcome: str) -> None:
+        """Stamp a half-open probe's result into the audit trail."""
+        for entry in reversed(self._probe_history):
+            if (entry["group"] == group and entry["key"] == key
+                    and entry["outcome"] == "pending"):
+                entry["outcome"] = outcome
+                entry["resolved_at"] = round(self._now(), 3)
+                break
+        self._event("breaker-probe-result", group=group, key=key,
+                    outcome=outcome)
 
     # ------------------------------------------------------------------
     # Graceful shutdown
@@ -653,6 +677,11 @@ class CampaignSupervisor(ExperimentRunner):
                 group for group, b in self._breakers.items()
                 if b.state in ("open", "probing")
             ),
+            # Every half-open release this run: when the probe was let
+            # through (released_at, monotonic) and how it ended
+            # ("closed", "reopened", or "pending" if the campaign was
+            # drained before the probe's verdict landed).
+            "quarantine_probes": self._probe_history,
             "workers": self.config.workers,
             "workers_target_final": self._workers_target,
             "journal": (str(self._journal.path)

@@ -1,0 +1,197 @@
+"""Retrying HTTP client for the campaign service.
+
+`repro submit/poll/fetch` go through :class:`ServiceClient`, which
+wraps stdlib ``http.client`` with the retry discipline the chaos
+harness exercises:
+
+* **bounded attempts** — a hard cap, never an infinite loop;
+* **exponential backoff with jitter** — base * 2^attempt, with a
+  deterministic seeded jitter so two clients racing a recovering daemon
+  do not retry in lockstep (and so chaos runs replay identically);
+* **Retry-After wins** — a 429/503 carrying the header sleeps exactly
+  what the daemon asked for instead of guessing;
+* **retry only what is safe** — connection errors and 5xx/429 retry;
+  4xx application errors (bad submission, unknown campaign) surface
+  immediately as typed :class:`~repro.errors.ServiceError`.
+
+Submission is idempotent server-side (content-hash keyed), so retrying
+a POST that may or may not have landed is safe by construction — the
+worst case is the same campaign id coming back twice.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient", "read_endpoint"]
+
+#: Statuses worth retrying: transient daemon states, not client bugs.
+_RETRYABLE_STATUS = frozenset({429, 500, 502, 503, 504})
+
+
+def read_endpoint(state_dir: Union[str, Path]) -> Tuple[str, int]:
+    """(host, port) from the daemon's ``endpoint.json`` discovery file."""
+    path = Path(state_dir) / "endpoint.json"
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return str(data["host"]), int(data["port"])
+    except FileNotFoundError:
+        raise ServiceError(
+            f"no endpoint.json under {state_dir} — is the daemon running "
+            f"(repro serve --state-dir {state_dir})?", status=503,
+        )
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise ServiceError(
+            f"unreadable endpoint file {path}: {exc}", status=500
+        )
+
+
+class ServiceClient:
+    """JSON-over-HTTP client with bounded retry + backoff + jitter."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retries: int = 5,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        timeout: float = 30.0,
+        jitter_seed: Optional[int] = None,
+        sleep_fn=time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self._rng = random.Random(jitter_seed)
+        self._sleep = sleep_fn
+        self.attempts_made = 0  # across the client's lifetime (observability)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def submit(self, jobs, idempotency_key: str = "") -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"jobs": list(jobs)}
+        if idempotency_key:
+            payload["idempotency_key"] = idempotency_key
+        return self.request("POST", "/v1/campaigns", payload)
+
+    def status(self, cid: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/campaigns/{cid}")
+
+    def results(self, cid: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/campaigns/{cid}/results")
+
+    def cancel(self, cid: str) -> Dict[str, Any]:
+        return self.request("POST", f"/v1/campaigns/{cid}/cancel", {})
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/healthz")
+
+    def poll(self, cid: str, interval: float = 0.2,
+             timeout: float = 300.0) -> Dict[str, Any]:
+        """Block until the campaign resolves; returns the final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(cid)
+            if status.get("state") in ("done", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"campaign {cid} still {status.get('state')!r} after "
+                    f"{timeout:g}s", status=504,
+                )
+            self._sleep(interval)
+
+    # ------------------------------------------------------------------
+    # Transport with retry
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        last_error: Optional[ServiceError] = None
+        for attempt in range(self.retries + 1):
+            self.attempts_made += 1
+            try:
+                status, retry_after, body = self._once(method, path, payload)
+            except (ConnectionError, socket.timeout, socket.gaierror,
+                    http.client.HTTPException, OSError) as exc:
+                last_error = ServiceError(
+                    f"{method} {path} failed: {type(exc).__name__}: {exc}",
+                    status=503,
+                )
+                self._backoff(attempt, None)
+                continue
+            if status < 400:
+                return body
+            message = (body.get("message")
+                       if isinstance(body, dict) else None) or (
+                f"{method} {path} returned HTTP {status}")
+            error = ServiceError(message, status=status,
+                                 retry_after=retry_after)
+            if status not in _RETRYABLE_STATUS:
+                raise error  # an application error; retrying cannot help
+            last_error = error
+            self._backoff(attempt, retry_after)
+        raise ServiceError(
+            f"{method} {path} still failing after "
+            f"{self.retries + 1} attempts: {last_error}",
+            status=last_error.status if last_error else 503,
+            retry_after=last_error.retry_after if last_error else None,
+        )
+
+    def _once(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]]):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers = {"Content-Type": "application/json",
+                           "Content-Length": str(len(body))}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            retry_after = _parse_retry_after(
+                response.getheader("Retry-After"))
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                decoded = {"message": raw[:200].decode("utf-8", "replace")}
+            return response.status, retry_after, decoded
+        finally:
+            conn.close()
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> None:
+        if attempt >= self.retries:
+            return  # out of attempts: no point sleeping before the raise
+        if retry_after is not None:
+            delay = retry_after
+        else:
+            delay = min(self.backoff_cap,
+                        self.backoff_base * (2 ** attempt))
+            delay *= 0.5 + self._rng.random()  # jitter in [0.5x, 1.5x)
+        self._sleep(delay)
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None

@@ -1,0 +1,194 @@
+"""Time-bounded job leases: ownership that survives worker death.
+
+A job is never "given" to a worker — the worker *leases* it.  The lease
+carries an expiry; the daemon's lease monitor renews it whenever the
+worker's heartbeat file (the same channel the campaign supervisor
+polls, :mod:`repro.runner.resources`) shows fresh progress.  A lease
+whose expiry passes without progress is *expired*: the job is requeued
+**exactly once per expiry** with the next attempt number, and the full
+attempt lineage (grant → renew high-water → expiry reason) is recorded
+so no result can be silently lost or double-counted.
+
+Leases also carry the daemon **epoch** (one per process start).  After
+a SIGKILL every lease of the dead epoch is provably orphaned — the
+threads holding them died with the process — so replay expires them
+immediately instead of waiting out the clock.
+
+A late result from an expired lease is *not* discarded blindly: the
+first result recorded for a job wins (simulation is deterministic, so
+whichever attempt lands first is the same bytes), and every later
+completion is dropped with a ``late-result`` lineage entry — never a
+duplicate record.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import LeaseExpired
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass
+class Lease:
+    """One worker's bounded ownership of one job attempt."""
+
+    lease_id: str
+    job_key: str
+    attempt: int
+    epoch: int
+    granted_at: float           # daemon monotonic clock
+    expires_at: float
+    heartbeat_path: Optional[str] = None
+    last_seq: Optional[int] = None  # heartbeat sequence high-water mark
+    renewals: int = 0
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "lease_id": self.lease_id,
+            "attempt": self.attempt,
+            "epoch": self.epoch,
+            "renewals": self.renewals,
+        }
+
+
+@dataclass
+class _JobLineage:
+    """Attempt history for one job key (grants, expiries, outcomes)."""
+
+    events: List[Dict[str, object]] = field(default_factory=list)
+    expiries: int = 0
+    completed: bool = False
+
+
+class LeaseTable:
+    """All live leases plus per-job attempt lineage.
+
+    Purely in-memory and clock-injected; durability comes from the WAL
+    records the daemon writes around each transition.  ``max_requeues``
+    bounds how many times expiry may resurrect one job — beyond it the
+    job fails with a typed :class:`~repro.errors.LeaseExpired` instead
+    of looping forever on a host that kills every worker.
+    """
+
+    def __init__(self, duration: float, epoch: int = 1,
+                 max_requeues: int = 1) -> None:
+        if duration <= 0:
+            raise ValueError(f"lease duration must be positive: {duration}")
+        self.duration = duration
+        self.epoch = epoch
+        self.max_requeues = max_requeues
+        self._live: Dict[str, Lease] = {}        # lease_id -> Lease
+        self._by_job: Dict[str, str] = {}        # job_key -> lease_id
+        self._lineage: Dict[str, _JobLineage] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+
+    def grant(self, job_key: str, attempt: int, now: float,
+              heartbeat_path: Optional[str] = None) -> Lease:
+        """Lease ``job_key`` to a worker; one live lease per job."""
+        if job_key in self._by_job:
+            raise LeaseExpired(
+                f"job {job_key!r} already holds lease "
+                f"{self._by_job[job_key]}; grant refused", status=409,
+            )
+        lease = Lease(
+            lease_id=f"L{self.epoch}-{next(self._ids)}",
+            job_key=job_key, attempt=attempt, epoch=self.epoch,
+            granted_at=now, expires_at=now + self.duration,
+            heartbeat_path=heartbeat_path,
+        )
+        self._live[lease.lease_id] = lease
+        self._by_job[job_key] = lease.lease_id
+        self._event(job_key, "grant", lease_id=lease.lease_id,
+                    attempt=attempt, epoch=self.epoch)
+        return lease
+
+    def renew(self, lease_id: str, now: float,
+              seq: Optional[int] = None) -> None:
+        """Observed progress: push the expiry out one full duration."""
+        lease = self._live.get(lease_id)
+        if lease is None:
+            return  # already expired/released; the late worker is on its own
+        lease.expires_at = now + self.duration
+        lease.renewals += 1
+        if seq is not None:
+            lease.last_seq = seq
+        self._event(lease.job_key, "renew", lease_id=lease_id,
+                    renewals=lease.renewals)
+
+    def release(self, lease_id: str, outcome: str) -> Optional[Lease]:
+        """The worker finished (ok/failed): drop the lease.
+
+        Returns the lease, or ``None`` when it had already expired — the
+        caller uses that to route a late result through the
+        first-wins/drop-late path instead of recording it twice.
+        """
+        lease = self._live.pop(lease_id, None)
+        if lease is None:
+            return None
+        self._by_job.pop(lease.job_key, None)
+        self._event(lease.job_key, outcome, lease_id=lease_id)
+        if outcome == "ok":
+            self._lineage[lease.job_key].completed = True
+        return lease
+
+    def expire(self, now: float) -> List[Lease]:
+        """Collect and drop every lease past its expiry (or from a dead
+        epoch); each expiry is recorded in the job's lineage exactly
+        once, which is what makes the requeue exactly-once."""
+        dead = [
+            lease for lease in self._live.values()
+            if lease.expires_at <= now or lease.epoch != self.epoch
+        ]
+        for lease in dead:
+            self._live.pop(lease.lease_id, None)
+            self._by_job.pop(lease.job_key, None)
+            line = self._lineage_for(lease.job_key)
+            line.expiries += 1
+            reason = ("daemon epoch lost" if lease.epoch != self.epoch
+                      else "no heartbeat before expiry")
+            self._event(lease.job_key, "expired", lease_id=lease.lease_id,
+                        attempt=lease.attempt, reason=reason)
+        return dead
+
+    def may_requeue(self, job_key: str) -> bool:
+        """Whether this expiry may resurrect the job one more time."""
+        line = self._lineage_for(job_key)
+        return not line.completed and line.expiries <= self.max_requeues
+
+    def record_late_result(self, job_key: str, lease_id: str) -> None:
+        self._event(job_key, "late-result", lease_id=lease_id)
+
+    # ------------------------------------------------------------------
+
+    def lease_for(self, job_key: str) -> Optional[Lease]:
+        lease_id = self._by_job.get(job_key)
+        return self._live.get(lease_id) if lease_id else None
+
+    def live(self) -> List[Lease]:
+        return list(self._live.values())
+
+    def lineage(self, job_key: str) -> List[Dict[str, object]]:
+        return list(self._lineage_for(job_key).events)
+
+    def expiry_error(self, job_key: str) -> LeaseExpired:
+        line = self._lineage_for(job_key)
+        return LeaseExpired(
+            f"job {job_key!r} lost {line.expiries} leases (requeue budget "
+            f"{self.max_requeues}); giving up", field="lease",
+        )
+
+    # ------------------------------------------------------------------
+
+    def _lineage_for(self, job_key: str) -> _JobLineage:
+        return self._lineage.setdefault(job_key, _JobLineage())
+
+    def _event(self, job_key: str, kind: str, **details) -> None:
+        event: Dict[str, object] = {"event": kind}
+        event.update(details)
+        self._lineage_for(job_key).events.append(event)

@@ -13,7 +13,9 @@ import pytest
 from repro.errors import ConfigError
 from repro.runner import (
     CallableJob,
+    CompletedRun,
     ExperimentRunner,
+    FailedRun,
     FaultSpec,
     JobSpec,
     Journal,
@@ -304,10 +306,10 @@ class TestJournalDurability:
 
 
 class TestJournalSchemaV2:
-    """PR 4: records carry schema 2 with attempt / elapsed_seconds /
-    worker_pid; version-1 journals still resume (fields default)."""
+    """PR 4: records carry attempt / elapsed_seconds / worker_pid;
+    version-1 journals still resume (fields default)."""
 
-    def test_new_records_carry_schema_2_fields(self, tmp_path):
+    def test_new_records_carry_v2_fields(self, tmp_path):
         import os
 
         journal = tmp_path / "suite.jsonl"
@@ -317,7 +319,7 @@ class TestJournalSchemaV2:
         ).run(jobs)
         [rec] = [json.loads(line)
                  for line in journal.read_text().splitlines()]
-        assert rec["schema"] == 2
+        assert rec["schema"] >= 2   # v3 keeps every v2 field
         assert rec["attempt"] == 1
         assert rec["elapsed_seconds"] > 0
         assert rec["worker_pid"] == os.getpid()  # inline = this process
@@ -390,3 +392,104 @@ class TestSuiteHelpers:
         ]
         suite = ExperimentRunner(RunnerConfig(workers=0, retries=0)).run(jobs)
         assert suite.banner() == "1/2 jobs completed (1 crash)"
+
+
+class TestJournalSchemaV3:
+    """PR 6: schema 3 adds *optional* lease provenance (``lease_id``,
+    ``lineage``) for campaign-service executions.  Direct runs keep
+    writing v2-shaped lines, and v1/v2 journals still replay."""
+
+    def test_direct_runs_keep_the_v2_line_shape(self, tmp_path):
+        journal = tmp_path / "suite.jsonl"
+        jobs = make_jobs(traces=(TRACE,), prefetchers=("ip_stride",))
+        ExperimentRunner(
+            RunnerConfig(workers=0, journal_path=journal)
+        ).run(jobs)
+        [rec] = [json.loads(line)
+                 for line in journal.read_text().splitlines()]
+        assert rec["schema"] == 3
+        # No lease was involved: the provenance fields must be absent,
+        # not null — the line shape is exactly what v2 wrote.
+        assert "lease_id" not in rec
+        assert "lineage" not in rec
+
+    def test_lease_provenance_roundtrips(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        lineage = [{"event": "grant", "lease_id": "L1-1", "attempt": 1},
+                   {"event": "ok", "lease_id": "L1-1"}]
+        journal.append(CompletedRun(key="k", result={"cycles": 1},
+                                    lease_id="L1-1", lineage=lineage))
+        rec = journal.load()["k"]
+        assert rec["schema"] == 3
+        assert rec["lease_id"] == "L1-1"
+        assert rec["lineage"] == lineage
+        done = Journal.decode_completed(rec)
+        assert done.from_journal
+        assert done.lease_id == "L1-1"
+        assert done.lineage == lineage
+
+    def test_failed_run_provenance_is_encoded_too(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(FailedRun(
+            key="k", kind="timeout", error_type="LeaseExpired",
+            message="lease lost", lease_id="L2-3",
+            lineage=[{"event": "expired", "lease_id": "L2-3"}],
+        ))
+        rec = journal.load()["k"]
+        assert rec["status"] == "failed"
+        assert rec["lease_id"] == "L2-3"
+        assert rec["lineage"] == [{"event": "expired", "lease_id": "L2-3"}]
+
+    def test_v2_journal_resumes_with_default_provenance(self, tmp_path):
+        jobs = make_jobs(traces=(TRACE,), prefetchers=("ip_stride",))
+        reference = ExperimentRunner(RunnerConfig(workers=0)).run(jobs)
+        v2 = {
+            "schema": 2, "key": jobs[0].key, "status": "ok",
+            "attempt": 2, "elapsed_seconds": 0.5, "worker_pid": 77,
+            "result": reference.completed[0].result.to_dict(),
+        }
+        journal = tmp_path / "suite.jsonl"
+        journal.write_text(json.dumps(v2) + "\n")
+        resumed = ExperimentRunner(
+            RunnerConfig(workers=0, journal_path=journal, resume=True)
+        ).run(jobs, run_fn=lambda j, a: pytest.fail("must replay, not run"))
+        [done] = resumed.completed
+        assert done.from_journal
+        assert done.attempts == 2 and done.worker_pid == 77
+        assert done.lease_id is None    # absent in v2: defaults
+        assert done.lineage == []
+
+
+class TestJournalTornTail:
+    """A journal truncated at *any* byte of its final record must load
+    cleanly (the intact prefix wins) and heal on the next append."""
+
+    def _journal_bytes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append(CompletedRun(key="a", result={"cycles": 1}))
+        journal.append(CompletedRun(key="b", result={"cycles": 2}))
+        return path, path.read_bytes()
+
+    def test_load_survives_truncation_at_every_offset(self, tmp_path):
+        path, raw = self._journal_bytes(tmp_path)
+        tail_start = raw.rindex(b"\n", 0, len(raw) - 1) + 1
+        for cut in range(tail_start, len(raw)):
+            path.write_bytes(raw[:cut])
+            records = Journal(path).load()
+            if cut == len(raw) - 1:
+                # Only the newline is torn: the record itself is whole.
+                assert set(records) == {"a", "b"}, f"cut at byte {cut}"
+            else:
+                assert set(records) == {"a"}, f"cut at byte {cut}"
+
+    def test_append_after_truncation_heals_the_tail(self, tmp_path):
+        path, raw = self._journal_bytes(tmp_path)
+        path.write_bytes(raw[:-7])  # tear the final record mid-JSON
+        Journal(path).append(CompletedRun(key="c", result={"cycles": 3}))
+        records = Journal(path).load()
+        assert set(records) == {"a", "c"}  # the torn "b" line is skipped
+        # The heal terminated the torn bytes with a newline, so every
+        # subsequent line starts clean and the new record parses.
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[-1])["key"] == "c"

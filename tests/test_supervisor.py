@@ -446,3 +446,85 @@ class TestGracefulShutdown:
         manifest = json.loads(
             (tmp_path / "j.jsonl.manifest.json").read_text())
         assert manifest["hard_killed"] is True
+
+
+# ----------------------------------------------------------------------
+# Half-open probe audit trail + throughput edge cases (PR 6)
+# ----------------------------------------------------------------------
+
+
+class TestProbeAudit:
+    def test_closed_probe_recorded_with_release_and_verdict(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        jobs = make_group_jobs(
+            4, fault=FaultSpec(kind="flaky", fail_attempts=1))
+        CampaignSupervisor(
+            RunnerConfig(workers=1, retries=0, journal_path=journal),
+            fast_sup(quarantine_after=1),
+        ).run(jobs)
+
+        resumed = CampaignSupervisor(
+            RunnerConfig(workers=1, retries=1, backoff_base=0.01,
+                         journal_path=journal, resume=True),
+            fast_sup(quarantine_after=1),
+        )
+        resumed.run(jobs)
+        manifest = json.loads(
+            (tmp_path / "j.jsonl.manifest.json").read_text())
+        [probe] = manifest["quarantine_probes"]
+        assert probe["group"] == f"{TRACE}|none"
+        assert probe["outcome"] == "closed"
+        assert isinstance(probe["released_at"], float)
+        assert probe["resolved_at"] >= probe["released_at"]
+        # The event stream carries the same transition for debugging.
+        kinds = [e["event"] for e in manifest["events"]]
+        assert "breaker-probe" in kinds
+        assert "breaker-probe-result" in kinds
+
+    def test_failed_probe_recorded_as_reopened(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        jobs = make_group_jobs(3, fault=FaultSpec(kind="crash", period=3))
+        CampaignSupervisor(
+            RunnerConfig(workers=1, retries=0, journal_path=journal),
+            fast_sup(quarantine_after=1),
+        ).run(jobs)
+
+        CampaignSupervisor(
+            RunnerConfig(workers=1, retries=0, journal_path=journal,
+                         resume=True),
+            fast_sup(quarantine_after=1),
+        ).run(jobs)
+        manifest = json.loads(
+            (tmp_path / "j.jsonl.manifest.json").read_text())
+        [probe] = manifest["quarantine_probes"]
+        assert probe["outcome"] == "reopened"
+        assert probe["group"] == f"{TRACE}|none"
+
+    def test_runs_without_probes_emit_an_empty_list(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        CampaignSupervisor(
+            RunnerConfig(workers=1, journal_path=journal), fast_sup(),
+        ).run([JobSpec(trace=TRACE, l1d="none", scale=SCALE)])
+        manifest = json.loads(
+            (tmp_path / "j.jsonl.manifest.json").read_text())
+        assert manifest["quarantine_probes"] == []
+
+
+class TestThroughputEdges:
+    def test_zero_wall_time_emits_zero_not_a_crash(self):
+        sup = CampaignSupervisor(RunnerConfig(workers=1), fast_sup())
+        sup._now = lambda: 100.0
+        sup._campaign_started = 100.0   # zero elapsed wall time
+        sup._records_done = 500
+        block = sup._throughput()
+        assert block["campaign_seconds"] == 0.0
+        assert block["records_per_sec"] == 0.0
+        assert block["records_per_sec_busy"] == 0.0
+        assert block["records_simulated"] == 500.0
+
+    def test_unstarted_campaign_reports_zero_wall(self):
+        sup = CampaignSupervisor(RunnerConfig(workers=1), fast_sup())
+        assert sup._campaign_started is None
+        block = sup._throughput()
+        assert block["campaign_seconds"] == 0.0
+        assert block["records_per_sec"] == 0.0

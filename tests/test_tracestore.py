@@ -233,3 +233,67 @@ class TestJournalResume:
             RunnerConfig(workers=0, journal_path=str(journal), resume=True)
         ).run(with_store)
         assert all(o.from_journal for o in resumed.completed)
+
+
+# ----------------------------------------------------------------------
+# Zero-record refusal + content digests (PR 6)
+# ----------------------------------------------------------------------
+
+
+class TestZeroRecordRefusal:
+    """A zero-record store carries no work and is indistinguishable
+    from a conversion that died before writing records: refused at
+    write *and* open time, always with the typed error."""
+
+    def test_write_refuses_an_empty_trace(self, tmp_path):
+        from repro.workloads.synthetic import Trace
+
+        empty = Trace(name="empty", suite="test")
+        with pytest.raises(TraceStoreError, match="0 records"):
+            write_trace_store(empty, tmp_path / "empty.trc")
+        assert not (tmp_path / "empty.trc").exists()
+
+    def test_open_refuses_a_zero_length_file(self, tmp_path):
+        hollow = tmp_path / "hollow.trc"
+        hollow.touch()
+        with pytest.raises(TraceStoreError, match="zero-length"):
+            load_trace_store(hollow)
+
+    def test_open_refuses_a_zero_record_header(self, store, tmp_path):
+        # Forge a store whose header claims 0 records (written before
+        # the write-side guard existed, or truncated by a bad copy).
+        header_fmt = "<8sIIQQ"
+        raw = store.read_bytes()
+        magic, version, meta_len, sentinel, _n = struct.unpack_from(
+            header_fmt, raw)
+        bad = _mutate(store, tmp_path, 0, struct.pack(
+            header_fmt, magic, version, meta_len, sentinel, 0))
+        with pytest.raises(TraceStoreError, match="0 records"):
+            load_trace_store(bad)
+
+
+class TestFileDigest:
+    def test_digest_matches_hashlib(self, tmp_path):
+        import hashlib
+
+        from repro.memory.tracestore import file_digest
+
+        blob = tmp_path / "blob.bin"
+        blob.write_bytes(b"x" * 4096 + b"tail")
+        expected = hashlib.sha256(blob.read_bytes()).hexdigest()
+        assert file_digest(blob) == f"sha256:{expected}"
+        # Chunked streaming reads must not change the digest.
+        assert file_digest(blob, chunk=7) == f"sha256:{expected}"
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        from repro.memory.tracestore import file_digest
+
+        with pytest.raises(TraceStoreError, match="cannot digest"):
+            file_digest(tmp_path / "nope.trc")
+
+    def test_store_info_reports_the_digest(self, store):
+        from repro.memory.tracestore import file_digest
+
+        info = store_info(store)
+        assert info["digest"] == file_digest(store)
+        assert info["digest"].startswith("sha256:")
