@@ -166,7 +166,8 @@ def cmd_run(args) -> int:
                    sanitize_every=args.sanitize_every,
                    snapshot_every=args.snapshot_every,
                    snapshot_dir=args.snapshot_dir,
-                   resume_from=args.resume_from)
+                   resume_from=args.resume_from,
+                   engine=args.engine, chunk_size=args.chunk_size)
     if args.profile is not None:
         from repro.perf.profiling import profile_and_report
 
@@ -210,6 +211,7 @@ def cmd_compare(args) -> int:
     jobs = build_matrix_jobs(
         [args.trace], names, scale=args.scale, mtps=args.mtps,
         faults=_parse_faults(args),
+        engine=args.engine, chunk_size=args.chunk_size,
     )
     jobs = _attach_stores(args, jobs)
     runner = _build_runner(args, len(jobs))
@@ -250,6 +252,7 @@ def cmd_suite(args) -> int:
     jobs = build_matrix_jobs(
         trace_names, names, scale=args.scale, mtps=args.mtps,
         faults=_parse_faults(args),
+        engine=args.engine, chunk_size=args.chunk_size,
     )
     jobs = _attach_stores(args, jobs)
     runner = _build_runner(args, len(jobs))
@@ -279,32 +282,63 @@ def cmd_suite(args) -> int:
 
 
 def cmd_sancheck(args) -> int:
-    """Differential check: optimized engine vs. pure-reference engine."""
+    """Differential checks: reference oracle and/or engine lockstep."""
     from repro.prefetchers.registry import L1D_PREFETCHERS, L2_PREFETCHERS
-    from repro.sanitizer import lockstep_multicore, lockstep_run, quick_trace
+    from repro.sanitizer import (
+        lockstep_engines,
+        lockstep_multicore,
+        lockstep_run,
+        quick_trace,
+    )
 
+    modes = {"classic": ("reference",), "batched": ("engines",),
+             "both": ("reference", "engines")}[args.engine]
+    if args.seed_divergence is not None and "reference" not in modes:
+        print("error: --seed-divergence perturbs the reference oracle; "
+              "use --engine classic or both", file=sys.stderr)
+        return 2
     reports = []
+
+    def check(trace, l1d="none", l2="none"):
+        if "reference" in modes:
+            reports.append(lockstep_run(trace, l1d=l1d, l2=l2))
+            print(reports[-1].describe())
+        if "engines" in modes:
+            reports.append(lockstep_engines(
+                trace, l1d=l1d, l2=l2, chunk_size=args.chunk_size,
+            ))
+            print(reports[-1].describe())
+
     if args.quick:
         trace = quick_trace(args.records)
         for pf in L1D_PREFETCHERS:
-            reports.append(lockstep_run(trace, l1d=pf))
-            print(reports[-1].describe())
+            check(trace, l1d=pf)
         for pf in L2_PREFETCHERS:
             if pf == "none":
                 continue  # covered by the L1D sweep's l2="none"
-            reports.append(lockstep_run(trace, l2=pf))
+            check(trace, l2=pf)
+        if "reference" in modes:
+            # Multicore never engages the batched loop (it demotes to the
+            # per-access path), so there is no engines variant to diff.
+            mix = [quick_trace(args.records // 2, f"mix{i}")
+                   for i in range(2)]
+            reports.append(lockstep_multicore(mix, ["berti", "none"],
+                                              ["none", "spp"]))
             print(reports[-1].describe())
-        mix = [quick_trace(args.records // 2, f"mix{i}") for i in range(2)]
-        reports.append(lockstep_multicore(mix, ["berti", "none"],
-                                          ["none", "spp"]))
-        print(reports[-1].describe())
     else:
         trace = resolve_trace(args.trace, args.scale)
-        reports.append(lockstep_run(
-            trace, l1d=args.l1d, l2=args.l2,
-            seed_divergence=args.seed_divergence,
-        ))
-        print(reports[-1].describe())
+        if "reference" in modes:
+            reports.append(lockstep_run(
+                trace, l1d=args.l1d, l2=args.l2,
+                seed_divergence=args.seed_divergence,
+            ))
+            print(reports[-1].describe())
+        if "engines" in modes:
+            reports.append(lockstep_engines(
+                trace, l1d=args.l1d, l2=args.l2,
+                chunk_size=args.chunk_size,
+            ))
+            print(reports[-1].describe())
     if args.seed_divergence is not None and args.quick:
         trace = quick_trace(args.records)
         reports.append(lockstep_run(
@@ -565,6 +599,19 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
                         "<journal>.manifest.json)")
 
 
+def _add_engine_args(p) -> None:
+    """Simulator inner-loop selection, shared by run/compare/suite."""
+    g = p.add_argument_group("engine (docs/performance.md)")
+    g.add_argument("--engine", default="classic",
+                   choices=["classic", "batched"],
+                   help="simulator inner loop: classic per-record "
+                        "dispatch, or the batched columnar loop "
+                        "(bit-identical, faster on stock configs)")
+    g.add_argument("--chunk-size", type=int, default=0, metavar="N",
+                   help="batched-engine chunk length in records "
+                        "(0 = engine default)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -592,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rows in the --profile hot-function table")
     run.add_argument("--mtps", type=int, default=None,
                      help="DRAM transfer rate (6400/3200/1600)")
+    _add_engine_args(run)
     g = run.add_argument_group("sanitizer / durability (docs/sanitizer.md)")
     g.add_argument("--sanitize", action="store_true",
                    help="run with SimSan runtime invariant checking")
@@ -614,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--baseline", default="ip_stride")
     cmp_.add_argument("--scale", type=float, default=0.5)
     cmp_.add_argument("--mtps", type=int, default=None)
+    _add_engine_args(cmp_)
     _add_runner_args(cmp_)
 
     suite = sub.add_parser("suite", help="geomean speedups over a suite")
@@ -624,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--scale", type=float, default=0.4)
     suite.add_argument("--all-graphs", action="store_true")
     suite.add_argument("--mtps", type=int, default=None)
+    _add_engine_args(suite)
     _add_runner_args(suite)
 
     san = sub.add_parser(
@@ -644,6 +694,16 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="perturb the optimized engine at access N; the "
                           "oracle must localise the divergence to N")
+    san.add_argument("--engine", default="classic",
+                     choices=["classic", "batched", "both"],
+                     help="which differential to run: classic = optimized "
+                          "vs pure-reference oracle; batched = batched vs "
+                          "classic inner loop, digests compared at every "
+                          "chunk boundary and the first divergent access "
+                          "localised; both = everything")
+    san.add_argument("--chunk-size", type=int, default=0, metavar="N",
+                     help="batched-engine chunk length for --engine "
+                          "batched/both (0 = engine default)")
 
     chaos = sub.add_parser(
         "chaos",

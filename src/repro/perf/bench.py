@@ -47,6 +47,8 @@ class BenchCase:
     l1d: str            #: L1D prefetcher registry name
     scale: float = 1.0  #: trace scale passed to the catalog
     cores: int = 1      #: >1 runs the trace on every core of a shared-LLC mix
+    engine: str = "classic"  #: simulator inner loop ("classic"/"batched")
+    chunk_size: int = 0      #: batched-engine chunk length (0 = default)
 
 
 @dataclass
@@ -69,6 +71,8 @@ class BenchResult:
             "l1d": self.case.l1d,
             "scale": self.case.scale,
             "cores": self.case.cores,
+            "engine": self.case.engine,
+            "chunk_size": self.case.chunk_size,
             "records": self.records,
             "repeats": self.repeats,
             "best_seconds": self.best_seconds,
@@ -79,12 +83,15 @@ class BenchResult:
 
 
 def default_cases(scale: float = 1.0) -> List[BenchCase]:
-    """The tier-1 benchmark matrix: three trace families × two engines.
+    """The tier-1 benchmark matrix: trace families × prefetchers × engines.
 
     The ``none`` rows time the demand path alone; the ``berti`` rows add
     the full train/predict/issue machinery.  Both matter: sweeps run
     mostly prefetcher configs, but the demand path is the floor every
-    config pays.
+    config pays.  Every single-core case gets an ``@batched`` twin timing
+    the fused columnar loop (:mod:`repro.simulator.batched`); the
+    multicore cases have no twins because the batched engine demotes to
+    the per-access path there.
     """
     matrix = [
         ("synth", "synth:bench"),
@@ -97,6 +104,10 @@ def default_cases(scale: float = 1.0) -> List[BenchCase]:
         for pf in ("none", "berti"):
             cases.append(
                 BenchCase(name=f"{short}/{pf}", trace=spec, l1d=pf, scale=scale)
+            )
+            cases.append(
+                BenchCase(name=f"{short}/{pf}@batched", trace=spec, l1d=pf,
+                          scale=scale, engine="batched")
             )
     # Shared-LLC/DRAM replay loop with the full Berti machinery on both
     # cores: the configuration parallel campaigns actually sweep, and
@@ -189,14 +200,16 @@ def _time_once(case: BenchCase, trace) -> float:
 
         pf = make_prefetcher(case.l1d)
         t0 = time.perf_counter()
-        simulate(trace, l1d_prefetcher=pf)
+        simulate(trace, l1d_prefetcher=pf, engine=case.engine,
+                 chunk_size=case.chunk_size)
         return time.perf_counter() - t0
     from repro.simulator.multicore import simulate_multicore
 
     l1ds = [make_prefetcher(case.l1d) for _ in range(case.cores)]
     l2s = [make_prefetcher("none") for _ in range(case.cores)]
     t0 = time.perf_counter()
-    simulate_multicore([trace] * case.cores, l1ds, l2s)
+    simulate_multicore([trace] * case.cores, l1ds, l2s,
+                       engine=case.engine, chunk_size=case.chunk_size)
     return time.perf_counter() - t0
 
 

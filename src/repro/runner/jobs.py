@@ -64,6 +64,13 @@ class JobSpec:
     # fields above, they are excluded from `key`.
     heartbeat_path: Optional[str] = None
     heartbeat_every: int = 0
+    # Simulator inner loop (repro.simulator.batched).  The batched engine
+    # is bit-identical to the classic one (that is its contract, enforced
+    # by `repro sancheck --engine`), so like the knobs above it is a
+    # performance detail excluded from `key`: results cached under one
+    # engine are valid under the other.
+    engine: str = "classic"
+    chunk_size: int = 0
 
     @property
     def key(self) -> str:

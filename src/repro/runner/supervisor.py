@@ -52,7 +52,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError, HeartbeatTimeout, ResourceError
 from repro.runner.executor import DEFER, ExperimentRunner, RunnerConfig
@@ -194,6 +194,11 @@ class CampaignSupervisor(ExperimentRunner):
         # wall clock — the manifest's aggregate records/sec.
         self._records_done = 0
         self._busy_seconds = 0.0
+        # Per-engine record counts of fresh completions, plus the chunk
+        # sizes seen on batched jobs — the manifest's throughput block
+        # names which inner loop produced the campaign's records/sec.
+        self._engine_records: Dict[str, int] = {}
+        self._chunk_sizes: set = set()
         self._campaign_started: Optional[float] = None
         self._drain = False
         self._hard_killed = False
@@ -367,6 +372,14 @@ class CampaignSupervisor(ExperimentRunner):
                 if records:
                     self._records_done += int(records)
                     self._busy_seconds += outcome.elapsed
+                    engine = getattr(job, "engine", "classic")
+                    self._engine_records[engine] = (
+                        self._engine_records.get(engine, 0) + int(records)
+                    )
+                    if engine == "batched":
+                        self._chunk_sizes.add(
+                            getattr(job, "chunk_size", 0) or 0
+                        )
         if outcome.ok and isinstance(job, JobSpec):
             prev = self._trace_est.get(job.trace)
             self._trace_est[job.trace] = (
@@ -632,7 +645,7 @@ class CampaignSupervisor(ExperimentRunner):
             )
         return None
 
-    def _throughput(self) -> Dict[str, float]:
+    def _throughput(self) -> Dict[str, Any]:
         """Campaign-level records/sec: the manifest's headline metric.
 
         ``records_per_sec`` divides records by campaign wall time (what
@@ -641,6 +654,9 @@ class CampaignSupervisor(ExperimentRunner):
         worker seconds (per-worker simulation speed, the number to
         compare against ``BENCH_simcore.json``).  Journal-replayed jobs
         contribute to neither: they did no simulation this run.
+        ``engines`` breaks the record count down by the simulator inner
+        loop that produced it; ``chunk_sizes`` lists the chunk lengths
+        batched jobs ran with (0 = engine default).
         """
         wall = 0.0
         if self._campaign_started is not None:
@@ -656,6 +672,8 @@ class CampaignSupervisor(ExperimentRunner):
                 round(self._records_done / self._busy_seconds, 1)
                 if self._busy_seconds > 0 else 0.0
             ),
+            "engines": dict(sorted(self._engine_records.items())),
+            "chunk_sizes": sorted(self._chunk_sizes),
         }
 
     def _write_manifest(self) -> None:

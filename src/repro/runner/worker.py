@@ -118,6 +118,8 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
                     SanitizerConfig(check_every=spec.sanitize_every)
                     if spec.sanitize else None
                 ),
+                engine=spec.engine,
+                chunk_size=spec.chunk_size,
             )
         else:
             result = simulate(
@@ -129,6 +131,8 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
                 post_build=post_build,
                 progress=hb.ping if hb is not None else None,
                 progress_every=spec.heartbeat_every,
+                engine=spec.engine,
+                chunk_size=spec.chunk_size,
             )
     except ReproError:
         raise

@@ -26,6 +26,7 @@ from repro.sanitizer.invariants import (
 )
 from repro.sanitizer.lockstep import (
     LockstepReport,
+    lockstep_engines,
     lockstep_multicore,
     lockstep_run,
     quick_trace,
@@ -49,6 +50,7 @@ __all__ = [
     "check_hierarchy",
     "sanitizer_post_build",
     "LockstepReport",
+    "lockstep_engines",
     "lockstep_multicore",
     "lockstep_run",
     "quick_trace",

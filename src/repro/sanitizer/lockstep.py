@@ -31,6 +31,7 @@ from repro.cpu.core_model import CoreModel
 from repro.memory.hierarchy import Hierarchy
 from repro.prefetchers.registry import make_prefetcher
 from repro.sanitizer.reference import to_reference
+from repro.simulator.batched import DEFAULT_CHUNK_SIZE, make_batched_runner
 from repro.simulator.config import SystemConfig, default_config
 from repro.simulator.engine import _collect, _Snapshot, build_hierarchy
 from repro.simulator.multicore import simulate_multicore
@@ -52,16 +53,22 @@ class LockstepReport:
     field: Optional[str] = None
     optimized: Any = None
     reference: Any = None
+    #: What was compared: ``"reference"`` pits the optimized hierarchy
+    #: against the pure-virtual-dispatch one; ``"engines"`` pits the
+    #: batched inner loop against the classic one (same hierarchy type).
+    kind: str = "reference"
 
     def describe(self) -> str:
+        a, b = (("batched", "classic") if self.kind == "engines"
+                else ("optimized", "reference"))
         tag = f"{self.trace} l1d={self.l1d} l2={self.l2}"
         if self.ok:
             return (f"OK {tag}: {self.accesses} accesses bit-identical "
-                    f"between optimized and reference engines")
+                    f"between {a} and {b} engines")
         where = ("final result" if self.diverged_at == self.accesses
                  else f"access {self.diverged_at}")
         return (f"DIVERGED {tag} at {where}: {self.field} "
-                f"optimized={self.optimized!r} reference={self.reference!r}")
+                f"{a}={self.optimized!r} {b}={self.reference!r}")
 
 
 class _Side:
@@ -230,6 +237,125 @@ def lockstep_run(
         return report(n, f"result:{key}", a, b)
     return LockstepReport(
         trace=trace.name, l1d=l1d, l2=l2, accesses=n, ok=True,
+    )
+
+
+def lockstep_engines(
+    trace: Trace,
+    l1d: str = "none",
+    l2: str = "none",
+    config: Optional[SystemConfig] = None,
+    warmup_fraction: float = 0.2,
+    prewarm_tlb: bool = True,
+    chunk_size: int = 0,
+    localize: bool = True,
+) -> LockstepReport:
+    """Differential check of the batched engine against the classic one.
+
+    Both sides get independent, identically-seeded hierarchies (stock
+    types, so the batched side is *not* demoted the way the capture
+    wrappers of :func:`lockstep_run` would demote it).  The classic side
+    runs the per-record loop; the batched side runs
+    :func:`~repro.simulator.batched.make_batched_runner` one chunk at a
+    time, and the structural digest plus the core clock are compared at
+    every chunk boundary — the batched loop flushes its span-local state
+    there, so the digests are directly comparable.  On a mismatch with
+    ``localize=True`` the whole run is repeated at ``chunk_size=1``,
+    which pins the divergence to the exact access; the final
+    :class:`~repro.simulator.stats.SimResult` dicts are compared too.
+    """
+    config = config or default_config()
+
+    def build() -> Tuple[Hierarchy, CoreModel]:
+        h = build_hierarchy(config, make_prefetcher(l1d), make_prefetcher(l2))
+        core = CoreModel(config.core)
+        if prewarm_tlb:
+            h.mmu.prewarm(trace.line_addresses())
+        return h, core
+
+    hc, cc = build()
+    hb, cb = build()
+    run_batched = make_batched_runner(trace, hb, cb, chunk_size)
+    cs = chunk_size or DEFAULT_CHUNK_SIZE
+
+    ips, addrs, writes, gaps, deps = trace.columns()
+    demand = hc.demand_access
+    issue = cc.issue_memory
+    advance = cc.advance_nonmem
+
+    def run_classic(lo: int, hi: int) -> None:
+        for ip, vaddr, is_write, gap, dep in zip(
+            ips[lo:hi], addrs[lo:hi], writes[lo:hi], gaps[lo:hi], deps[lo:hi],
+        ):
+            if gap:
+                advance(gap)
+            issue(demand, ip, vaddr, is_write, dep)
+
+    n = len(trace)
+    warmup_end = int(n * warmup_fraction)
+
+    def report(mark: int, field: str, a: Any, b: Any) -> LockstepReport:
+        if localize and cs > 1:
+            # Re-run the whole comparison access-at-a-time: every record
+            # becomes a chunk boundary, so the first differing digest
+            # names the exact access that diverged.
+            return lockstep_engines(
+                trace, l1d, l2, config=config,
+                warmup_fraction=warmup_fraction, prewarm_tlb=prewarm_tlb,
+                chunk_size=1, localize=False,
+            )
+        at = mark - 1 if cs == 1 and mark < n else mark
+        return LockstepReport(
+            trace=trace.name, l1d=l1d, l2=l2, accesses=n, ok=False,
+            diverged_at=at, field=field, optimized=a, reference=b,
+            kind="engines",
+        )
+
+    marks = set(range(cs, n, cs))
+    if warmup_end > 0:
+        marks.add(warmup_end)
+    marks.add(n)
+    start_c = start_b = _Snapshot(0, 0.0)
+    carry_c = carry_b = {"l1d": 0, "l2": 0}
+    i = 0
+    for mark in sorted(marks):
+        run_classic(i, mark)
+        run_batched(i, mark)
+        i = mark
+        if mark == warmup_end and warmup_end > 0:
+            hc.reset_stats()
+            hb.reset_stats()
+            carry_c = hc.prefetched_line_counts()
+            carry_b = hb.prefetched_line_counts()
+            start_c = _Snapshot(*cc.snapshot())
+            start_b = _Snapshot(*cb.snapshot())
+            if carry_c != carry_b:
+                return report(mark, "pf_carryover",
+                              dict(carry_b), dict(carry_c))
+        if (cb.instructions, cb.cycles) != (cc.instructions, cc.cycles):
+            return report(mark, "core_clock",
+                          (cb.instructions, cb.cycles),
+                          (cc.instructions, cc.cycles))
+        d_c = _state_digest(hc)
+        d_b = _state_digest(hb)
+        if d_b != d_c:
+            key, a, b = _first_diff(d_b, d_c)
+            return report(mark, f"state:{key}", a, b)
+
+    def final(h: Hierarchy, core: CoreModel, start, carry) -> Dict[str, Any]:
+        res = _collect(trace, h, core, start)
+        res.extra["pf_carryover_l1d"] = float(carry["l1d"])
+        res.extra["pf_carryover_l2"] = float(carry["l2"])
+        return res.to_dict()
+
+    res_b = final(hb, cb, start_b, carry_b)
+    res_c = final(hc, cc, start_c, carry_c)
+    if res_b != res_c:
+        key, a, b = _first_diff(res_b, res_c)
+        return report(n, f"result:{key}", a, b)
+    return LockstepReport(
+        trace=trace.name, l1d=l1d, l2=l2, accesses=n, ok=True,
+        kind="engines",
     )
 
 

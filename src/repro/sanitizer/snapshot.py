@@ -39,13 +39,25 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.cpu.core_model import CoreModel
-from repro.errors import ConfigError, ReproError, SimulationError, SnapshotError
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    SnapshotError,
+    TraceError,
+)
 from repro.memory.hierarchy import Hierarchy
 from repro.prefetchers.base import Prefetcher
 from repro.sanitizer.config import SanitizerConfig
 from repro.sanitizer.invariants import attach_sanitizer
+from repro.simulator.batched import make_batched_runner
 from repro.simulator.config import SystemConfig, default_config
-from repro.simulator.engine import _collect, _Snapshot, build_hierarchy
+from repro.simulator.engine import (
+    _collect,
+    _Snapshot,
+    build_hierarchy,
+    validate_engine,
+)
 from repro.simulator.stats import SimResult
 from repro.workloads.trace import Trace
 
@@ -238,6 +250,8 @@ def simulate_with_snapshots(
     snapshot_dir: Optional[str] = None,
     resume_from: Optional[str] = None,
     sanitize: Optional[SanitizerConfig] = None,
+    engine: str = "classic",
+    chunk_size: int = 0,
 ) -> SimResult:
     """:func:`~repro.simulator.engine.simulate`, split at checkpoints.
 
@@ -248,6 +262,14 @@ def simulate_with_snapshots(
     ``resume_from`` (a checkpoint file, or a directory whose newest
     checkpoint is used) continues an interrupted run.  ``sanitize``
     attaches the SimSan invariant checker on top.
+
+    ``engine``/``chunk_size`` select the inner loop exactly as in
+    ``simulate``.  Snapshots are taken at record boundaries the batched
+    engine flushes at, so checkpoint files are byte-identical across
+    engines and a run snapshotted under one engine resumes under the
+    other.  (With ``sanitize`` the batched engine demotes itself to the
+    classic per-record loop — the invariant checker wraps the dispatch
+    the fused loop bypasses.)
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
@@ -266,6 +288,14 @@ def simulate_with_snapshots(
         )
     if snapshot_every:
         os.makedirs(snapshot_dir, exist_ok=True)
+    validate_engine(engine, chunk_size, trace.name)
+    if len(trace) == 0:
+        # Same typed error as the engine: an empty trace used to slip
+        # past the n > 0 warmup guard and return all-zero statistics.
+        raise TraceError(
+            f"trace {trace.name!r} has no records",
+            trace=trace.name,
+        )
     config = config or default_config()
     n = len(trace)
 
@@ -309,7 +339,7 @@ def simulate_with_snapshots(
         warmup_end = int(n * warmup_fraction)
         carryover = {"l1d": 0, "l2": 0}
         start = None
-    if warmup_end >= n and n > 0:
+    if warmup_end >= n:
         raise ConfigError(
             "warmup_fraction leaves no measured records",
             trace=trace.name,
@@ -326,36 +356,42 @@ def simulate_with_snapshots(
             sanitize.check_every - next_index % sanitize.check_every
         )
 
-    demand = hierarchy.demand_access
-    issue = core.issue_memory
-    advance = core.advance_nonmem
-    ips, addrs, writes, gaps, deps = trace.columns()
-    l1d_stats = hierarchy.l1d.stats
+    if engine == "batched":
+        # The runner revalidates eligibility per span, so the sanitizer
+        # wrapper installed above demotes it to the classic loop.
+        _run_span = make_batched_runner(trace, hierarchy, core, chunk_size)
+    else:
+        demand = hierarchy.demand_access
+        issue = core.issue_memory
+        advance = core.advance_nonmem
+        ips, addrs, writes, gaps, deps = trace.columns()
+        l1d_stats = hierarchy.l1d.stats
 
-    def _run_span(lo: int, hi: int) -> None:
-        # Identical inner loop to the engine's _run_span: sub-spans of
-        # the same zip iteration are bit-identical to one long span.
-        base = l1d_stats.demand_accesses
-        try:
-            for ip, vaddr, is_write, gap, dep in zip(
-                ips[lo:hi], addrs[lo:hi], writes[lo:hi], gaps[lo:hi],
-                deps[lo:hi],
-            ):
-                if gap:
-                    advance(gap)
-                issue(demand, ip, vaddr, is_write, dep)
-        except ReproError:
-            raise
-        except Exception as exc:
-            done = l1d_stats.demand_accesses - base
-            raise SimulationError(
-                f"simulation crashed at record ~{lo + done} "
-                f"({done} accesses into span [{lo}, {hi})): "
-                f"{type(exc).__name__}: {exc}",
-                trace=trace.name,
-                prefetcher=hierarchy.l1d_prefetcher.name,
-                field="record_index",
-            ) from exc
+        def _run_span(lo: int, hi: int) -> None:
+            # Identical inner loop to the engine's _run_span: sub-spans
+            # of the same zip iteration are bit-identical to one long
+            # span.
+            base = l1d_stats.demand_accesses
+            try:
+                for ip, vaddr, is_write, gap, dep in zip(
+                    ips[lo:hi], addrs[lo:hi], writes[lo:hi], gaps[lo:hi],
+                    deps[lo:hi],
+                ):
+                    if gap:
+                        advance(gap)
+                    issue(demand, ip, vaddr, is_write, dep)
+            except ReproError:
+                raise
+            except Exception as exc:
+                done = l1d_stats.demand_accesses - base
+                raise SimulationError(
+                    f"simulation crashed at record ~{lo + done} "
+                    f"({done} accesses into span [{lo}, {hi})): "
+                    f"{type(exc).__name__}: {exc}",
+                    trace=trace.name,
+                    prefetcher=hierarchy.l1d_prefetcher.name,
+                    field="record_index",
+                ) from exc
 
     def _boundaries():
         """Record indexes where the loop must pause, in order."""
@@ -393,7 +429,7 @@ def simulate_with_snapshots(
                 trace,
             )
 
-    if start is None:  # resumed run that never hit the boundary (n == 0)
+    if start is None:  # defensive: every path above sets it
         start = _Snapshot(0, 0.0)
     res = _collect(trace, hierarchy, core, start)
     res.extra["pf_carryover_l1d"] = float(carryover["l1d"])

@@ -14,14 +14,35 @@ from typing import Callable, Optional
 
 from repro.cpu.core_model import CoreModel
 from repro.cpu.mmu import MMU
-from repro.errors import ConfigError, ReproError, SimulationError
+from repro.errors import ConfigError, ReproError, SimulationError, TraceError
 from repro.memory.cache import Cache
 from repro.memory.dram import DRAM
 from repro.memory.hierarchy import Hierarchy
 from repro.prefetchers.base import NoPrefetcher, Prefetcher
+from repro.simulator.batched import DEFAULT_CHUNK_SIZE, make_batched_runner
 from repro.simulator.config import SystemConfig, default_config
 from repro.simulator.stats import PrefetchSummary, SimResult
 from repro.workloads.trace import Trace
+
+#: Engines selectable via ``simulate(..., engine=...)`` and ``--engine``.
+ENGINES = ("classic", "batched")
+
+
+def validate_engine(engine: str, chunk_size: int, trace_name: str) -> None:
+    """Reject unknown engines / degenerate chunk sizes with field context."""
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"unknown engine {engine!r} (expected one of {', '.join(ENGINES)})",
+            trace=trace_name,
+            field="engine",
+        )
+    if chunk_size < 0:
+        raise ConfigError(
+            f"chunk_size must be >= 0 (0 selects the default "
+            f"{DEFAULT_CHUNK_SIZE}), got {chunk_size}",
+            trace=trace_name,
+            field="chunk_size",
+        )
 
 
 def build_hierarchy(
@@ -147,6 +168,8 @@ def simulate(
     post_build: Optional[Callable[[Hierarchy], None]] = None,
     progress: Optional[Callable[[int], None]] = None,
     progress_every: int = 0,
+    engine: str = "classic",
+    chunk_size: int = 0,
 ) -> SimResult:
     """Run one trace on one core and return its measured statistics.
 
@@ -163,12 +186,27 @@ def simulate(
     It only splits the record spans at chunk boundaries (the same split
     the snapshot machinery relies on), so results are bit-identical and
     the default path (``progress=None``) is untouched.
+    ``engine`` selects the inner loop: ``"classic"`` is the per-record
+    virtual-dispatch loop, ``"batched"`` the fused columnar loop of
+    :mod:`repro.simulator.batched` (bit-identical; demotes itself to the
+    classic loop when instrumentation or subclassed structures are
+    present).  ``chunk_size`` sets the batched engine's chunk length
+    (0 → ``DEFAULT_CHUNK_SIZE``); the classic engine ignores it.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}",
             trace=trace.name,
             field="warmup_fraction",
+        )
+    validate_engine(engine, chunk_size, trace.name)
+    if len(trace) == 0:
+        # An empty trace used to fall through the warmup validation
+        # (guarded by n > 0) and silently return all-zero statistics;
+        # surface it as the malformed-input error it is.
+        raise TraceError(
+            f"trace {trace.name!r} has no records",
+            trace=trace.name,
         )
     config = config or default_config()
     hierarchy = build_hierarchy(config, l1d_prefetcher, l2_prefetcher)
@@ -180,7 +218,7 @@ def simulate(
     if prewarm_tlb:
         hierarchy.mmu.prewarm(trace.line_addresses())
     warmup_end = int(n * warmup_fraction)
-    if warmup_end >= n and n > 0:
+    if warmup_end >= n:
         raise ConfigError(
             "warmup_fraction leaves no measured records",
             trace=trace.name,
@@ -188,44 +226,48 @@ def simulate(
         )
     carryover = {"l1d": 0, "l2": 0}
 
-    # Hot loop: columnar iteration over the trace's arrays, with the
-    # demand callback hoisted once (no closure allocation per record).
-    # The warmup → measurement boundary splits the loop in two so the
-    # measured span carries no per-record boundary check.
-    demand = hierarchy.demand_access
-    issue = core.issue_memory
-    advance = core.advance_nonmem
-    ips, addrs, writes, gaps, deps = trace.columns()
+    if engine == "batched":
+        _run_span = make_batched_runner(trace, hierarchy, core, chunk_size)
+    else:
+        # Hot loop: columnar iteration over the trace's arrays, with the
+        # demand callback hoisted once (no closure allocation per record).
+        # The warmup → measurement boundary splits the loop in two so the
+        # measured span carries no per-record boundary check.
+        demand = hierarchy.demand_access
+        issue = core.issue_memory
+        advance = core.advance_nonmem
+        ips, addrs, writes, gaps, deps = trace.columns()
 
-    l1d_stats = hierarchy.l1d.stats
+        l1d_stats = hierarchy.l1d.stats
 
-    def _run_span(lo: int, hi: int) -> None:
-        # The try/except is zero-cost on the no-raise path (Python 3.11+)
-        # and turns any internal failure into a typed SimulationError that
-        # names the record the run died on.  The index is recovered from
-        # the demand-access counter (one increment per record) rather than
-        # a per-record loop counter, so the hot loop is untouched.
-        base = l1d_stats.demand_accesses
-        try:
-            for ip, vaddr, is_write, gap, dep in zip(
-                ips[lo:hi], addrs[lo:hi], writes[lo:hi], gaps[lo:hi],
-                deps[lo:hi],
-            ):
-                if gap:
-                    advance(gap)
-                issue(demand, ip, vaddr, is_write, dep)
-        except ReproError:
-            raise  # already typed (incl. SanitizerError with exact index)
-        except Exception as exc:
-            done = l1d_stats.demand_accesses - base
-            raise SimulationError(
-                f"simulation crashed at record ~{lo + done} "
-                f"({done} accesses into span [{lo}, {hi})): "
-                f"{type(exc).__name__}: {exc}",
-                trace=trace.name,
-                prefetcher=hierarchy.l1d_prefetcher.name,
-                field="record_index",
-            ) from exc
+        def _run_span(lo: int, hi: int) -> None:
+            # The try/except is zero-cost on the no-raise path (3.11+)
+            # and turns any internal failure into a typed SimulationError
+            # that names the record the run died on.  The index is
+            # recovered from the demand-access counter (one increment per
+            # record) rather than a per-record loop counter, so the hot
+            # loop is untouched.
+            base = l1d_stats.demand_accesses
+            try:
+                for ip, vaddr, is_write, gap, dep in zip(
+                    ips[lo:hi], addrs[lo:hi], writes[lo:hi], gaps[lo:hi],
+                    deps[lo:hi],
+                ):
+                    if gap:
+                        advance(gap)
+                    issue(demand, ip, vaddr, is_write, dep)
+            except ReproError:
+                raise  # already typed (incl. SanitizerError w/ exact index)
+            except Exception as exc:
+                done = l1d_stats.demand_accesses - base
+                raise SimulationError(
+                    f"simulation crashed at record ~{lo + done} "
+                    f"({done} accesses into span [{lo}, {hi})): "
+                    f"{type(exc).__name__}: {exc}",
+                    trace=trace.name,
+                    prefetcher=hierarchy.l1d_prefetcher.name,
+                    field="record_index",
+                ) from exc
 
     if progress is not None and progress_every > 0:
         # Heartbeat mode: run each span in chunks, pinging between them.

@@ -61,11 +61,12 @@ def run_golden_matrix(engine: str = "optimized"):
     """All golden runs as {key: SimResult-dict}.
 
     ``engine`` selects which engine executes the matrix: the optimised
-    hot-path engine (what the test replays) or the pure-reference
-    virtual-dispatch engine (what ``main()`` records with).  The two are
-    required to be bit-identical, so the comparison in
-    ``tests/test_golden_stats.py`` is differential by construction:
-    reference-recorded numbers replayed on the optimised engine.
+    hot-path engine (what the test replays), the batched columnar engine
+    (``"batched"``), or the pure-reference virtual-dispatch engine (what
+    ``main()`` records with).  All are required to be bit-identical, so
+    the comparison in ``tests/test_golden_stats.py`` is differential by
+    construction: reference-recorded numbers replayed on the optimised
+    and batched engines against the same golden JSON.
     """
     from dataclasses import replace
     from repro.prefetchers.registry import make_prefetcher
@@ -75,12 +76,13 @@ def run_golden_matrix(engine: str = "optimized"):
     from repro.simulator.multicore import simulate_multicore
 
     post_build = to_reference if engine == "reference" else None
+    sim_engine = "batched" if engine == "batched" else "classic"
     results = {}
     for spec, scale in GOLDEN_TRACES:
         trace = build_golden_trace(spec, scale)
         for pf in GOLDEN_PREFETCHERS:
             res = simulate(trace, l1d_prefetcher=make_prefetcher(pf),
-                           post_build=post_build)
+                           post_build=post_build, engine=sim_engine)
             results[f"{spec}@{scale}#{pf}"] = res.to_dict()
 
     # A non-default replacement config: SRRIP at the L1D exercises the
@@ -92,17 +94,20 @@ def run_golden_matrix(engine: str = "optimized"):
     )
     trace = build_golden_trace("synth:golden", 0.0)
     res = simulate(trace, l1d_prefetcher=make_prefetcher("berti"),
-                   config=config, post_build=post_build)
+                   config=config, post_build=post_build, engine=sim_engine)
     results["synth:golden@0.0#berti+l1d_srrip"] = res.to_dict()
 
     # One multicore mix: shared LLC/DRAM contention between a Berti core
-    # and a prefetcher-less core.
+    # and a prefetcher-less core.  (engine="batched" demotes to the
+    # per-access loop here — passed through anyway so the parametrized
+    # golden replay also pins that the demotion changes nothing.)
     mix = [build_golden_trace("bfs-kron", 0.1),
            build_golden_trace("mcf_s-1554B", 0.1)]
     mc = simulate_multicore(
         mix,
         [make_prefetcher("berti"), make_prefetcher("none")],
         post_build=post_build,
+        engine=sim_engine,
     )
     results["mc:bfs-kron+mcf_s-1554B@0.1#berti,none"] = {
         f"core{i}": r.to_dict() for i, r in enumerate(mc)

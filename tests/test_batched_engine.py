@@ -1,0 +1,361 @@
+"""Bit-identity and demotion guards for the batched columnar engine.
+
+The batched engine (``simulate(..., engine="batched")``) fuses the
+per-record virtual-dispatch chain into one chunked loop over the trace
+columns.  Its whole contract is *bit-identity*: every counter, every
+structural state, every snapshot byte must match the classic engine.
+These tests pin that contract at the edges where it is easiest to break
+— chunk boundaries interacting with warmup/snapshot/progress splits,
+demotion guards for instrumented or subclassed components, and the
+batch-hook protocol (delivery, purity, fill-twin equivalence).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.berti import BertiPrefetcher
+from repro.errors import ConfigError, TraceError
+from repro.prefetchers.registry import make_prefetcher
+from repro.sanitizer.lockstep import _state_digest, quick_trace
+from repro.sanitizer.snapshot import simulate_with_snapshots, snapshot_path
+from repro.simulator.batched import DEFAULT_CHUNK_SIZE, batch_mode
+from repro.simulator.engine import build_hierarchy, simulate
+from repro.simulator.multicore import simulate_multicore
+from repro.workloads.trace import Trace
+
+RECORDS = 1200  # warmup_end = 240: inside the first default-size chunk
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return quick_trace(RECORDS, "batched_trace")
+
+
+def run(trace, l1d, engine, chunk_size=0, **kw):
+    """simulate() capturing the hierarchy, for state-level comparison."""
+    cap = {}
+    res = simulate(
+        trace, l1d_prefetcher=make_prefetcher(l1d),
+        post_build=cap.setdefault("h", None) or cap.update
+        if False else (lambda h: cap.update(h=h)),
+        engine=engine, chunk_size=chunk_size, **kw,
+    )
+    return res, cap["h"]
+
+
+class TestBitIdentity:
+    """Final stats, structural digest, and full pickled state agree."""
+
+    @pytest.mark.parametrize(
+        "l1d", ["none", "berti", "berti_page", "ip_stride"]
+    )
+    def test_engines_identical(self, trace, l1d):
+        rc, hc = run(trace, l1d, "classic")
+        rb, hb = run(trace, l1d, "batched")
+        assert rb.to_dict() == rc.to_dict()
+        assert _state_digest(hb) == _state_digest(hc)
+        assert pickle.dumps(hb) == pickle.dumps(hc)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 333, 10**9])
+    def test_chunk_size_invariant(self, trace, chunk_size):
+        rc, hc = run(trace, "berti", "classic")
+        rb, hb = run(trace, "berti", "batched", chunk_size=chunk_size)
+        assert rb.to_dict() == rc.to_dict()
+        assert _state_digest(hb) == _state_digest(hc)
+
+
+class TestChunkBoundaryEdges:
+    """The splits other subsystems impose must not disturb chunking."""
+
+    def test_warmup_boundary_mid_chunk(self, trace):
+        # warmup_end = 240 cuts the first 1024-record chunk in two spans.
+        rc, _ = run(trace, "berti", "classic")
+        rb, _ = run(trace, "berti", "batched",
+                    chunk_size=DEFAULT_CHUNK_SIZE)
+        assert rb.to_dict() == rc.to_dict()
+
+    def test_trace_shorter_than_one_chunk(self):
+        short = quick_trace(50, "short_trace")
+        rc, hc = run(short, "berti", "classic")
+        rb, hb = run(short, "berti", "batched", chunk_size=1024)
+        assert rb.to_dict() == rc.to_dict()
+        assert _state_digest(hb) == _state_digest(hc)
+
+    def test_progress_every_not_divisible_by_chunk(self, trace):
+        pings = {"classic": [], "batched": []}
+        results = {}
+        for engine in ("classic", "batched"):
+            results[engine] = simulate(
+                trace, l1d_prefetcher=make_prefetcher("berti"),
+                progress=pings[engine].append, progress_every=7,
+                engine=engine, chunk_size=333,
+            ).to_dict()
+        assert results["batched"] == results["classic"]
+        assert pings["batched"] == pings["classic"]
+
+    @pytest.mark.parametrize("every", [333, 1024])  # off / on chunk edge
+    def test_snapshot_files_byte_identical_across_engines(
+        self, trace, tmp_path, every
+    ):
+        paths = {}
+        for engine in ("classic", "batched"):
+            d = tmp_path / engine
+            d.mkdir()
+            simulate_with_snapshots(
+                trace, l1d_prefetcher=make_prefetcher("berti"),
+                snapshot_every=every, snapshot_dir=str(d),
+                engine=engine, chunk_size=1024,
+            )
+            paths[engine] = sorted(p.name for p in d.iterdir())
+        assert paths["batched"] == paths["classic"] != []
+        for name in paths["classic"]:
+            classic = (tmp_path / "classic" / name).read_bytes()
+            batched = (tmp_path / "batched" / name).read_bytes()
+            assert batched == classic, f"snapshot {name} differs"
+
+    @pytest.mark.parametrize("index", [333, 1024])  # off / on chunk edge
+    def test_resume_across_engines(self, trace, tmp_path, index):
+        baseline = simulate(
+            trace, l1d_prefetcher=make_prefetcher("berti")
+        ).to_dict()
+        d = tmp_path / "ckpts"
+        d.mkdir()
+        simulate_with_snapshots(
+            trace, l1d_prefetcher=make_prefetcher("berti"),
+            snapshot_every=index, snapshot_dir=str(d), engine="classic",
+        )
+        resumed = simulate_with_snapshots(
+            trace, l1d_prefetcher=make_prefetcher("berti"),
+            resume_from=snapshot_path(str(d), index),
+            engine="batched", chunk_size=1024,
+        )
+        assert resumed.to_dict() == baseline
+
+
+class TestValidationAndEmptyTrace:
+    def test_unknown_engine_rejected(self, trace):
+        with pytest.raises(ConfigError) as exc:
+            simulate(trace, engine="vectorized")
+        assert exc.value.context()["field"] == "engine"
+
+    def test_negative_chunk_size_rejected(self, trace):
+        with pytest.raises(ConfigError) as exc:
+            simulate(trace, engine="batched", chunk_size=-1)
+        assert exc.value.context()["field"] == "chunk_size"
+
+    def test_unknown_engine_rejected_in_snapshots(self, trace):
+        with pytest.raises(ConfigError):
+            simulate_with_snapshots(trace, engine="vectorized")
+
+    def test_unknown_engine_rejected_in_multicore(self, trace):
+        with pytest.raises(ConfigError):
+            simulate_multicore([trace], engine="vectorized")
+
+    @pytest.mark.parametrize("engine", ["classic", "batched"])
+    def test_empty_trace_raises_trace_error(self, engine):
+        empty = Trace("empty")
+        with pytest.raises(TraceError):
+            simulate(empty, engine=engine)
+
+    def test_empty_trace_raises_in_snapshot_runner(self):
+        empty = Trace("empty")
+        with pytest.raises(TraceError):
+            simulate_with_snapshots(empty)
+
+
+class TestDemotionGuards:
+    """Anything non-stock on the hot path must fall back to dispatch."""
+
+    def make_parts(self, trace, l1d="berti"):
+        from repro.cpu.core_model import CoreModel
+        from repro.simulator.config import default_config
+
+        cfg = default_config()
+        h = build_hierarchy(cfg, make_prefetcher(l1d), None)
+        return h, CoreModel(cfg.core)
+
+    def test_stock_berti_runs_kernel_mode(self, trace):
+        h, core = self.make_parts(trace)
+        assert batch_mode(h, core) == "kernel"
+
+    def test_stock_berti_page_runs_kernel_mode(self, trace):
+        h, core = self.make_parts(trace, "berti_page")
+        assert batch_mode(h, core) == "kernel"
+
+    def test_no_prefetcher_runs_plain_mode(self, trace):
+        h, core = self.make_parts(trace, "none")
+        assert batch_mode(h, core) == "plain"
+
+    def test_wrapped_demand_access_demotes(self, trace):
+        h, core = self.make_parts(trace)
+        inner = h.demand_access
+        h.demand_access = (
+            lambda ip, vaddr, now, is_write=False:
+            inner(ip, vaddr, now, is_write)
+        )
+        assert batch_mode(h, core) == ""
+
+    def test_reference_hierarchy_demotes(self, trace):
+        from repro.sanitizer.reference import to_reference
+
+        h, core = self.make_parts(trace)
+        to_reference(h)
+        assert batch_mode(h, core) == ""
+
+    def test_l2_prefetcher_demotes(self, trace):
+        from repro.cpu.core_model import CoreModel
+        from repro.simulator.config import default_config
+
+        cfg = default_config()
+        h = build_hierarchy(
+            cfg, make_prefetcher("berti"), make_prefetcher("spp")
+        )
+        assert batch_mode(h, CoreModel(cfg.core)) == ""
+
+    def test_berti_subclass_without_redeclared_hooks_demotes(self, trace):
+        class SilentSubclass(BertiPrefetcher):
+            name = "berti_sub"
+
+        from repro.cpu.core_model import CoreModel
+        from repro.simulator.config import default_config
+
+        cfg = default_config()
+        h = build_hierarchy(cfg, SilentSubclass(), None)
+        assert batch_mode(h, CoreModel(cfg.core)) == ""
+
+    def test_demoted_subclass_still_matches_classic(self, trace):
+        # A subclass that demotes must still produce identical results
+        # through the batched entry point (the demoted per-record path).
+        class SilentSubclass(BertiPrefetcher):
+            name = "berti"  # same registry name → same SimResult labels
+
+        classic = simulate(
+            trace, l1d_prefetcher=SilentSubclass(), engine="classic"
+        )
+        batched = simulate(
+            trace, l1d_prefetcher=SilentSubclass(), engine="batched"
+        )
+        assert batched.to_dict() == classic.to_dict()
+
+    def test_sanitized_snapshot_run_demotes_but_matches(self, trace):
+        from repro.sanitizer import SanitizerConfig
+
+        plain = simulate(
+            trace, l1d_prefetcher=make_prefetcher("berti")
+        ).to_dict()
+        sanitized = simulate_with_snapshots(
+            trace, l1d_prefetcher=make_prefetcher("berti"),
+            sanitize=SanitizerConfig(check_every=64),
+            engine="batched",
+        ).to_dict()
+        assert sanitized == plain
+
+
+class ObservingBerti(BertiPrefetcher):
+    """Re-declares the batch opt-ins and records what the engine sends."""
+
+    name = "berti"
+    kernel_hooks = True
+    kernel_batch_hooks = True
+    kernel_batch_key = "ip"
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+
+    def on_access_batch(self, triples):
+        self.batches.append(list(triples))
+
+
+class MutatingBerti(ObservingBerti):
+    """Violates the purity contract: trains from the batch stream too."""
+
+    # Opt-ins are read from type(pf).__dict__, so each subclass must
+    # re-declare them to stay on the batched path.
+    kernel_hooks = True
+    kernel_batch_hooks = True
+    kernel_batch_key = "ip"
+
+    def on_access_batch(self, triples):
+        super().on_access_batch(triples)
+        for ip, line, cycle in triples:
+            # Shifted line: plants spurious delta candidates (an exact
+            # duplicate would be a no-op — delta 0 is never considered).
+            self.history.insert(ip, line + 7, cycle)
+
+
+class TestBatchHooks:
+    def test_on_access_batch_is_delivered(self, trace):
+        pf = ObservingBerti()
+        simulate(trace, l1d_prefetcher=pf, engine="batched")
+        assert pf.batches, "engine never delivered a batch"
+        total = sum(len(b) for b in pf.batches)
+        assert total > 0
+        for batch in pf.batches:
+            for ip, line, cycle in batch:
+                assert line >= 0 and cycle >= 0
+
+    def test_batch_stream_is_chunk_size_invariant(self, trace):
+        streams = []
+        for chunk_size in (64, 1024):
+            pf = ObservingBerti()
+            simulate(trace, l1d_prefetcher=pf, engine="batched",
+                     chunk_size=chunk_size)
+            streams.append([t for b in pf.batches for t in b])
+        assert streams[0] == streams[1]
+
+    def test_pure_observer_preserves_bit_identity(self, trace):
+        classic = simulate(
+            trace, l1d_prefetcher=make_prefetcher("berti"),
+            engine="classic",
+        ).to_dict()
+        observed = simulate(
+            trace, l1d_prefetcher=ObservingBerti(), engine="batched"
+        ).to_dict()
+        assert observed == classic
+
+    def test_mutating_hook_actually_changes_the_run(self, trace):
+        # Proves the hook really executes inside the training loop: a
+        # contract-violating (mutating) observer must diverge from the
+        # classic run, which never calls batch hooks.
+        classic = simulate(
+            trace, l1d_prefetcher=make_prefetcher("berti"),
+            engine="classic",
+        ).to_dict()
+        mutated = simulate(
+            trace, l1d_prefetcher=MutatingBerti(), engine="batched"
+        ).to_dict()
+        assert mutated != classic
+
+    def test_on_fill_batch_equals_per_access_kernel(self):
+        fills = [
+            (0x100 + i * 3, 100 + 17 * i, 20 + (i % 5), 0x40 + (i % 3))
+            for i in range(64)
+        ]
+        one, two = BertiPrefetcher(), BertiPrefetcher()
+        for line, now, latency, ip in fills:
+            one.history.insert(ip, line - 1, now - 30)
+            two.history.insert(ip, line - 1, now - 30)
+        for line, now, latency, ip in fills:
+            one.on_fill_kernel(line, now, latency, ip)
+        two.on_fill_batch(fills)
+        assert pickle.dumps(one.deltas) == pickle.dumps(two.deltas)
+        assert pickle.dumps(one.history) == pickle.dumps(two.history)
+
+
+class TestLockstepEngines:
+    def test_all_quick_prefetchers_agree(self, trace):
+        from repro.sanitizer import lockstep_engines
+
+        for l1d in ("none", "berti", "berti_page", "ip_stride"):
+            report = lockstep_engines(trace, l1d=l1d)
+            assert report.ok, report.describe()
+            assert report.kind == "engines"
+            assert "batched and classic" in report.describe()
+
+    def test_small_chunk_runs_per_record(self, trace):
+        from repro.sanitizer import lockstep_engines
+
+        report = lockstep_engines(trace, l1d="berti", chunk_size=1)
+        assert report.ok, report.describe()

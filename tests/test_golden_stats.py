@@ -37,9 +37,11 @@ def golden():
         return json.load(fh)
 
 
-@pytest.fixture(scope="module")
-def current(recorder):
-    return recorder.run_golden_matrix()
+@pytest.fixture(scope="module", params=["optimized", "batched"])
+def current(recorder, request):
+    # Both inner loops replay the same reference-recorded golden JSON:
+    # the classic per-record engine and the batched columnar one.
+    return recorder.run_golden_matrix(engine=request.param)
 
 
 class TestGoldenMatrix:

@@ -528,3 +528,21 @@ class TestThroughputEdges:
         block = sup._throughput()
         assert block["campaign_seconds"] == 0.0
         assert block["records_per_sec"] == 0.0
+
+    def test_engine_breakdown_in_manifest(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        jobs = [
+            JobSpec(trace=TRACE, l1d="none", scale=SCALE,
+                    engine="batched", chunk_size=256),
+            JobSpec(trace=TRACE, l1d="berti", scale=SCALE),
+        ]
+        CampaignSupervisor(
+            RunnerConfig(workers=1, journal_path=journal), fast_sup(),
+        ).run(jobs)
+        manifest = json.loads(
+            (tmp_path / "j.jsonl.manifest.json").read_text())
+        tp = manifest["throughput"]
+        assert set(tp["engines"]) == {"classic", "batched"}
+        assert tp["engines"]["batched"] > 0
+        assert tp["engines"]["classic"] > 0
+        assert tp["chunk_sizes"] == [256]
