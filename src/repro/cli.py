@@ -20,6 +20,8 @@ Examples::
     python -m repro submit --state-dir svc --trace mcf_s-1554B \
         --l1d berti --wait
     python -m repro fetch --state-dir svc <campaign-id>
+    python -m repro agent --server 10.0.0.5:8421 --pool 4
+    python -m repro fleet --state-dir svc
 
 ``suite`` and ``compare`` execute through the resilient runner
 (:mod:`repro.runner`): jobs run in parallel worker processes, crashes
@@ -38,7 +40,12 @@ duplicated.  See ``docs/runner.md``.
 crash-safe scheduler daemon with a write-ahead journal, job leases,
 idempotent content-hashed submission, and a checksum-verified result
 cache; ``submit`` / ``poll`` / ``fetch`` are its bounded-retry client.
-See ``docs/service.md``.
+``agent`` turns any host into extra capacity for a running daemon: a
+remote worker (:mod:`repro.fleet`) that pulls leased jobs over the same
+HTTP API, verifies each trace store's digest before executing, and
+heartbeats its leases so a dead or partitioned agent's jobs requeue
+exactly once; ``fleet`` shows the daemon's agent registry and degraded
+windows.  See ``docs/service.md``.
 
 ``sancheck`` and the ``--sanitize`` / ``--snapshot-every`` /
 ``--resume-from`` flags belong to the sanitizer subsystem
@@ -510,6 +517,67 @@ def cmd_fetch(args) -> int:
     return 0 if not bad else 3
 
 
+def _fleet_endpoint(args) -> tuple:
+    """``--server host:port`` wins; else endpoint.json discovery."""
+    if args.server:
+        host, _, port = args.server.rpartition(":")
+        if not host or not port.isdigit():
+            raise ConfigError(
+                f"bad --server {args.server!r}; expected HOST:PORT",
+                field="server",
+            )
+        return host, int(port)
+    from repro.service import read_endpoint
+
+    return read_endpoint(args.state_dir)
+
+
+def cmd_agent(args) -> int:
+    """Run a remote fleet agent against a campaign daemon (blocking)."""
+    from repro.fleet import FleetAgent
+
+    host, port = _fleet_endpoint(args)
+    agent = FleetAgent(host, port, pool=args.pool, name=args.name,
+                       retries=args.retries, backoff_base=args.backoff)
+    agent.register()
+    print(f"agent {agent.agent_id} ({agent.name}) on http://{host}:{port} "
+          f"pool={args.pool}; SIGTERM drains", file=sys.stderr)
+    agent.run_forever()
+    print(f"agent {agent.agent_id} drained: {agent.jobs_done} ok, "
+          f"{agent.jobs_failed} failed, {agent.jobs_refused} refused",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """Show a daemon's fleet: agents, states, degraded windows."""
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    host, port = _fleet_endpoint(args)
+    client = ServiceClient(host, port, retries=args.retries,
+                           backoff_base=args.backoff)
+    fleet = client.fleet()
+    if args.json:
+        print(_json.dumps(fleet, indent=2, sort_keys=True))
+        return 0
+    degraded = "DEGRADED (local pool)" if fleet["degraded"] else "ok"
+    print(f"epoch {fleet['epoch']}: {len(fleet['agents'])} known agents, "
+          f"{degraded}")
+    rows = [[a["agent"], a["name"], a["state"], a["leases_granted"],
+             a["results"]["ok"], a["results"]["failed"],
+             a["results"]["refused"], a["deaths"], a["rejoins"]]
+            for a in fleet["agents"]]
+    if rows:
+        print(format_table(
+            ["agent", "name", "state", "leases", "ok", "failed",
+             "refused", "deaths", "rejoins"], rows))
+    for window in fleet.get("degraded_windows", []):
+        print(f"  degraded window: {window}")
+    return 0
+
+
 def cmd_trace_store(args) -> int:
     """Convert catalog traces to mmap stores / inspect store files."""
     from repro.memory.tracestore import ensure_store, store_info
@@ -712,14 +780,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--quick", action="store_true",
                        help="CI subset: disk-full, sigkill, hung-worker, "
-                            "plus the four service scenarios")
+                            "the four service scenarios, and "
+                            "duplicate-delivery from the fleet set")
     chaos.add_argument("--scenario", action="append", default=None,
                        metavar="NAME",
                        help="run one scenario by name (repeatable): "
                             "disk-full, sigkill, hung-worker, balloon, "
                             "clock-skew, service-sigkill, "
                             "client-disconnect, cache-corruption, "
-                            "duplicate-submit")
+                            "duplicate-submit, agent-sigkill, "
+                            "network-partition, duplicate-delivery, "
+                            "digest-mismatch")
     chaos.add_argument("--workdir", default=None,
                        help="directory for scenario artifacts "
                             "(default: a fresh temp dir)")
@@ -807,6 +878,38 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--out", default=None, metavar="PATH",
                        help="write the results JSON here instead of stdout")
 
+    def _fleet_args(p_: argparse.ArgumentParser) -> None:
+        p_.add_argument("--server", default=None, metavar="HOST:PORT",
+                        help="daemon address (multi-host); default: "
+                             "discover via --state-dir/endpoint.json")
+        p_.add_argument("--state-dir", default="service-state",
+                        help="daemon state dir holding endpoint.json "
+                             "(same-host discovery)")
+        p_.add_argument("--retries", type=int, default=5,
+                        help="request retry budget (default 5)")
+        p_.add_argument("--backoff", type=float, default=0.1,
+                        metavar="SEC", help="base retry backoff "
+                        "(default 0.1)")
+
+    agent = sub.add_parser(
+        "agent",
+        help="remote fleet worker: lease jobs from a campaign daemon "
+             "(docs/service.md)",
+    )
+    _fleet_args(agent)
+    agent.add_argument("--pool", type=int, default=1,
+                       help="concurrent jobs this agent runs (default 1)")
+    agent.add_argument("--name", default="",
+                       help="agent name in the daemon's registry "
+                            "(default agent-<hostname>)")
+
+    fleet = sub.add_parser(
+        "fleet", help="show a daemon's agent registry and degraded windows",
+    )
+    _fleet_args(fleet)
+    fleet.add_argument("--json", action="store_true",
+                       help="raw JSON instead of a table")
+
     sub.add_parser("storage", help="hardware budgets incl. Table I")
     return p
 
@@ -825,6 +928,8 @@ COMMANDS = {
     "submit": cmd_submit,
     "poll": cmd_poll,
     "fetch": cmd_fetch,
+    "agent": cmd_agent,
+    "fleet": cmd_fleet,
 }
 
 

@@ -237,6 +237,105 @@ def _rebuild_service(cls, message, trace, prefetcher, field, status,
                status=status, retry_after=retry_after)
 
 
+class FleetError(ServiceError):
+    """A multi-host fleet operation failed (agents, transport, digests).
+
+    The fleet branch of the service hierarchy: everything that can only
+    go wrong once a second host is involved — an unreachable daemon, an
+    agent the daemon no longer knows, a trace store whose bytes do not
+    match the digest the scheduler promised.  ``agent`` attributes the
+    failure to the remote agent involved, when there is one, so campaign
+    reports and the fleet manifest can name the failure domain.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        trace: Optional[str] = None,
+        prefetcher: Optional[str] = None,
+        field: Optional[str] = None,
+        status: int = 500,
+        retry_after: Optional[float] = None,
+        agent: Optional[str] = None,
+    ) -> None:
+        self.agent = agent
+        super().__init__(message, trace=trace, prefetcher=prefetcher,
+                         field=field, status=status, retry_after=retry_after)
+
+    def _render(self) -> str:
+        base = super()._render()
+        if self.agent:
+            base = f"{base} [agent={self.agent}]"
+        return base
+
+    def __reduce__(self):
+        return (
+            _rebuild_fleet,
+            (self.__class__, self.message, self.trace, self.prefetcher,
+             self.field, self.status, self.retry_after, self.agent),
+        )
+
+
+def _rebuild_fleet(cls, message, trace, prefetcher, field, status,
+                   retry_after, agent):
+    return cls(message, trace=trace, prefetcher=prefetcher, field=field,
+               status=status, retry_after=retry_after, agent=agent)
+
+
+class TransportError(FleetError):
+    """A network-level request failed before an HTTP status existed.
+
+    Wraps the raw socket/HTTP exceptions (``ConnectionError``,
+    ``socket.timeout``, ``OSError``) the transport layer can raise, so
+    nothing above the client ever sees an untyped network error.  Always
+    field-tagged ``transport`` and retryable: the fault-injecting chaos
+    transport raises exactly this for drops and partitions, and the
+    client's bounded-backoff loop is the recovery path.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("status", 503)
+        kwargs.setdefault("field", "transport")
+        super().__init__(message, **kwargs)
+
+
+class AgentLost(FleetError):
+    """A remote agent stopped heartbeating and was declared dead.
+
+    Its leases are requeued (exactly once per expiry, with lineage and
+    agent attribution in the fleet manifest); retryable by construction,
+    the requeue *is* the retry.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("status", 503)
+        super().__init__(message, **kwargs)
+
+
+class DigestMismatch(FleetError):
+    """A trace store's bytes do not match the digest the lease promised.
+
+    An agent verifies the ``sha256:`` digest of a leased job's trace
+    store *before* executing it; a mismatch means the interchange file
+    was corrupted or swapped in flight, and running it would poison the
+    result cache with stats computed from the wrong bytes.  The agent
+    refuses the job (it never executes), the daemon requeues it within
+    the lease budget, and a persistently poisoned job fails typed.
+    Not retryable against the same bytes — recovery means healing the
+    file, which the requeue gives the operator time to do.
+    """
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("status", 409)
+        kwargs.setdefault("field", "trace_digest")
+        super().__init__(message, **kwargs)
+
+
 class LeaseExpired(ServiceError):
     """A worker's time-bounded job lease lapsed without a heartbeat.
 

@@ -1,0 +1,29 @@
+"""Multi-host worker fleet: remote agents for the campaign daemon.
+
+The fleet extends the single-host scheduler (:mod:`repro.service`)
+across machines: ``repro agent`` runs a :class:`~repro.fleet.agent.
+FleetAgent` on any host that can reach the daemon, pulling leased jobs
+over HTTP with trace-store paths as the interchange format (verified
+by ``sha256:`` digest before execution) and streaming results back
+under heartbeat-renewed leases.  The daemon side lives in
+:mod:`repro.fleet.registry` (per-agent failure domains, lifecycle,
+circuit breakers) and :mod:`repro.fleet.manifest` (the durable event
+log that records agent deaths, requeues, and degraded-mode windows);
+:mod:`repro.fleet.transport` carries every byte — and is where the
+chaos harness injects deterministic network faults.
+"""
+
+from repro.fleet.agent import FleetAgent
+from repro.fleet.manifest import FleetManifest
+from repro.fleet.registry import AgentRecord, AgentRegistry
+from repro.fleet.transport import FaultPlan, FaultyTransport, HTTPTransport
+
+__all__ = [
+    "AgentRecord",
+    "AgentRegistry",
+    "FaultPlan",
+    "FaultyTransport",
+    "FleetAgent",
+    "FleetManifest",
+    "HTTPTransport",
+]

@@ -1,0 +1,286 @@
+"""The remote worker agent behind ``repro agent``.
+
+A :class:`FleetAgent` turns any host into extra campaign capacity: it
+registers with a campaign daemon (:mod:`repro.service`), pulls leased
+jobs over the same HTTP/JSON API the submitting client uses, verifies
+each job's trace-store interchange file against the ``sha256:`` digest
+the lease promised *before* executing a single access, runs the job
+through the local worker, and delivers the result — all while a
+renewal thread heartbeats its held leases so the daemon knows the
+work is alive.
+
+The failure contract is the whole point:
+
+* **agent dies (SIGKILL)** — renewals stop; the daemon's monitor
+  declares the agent dead, force-expires its leases, and the epoch/
+  lease machinery requeues the jobs exactly once.
+* **network partition** — every send raises a typed
+  :class:`~repro.errors.TransportError`; the agent backs off and keeps
+  trying.  Meanwhile the daemon reaps it and requeues; when the
+  partition heals the agent's next contact *rejoins* it, and any
+  result it still delivers for a lost lease takes the daemon's
+  late-result path (first result wins, never two records).
+* **daemon restarts** — the in-memory registry died with it, so the
+  agent's id now answers 410; the agent re-registers and continues.
+* **digest mismatch** — the trace store's bytes are not the bytes the
+  scheduler hashed at submission; the agent refuses the job with a
+  typed :class:`~repro.errors.DigestMismatch` payload instead of
+  poisoning the result cache with stats from the wrong input.
+
+All HTTP goes through the injected transport
+(:mod:`repro.fleet.transport`), which is exactly where the chaos
+harness swaps in its deterministic fault injector.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import DigestMismatch, ReproError, ServiceError
+from repro.runner import worker as runner_worker
+from repro.runner.jobs import classify_error
+
+__all__ = ["FleetAgent"]
+
+
+class FleetAgent:
+    """One remote worker process: register, lease, verify, run, report."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool: int = 1,
+        name: str = "",
+        run_fn=None,
+        transport=None,
+        poll: float = 0.2,
+        retries: int = 5,
+        backoff_base: float = 0.1,
+        jitter_seed: Optional[int] = None,
+        sleep_fn=time.sleep,
+    ) -> None:
+        from repro.service.client import ServiceClient
+
+        self.name = name or f"agent-{socket.gethostname()}"
+        self.pool = max(1, int(pool))
+        self.poll = poll
+        self.client = ServiceClient(
+            host, port, retries=retries, backoff_base=backoff_base,
+            jitter_seed=jitter_seed, sleep_fn=sleep_fn,
+            transport=transport,
+        )
+        self._run_fn = run_fn or runner_worker.run_job
+        self._sleep = sleep_fn
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._held: Dict[str, str] = {}   # lease_id -> content_key
+        self._lost: set = set()           # lease ids the daemon disowned
+        self.agent_id: Optional[str] = None
+        self.lease_duration = 30.0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_refused = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self) -> str:
+        response = self.client.request("POST", "/v1/agents", {
+            "name": self.name,
+            "host": socket.gethostname(),
+            "pool": self.pool,
+        })
+        with self._lock:
+            self.agent_id = response["agent"]
+            self.lease_duration = float(
+                response.get("lease_duration", 30.0))
+        return response["agent"]
+
+    def _agent_request(self, action: str,
+                       payload: Dict[str, Any]) -> Dict[str, Any]:
+        """An agent-scoped request, transparently re-registering on 410.
+
+        A 410 means the daemon restarted and its registry forgot us —
+        the held leases died with the old epoch (the recovery orphaned
+        them), so they are dropped before carrying on under the new id.
+        """
+        with self._lock:
+            agent_id = self.agent_id
+        if agent_id is None:
+            agent_id = self.register()
+        try:
+            return self.client.request(
+                "POST", f"/v1/agents/{agent_id}/{action}", payload)
+        except ServiceError as exc:
+            if exc.status != 410:
+                raise
+            with self._lock:
+                self._lost.update(self._held)
+                self._held.clear()
+            agent_id = self.register()
+            return self.client.request(
+                "POST", f"/v1/agents/{agent_id}/{action}", payload)
+
+    # ------------------------------------------------------------------
+    # The work loop
+    # ------------------------------------------------------------------
+
+    def _verify_digest(self, spec, promised: Optional[str]) -> None:
+        """Refuse to run bytes that do not hash to the promised digest."""
+        if not promised or not promised.startswith("sha256:"):
+            return  # catalog identity: nothing on disk to verify
+        if not spec.trace_path:
+            return
+        from repro.memory.tracestore import file_digest
+
+        actual = file_digest(spec.trace_path)
+        if actual != promised:
+            raise DigestMismatch(
+                f"trace store {spec.trace_path} hashes to {actual}, "
+                f"lease promised {promised}; refusing to execute",
+                trace=spec.trace, agent=self.agent_id,
+            )
+
+    def _run_one(self, entry: Dict[str, Any]) -> None:
+        from repro.service.daemon import spec_from_dict
+
+        lease_id = entry["lease_id"]
+        spec = spec_from_dict(entry["spec"])
+        report: Dict[str, Any] = {
+            "lease_id": lease_id,
+            "content_key": entry["content_key"],
+            "attempt": entry.get("attempt", 1),
+        }
+        try:
+            self._verify_digest(spec, entry.get("trace_digest"))
+            result = self._run_fn(spec, entry.get("attempt", 1))
+            payload = (result.to_dict()
+                       if hasattr(result, "to_dict") else result)
+            report.update(status="ok", result=payload)
+        except DigestMismatch as exc:
+            report.update(status="refused", error={
+                "error_type": type(exc).__name__, "kind": "trace",
+                "message": str(exc),
+            })
+        except ReproError as exc:
+            report.update(status="failed", error={
+                "error_type": type(exc).__name__,
+                "kind": classify_error(exc), "message": str(exc),
+            })
+        except Exception as exc:  # noqa: BLE001 — isolation point
+            report.update(status="failed", error={
+                "error_type": type(exc).__name__, "kind": "crash",
+                "message": f"{type(exc).__name__}: {exc}",
+            })
+        try:
+            response = self._agent_request("result", report)
+        finally:
+            with self._lock:
+                self._held.pop(lease_id, None)
+                self._lost.discard(lease_id)
+        if response.get("recorded"):
+            counter = {"ok": "jobs_done", "failed": "jobs_failed",
+                       "refused": "jobs_refused"}[report["status"]]
+            with self._lock:
+                setattr(self, counter, getattr(self, counter) + 1)
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                response = self._agent_request("lease", {"max": 1})
+            except ServiceError:
+                # Daemon unreachable (partition, restart window): back
+                # off a beat and try again; the daemon requeues our
+                # leases if we stay gone too long.
+                self._sleep(self.poll)
+                continue
+            leases = response.get("leases", [])
+            if not leases:
+                # Nothing pending — or the daemon is draining us or has
+                # quarantined us; either way, idle-poll until told more.
+                self._stop.wait(self.poll)
+                continue
+            for entry in leases:
+                with self._lock:
+                    self._held[entry["lease_id"]] = entry["content_key"]
+                try:
+                    self._run_one(entry)
+                except ServiceError:
+                    # Result delivery failed even after retries (e.g. a
+                    # partition): the attempt is lost, but the daemon's
+                    # monitor requeues the lease — the worker thread
+                    # must survive to lease again after the heal.
+                    continue
+
+    def _renew_loop(self) -> None:
+        while not self._stop.wait(max(0.05, self.lease_duration / 3.0)):
+            with self._lock:
+                held = [l for l in self._held if l not in self._lost]
+            if not held:
+                continue
+            try:
+                response = self._agent_request("renew", {"leases": held})
+            except ServiceError:
+                continue  # partitioned: the daemon's monitor takes over
+            lost = response.get("lost", [])
+            if lost:
+                with self._lock:
+                    # The daemon disowned these (expiry/requeue); any
+                    # result we still deliver will be dropped late.
+                    self._lost.update(lost)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.agent_id is None:
+            self.register()
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"fleet-worker-{i}", daemon=True)
+            for i in range(self.pool)
+        ]
+        self._threads.append(
+            threading.Thread(target=self._renew_loop,
+                             name="fleet-renew", daemon=True))
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    def drain(self) -> None:
+        """Ask the daemon to stop leasing to us, then stop locally."""
+        try:
+            self._agent_request("drain", {})
+        except ServiceError:
+            pass  # unreachable daemon will reap us anyway
+        self.stop()
+
+    def run_forever(self, handle_signals: bool = True) -> None:
+        """Blocking entry point for ``repro agent``."""
+        import signal
+
+        self.start()
+        done = threading.Event()
+        if handle_signals:
+            def on_term(signum, frame):
+                done.set()
+
+            signal.signal(signal.SIGTERM, on_term)
+            signal.signal(signal.SIGINT, on_term)
+        try:
+            while not done.wait(timeout=0.5):
+                pass
+        finally:
+            self.drain()

@@ -1,0 +1,123 @@
+"""Durable fleet event log: who joined, who died, what got requeued.
+
+The campaign daemon appends one JSON record per fleet-level event to
+``state_dir/fleet-manifest.json`` — agent registration, death, rejoin,
+lease requeues attributed to a lost agent, refused (digest-mismatch)
+jobs, and the degraded-mode windows during which zero live agents left
+the daemon running on its local pool alone.  The chaos scenarios and
+the CI ``fleet-smoke`` job read it back to prove that a kill or a
+partition was *observed and survived*, not silently absorbed.
+
+The file is a single JSON document (events list + current degradation
+state), rewritten atomically on every append — fleet events are rare
+(per agent, not per job), so the rewrite cost is irrelevant and readers
+always see a complete, parseable document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["FleetManifest"]
+
+
+class FleetManifest:
+    """Append-only fleet event log with atomic whole-file rewrites."""
+
+    def __init__(self, path, clock=None) -> None:
+        import time
+
+        self.path = Path(path)
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._degraded_since: Optional[float] = None
+        self._degraded_windows: List[Dict[str, float]] = []
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            return  # a torn manifest is cosmetic; start a fresh history
+        self._events = list(doc.get("events", []))
+        self._degraded_windows = list(doc.get("degraded_windows", []))
+        # A daemon that died while degraded leaves an open window; close
+        # it at zero duration on reload rather than carrying a stale
+        # monotonic timestamp across process lifetimes.
+        if doc.get("degraded_since") is not None:
+            self._degraded_windows.append({"start": 0.0, "end": 0.0,
+                                           "recovered": False})
+
+    def _flush_locked(self) -> None:
+        doc = {
+            "events": self._events,
+            "degraded_since": self._degraded_since,
+            "degraded_windows": self._degraded_windows,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+
+    def record(self, event: str, **detail: Any) -> None:
+        """Append one fleet event (e.g. ``agent-dead``, ``agent-requeue``)."""
+        with self._lock:
+            self._events.append({"event": event, "at": self._clock(),
+                                 **detail})
+            self._flush_locked()
+
+    def enter_degraded(self, reason: str) -> None:
+        """Mark the start of a zero-live-agents window (idempotent)."""
+        with self._lock:
+            if self._degraded_since is not None:
+                return
+            self._degraded_since = self._clock()
+            self._events.append({"event": "degraded-enter",
+                                 "at": self._degraded_since,
+                                 "reason": reason})
+            self._flush_locked()
+
+    def exit_degraded(self) -> Optional[float]:
+        """Close the current degraded window; returns its duration."""
+        with self._lock:
+            if self._degraded_since is None:
+                return None
+            now = self._clock()
+            duration = now - self._degraded_since
+            self._degraded_windows.append({
+                "start": self._degraded_since, "end": now,
+                "recovered": True,
+            })
+            self._events.append({"event": "degraded-exit", "at": now,
+                                 "duration": duration})
+            self._degraded_since = None
+            self._flush_locked()
+            return duration
+
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._degraded_since is not None
+
+    def events(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            if kind is None:
+                return list(self._events)
+            return [e for e in self._events if e["event"] == kind]
+
+    def degraded_windows(self) -> List[Dict[str, float]]:
+        with self._lock:
+            return list(self._degraded_windows)

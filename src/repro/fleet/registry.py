@@ -1,0 +1,238 @@
+"""Daemon-side agent registry: lifecycle, liveness, failure domains.
+
+Each remote agent is one failure domain.  The registry tracks every
+agent the daemon has ever seen through a small state machine::
+
+    registered --first lease--> active --drain--> draining --> drained
+         |                      |   ^
+         |                      |   | touch (rejoin)
+         +------stale-----------+---+--> dead
+                                |
+                                +--breaker trips--> quarantined
+
+* **stale → dead**: an agent that has not touched the daemon (lease,
+  renew, result) within ``timeout`` seconds is declared dead; its live
+  leases are force-expired so the normal requeue machinery reclaims the
+  jobs exactly once.
+* **dead → active**: a dead agent that calls back (the partition
+  healed) rejoins; its old leases are gone, it simply starts leasing
+  again.
+* **quarantined**: a per-agent circuit breaker mirrors the supervisor's
+  worker-quarantine logic — ``breaker_after`` consecutive failed or
+  refused jobs trips it, and a quarantined agent is refused leases
+  until an operator (or test) resets it.  One agent repeatedly
+  poisoning results must not be allowed to drain the whole queue
+  through its requeue budget.
+
+The registry is a pure in-memory structure driven by the daemon's
+clock; durable history lives in the WAL (lease attribution) and the
+fleet manifest (events).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import FleetError
+
+__all__ = ["AgentRecord", "AgentRegistry"]
+
+#: Lifecycle states an agent can occupy.
+STATES = ("registered", "active", "draining", "drained", "dead",
+          "quarantined")
+
+
+@dataclass
+class AgentRecord:
+    """Everything the daemon knows about one remote agent."""
+
+    agent_id: str
+    name: str
+    host: str
+    pool: int
+    state: str = "registered"
+    registered_at: float = 0.0
+    last_seen: float = 0.0
+    leases_granted: int = 0
+    results_ok: int = 0
+    results_failed: int = 0
+    results_refused: int = 0
+    consecutive_failures: int = 0
+    deaths: int = 0
+    rejoins: int = 0
+
+    LIVE_STATES = ("registered", "active", "draining")
+
+    @property
+    def live(self) -> bool:
+        return self.state in self.LIVE_STATES
+
+    @property
+    def leasable(self) -> bool:
+        """May this agent be granted new leases right now?"""
+        return self.state in ("registered", "active")
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "agent": self.agent_id,
+            "name": self.name,
+            "host": self.host,
+            "pool": self.pool,
+            "state": self.state,
+            "leases_granted": self.leases_granted,
+            "results": {"ok": self.results_ok,
+                        "failed": self.results_failed,
+                        "refused": self.results_refused},
+            "deaths": self.deaths,
+            "rejoins": self.rejoins,
+        }
+
+
+class AgentRegistry:
+    """Thread-safe registry of remote agents and their lifecycle."""
+
+    def __init__(self, timeout: float, breaker_after: int = 3,
+                 clock=None) -> None:
+        import time
+
+        if timeout <= 0:
+            raise ValueError("agent timeout must be positive")
+        if breaker_after < 1:
+            raise ValueError("breaker_after must be >= 1")
+        self.timeout = timeout
+        self.breaker_after = breaker_after
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._agents: Dict[str, AgentRecord] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Lifecycle transitions
+    # ------------------------------------------------------------------
+
+    def register(self, name: str = "", host: str = "",
+                 pool: int = 1) -> AgentRecord:
+        with self._lock:
+            now = self._clock()
+            agent_id = f"A{next(self._ids)}"
+            record = AgentRecord(agent_id=agent_id,
+                                 name=name or agent_id, host=host,
+                                 pool=max(1, int(pool)),
+                                 registered_at=now, last_seen=now)
+            self._agents[agent_id] = record
+            return record
+
+    def touch(self, agent_id: str) -> AgentRecord:
+        """Record contact from an agent; dead agents rejoin here.
+
+        Raises :class:`FleetError` (status 410) for an agent the daemon
+        has never seen — the agent's cue to re-register, e.g. after a
+        daemon restart wiped the in-memory registry.
+        """
+        with self._lock:
+            record = self._agents.get(agent_id)
+            if record is None:
+                raise FleetError(
+                    f"unknown agent {agent_id!r}: re-register",
+                    status=410, agent=agent_id,
+                )
+            record.last_seen = self._clock()
+            if record.state == "dead":
+                record.state = "active"
+                record.rejoins += 1
+                record.consecutive_failures = 0
+            return record
+
+    def activate(self, agent_id: str) -> None:
+        """First lease granted: registered → active."""
+        with self._lock:
+            record = self._agents[agent_id]
+            if record.state == "registered":
+                record.state = "active"
+
+    def drain(self, agent_id: str) -> AgentRecord:
+        with self._lock:
+            record = self._agents.get(agent_id)
+            if record is None:
+                raise FleetError(
+                    f"unknown agent {agent_id!r}: re-register",
+                    status=410, agent=agent_id,
+                )
+            if record.state in ("registered", "active"):
+                record.state = "draining"
+            return record
+
+    def mark_drained(self, agent_id: str) -> None:
+        with self._lock:
+            record = self._agents.get(agent_id)
+            if record is not None and record.state == "draining":
+                record.state = "drained"
+
+    def reap_stale(self, now: Optional[float] = None) -> List[AgentRecord]:
+        """Declare silent agents dead; returns the newly dead records."""
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            dead = []
+            for record in self._agents.values():
+                if record.live and now - record.last_seen > self.timeout:
+                    record.state = "dead"
+                    record.deaths += 1
+                    dead.append(record)
+            return dead
+
+    # ------------------------------------------------------------------
+    # Per-agent circuit breaker
+    # ------------------------------------------------------------------
+
+    def record_result(self, agent_id: str, status: str) -> Optional[str]:
+        """Track a job outcome (``ok``/``failed``/``refused``).
+
+        Returns ``"quarantined"`` when this outcome trips the agent's
+        breaker, else ``None``.
+        """
+        with self._lock:
+            record = self._agents.get(agent_id)
+            if record is None:
+                return None
+            if status == "ok":
+                record.results_ok += 1
+                record.consecutive_failures = 0
+                return None
+            if status == "failed":
+                record.results_failed += 1
+            else:
+                record.results_refused += 1
+            record.consecutive_failures += 1
+            if (record.consecutive_failures >= self.breaker_after
+                    and record.state in ("registered", "active")):
+                record.state = "quarantined"
+                return "quarantined"
+            return None
+
+    def reset_breaker(self, agent_id: str) -> None:
+        with self._lock:
+            record = self._agents.get(agent_id)
+            if record is not None and record.state == "quarantined":
+                record.state = "active"
+                record.consecutive_failures = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def get(self, agent_id: str) -> Optional[AgentRecord]:
+        with self._lock:
+            return self._agents.get(agent_id)
+
+    def live_agents(self) -> List[AgentRecord]:
+        with self._lock:
+            return [r for r in self._agents.values() if r.live]
+
+    def describe(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [r.describe() for r in sorted(
+                self._agents.values(), key=lambda r: r.agent_id)]

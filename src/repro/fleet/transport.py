@@ -1,0 +1,271 @@
+"""HTTP transports for the fleet: one real, one deterministically hostile.
+
+Every fleet HTTP path — the submitting client and the remote agent
+alike — goes through a :class:`Transport`: a single ``send(method,
+path, payload)`` call that either returns ``(status, retry_after,
+body)`` or raises a typed :class:`~repro.errors.TransportError`.
+:class:`HTTPTransport` is the stdlib implementation the CLI uses;
+:class:`FaultyTransport` wraps any transport with the seeded network
+faults the chaos harness injects:
+
+* **drop** — the request fails *before* delivery (the server never saw
+  it) or *after* (the server acted, the response was lost — the classic
+  at-least-once duplication hazard);
+* **duplicate** — the request is delivered twice back to back;
+* **reorder** — the request is delivered, and a stale duplicate of it
+  is re-delivered just before the *next* send — out-of-order duplicate
+  delivery, the hazard retries plus routing flaps create;
+* **partition** — a counter window (or a scenario-controlled toggle)
+  during which every request fails without delivery;
+* **delay / slow network** — a deterministic sleep before delivery,
+  optionally jittered by the seeded RNG.
+
+Faults select by 1-based request counter (exact, for scenarios), by
+path substring (exact, independent of thread interleaving), or by
+seeded probability (``random.Random(seed)`` — two transports with the
+same seed and call sequence fault identically).  Nothing here reads a
+wall clock to *decide* anything: a failing chaos run replays exactly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TransportError
+
+__all__ = ["FaultPlan", "FaultyTransport", "HTTPTransport",
+           "parse_retry_after"]
+
+
+def parse_retry_after(value) -> Optional[float]:
+    """A finite, non-negative ``Retry-After`` value, else ``None``.
+
+    Defensive by contract: a malformed, non-numeric, negative, or
+    non-finite header must *never* raise (or sleep forever) — the caller
+    falls back to its own computed backoff instead.
+    """
+    if value is None:
+        return None
+    try:
+        parsed = float(str(value).strip())
+    except (TypeError, ValueError):
+        return None
+    if parsed != parsed or parsed in (float("inf"), float("-inf")):
+        return None  # NaN / infinite: a hint nobody should sleep on
+    return max(0.0, parsed)
+
+
+class HTTPTransport:
+    """One JSON request/response over a fresh stdlib HTTP connection.
+
+    Raises :class:`~repro.errors.TransportError` for every socket-level
+    failure, so no bare ``OSError``/``ConnectionError`` ever escapes the
+    transport layer.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def send(self, method: str, path: str,
+             payload: Optional[Dict[str, Any]] = None
+             ) -> Tuple[int, Optional[float], Dict[str, Any]]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers = {"Content-Type": "application/json",
+                           "Content-Length": str(len(body))}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            retry_after = parse_retry_after(
+                response.getheader("Retry-After"))
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                decoded = {"message": raw[:200].decode("utf-8", "replace")}
+            return response.status, retry_after, decoded
+        except (ConnectionError, socket.timeout, socket.gaierror,
+                http.client.HTTPException, OSError) as exc:
+            raise TransportError(
+                f"{method} {path} to {self.host}:{self.port} failed: "
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+        finally:
+            conn.close()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which requests fault, and how — counters, paths, probabilities.
+
+    Counter fields are 1-based request indices on the wrapping
+    transport; ``*_paths`` fields match any request whose path contains
+    the substring (robust against thread interleaving); ``*_rate``
+    fields draw from the seeded RNG per request.
+    """
+
+    seed: int = 0
+    drop_requests: Sequence[int] = ()       # fail, server never sees it
+    drop_responses: Sequence[int] = ()      # server acts, response lost
+    duplicates: Sequence[int] = ()          # delivered twice back to back
+    reorders: Sequence[int] = ()            # stale dup before next send
+    partitions: Sequence[Tuple[int, int]] = ()  # [start, end) counters down
+    drop_request_paths: Sequence[str] = ()
+    drop_response_paths: Sequence[str] = ()
+    duplicate_paths: Sequence[str] = ()
+    reorder_paths: Sequence[str] = ()
+    block_paths: Sequence[str] = ()         # scenario gate: fail while set
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay: float = 0.0                      # slow network: sleep per send
+    delay_jitter: float = 0.0               # + seeded uniform [0, jitter)
+
+
+@dataclass
+class TransportStats:
+    """Observability counters the scenarios assert against."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_requests: int = 0
+    dropped_responses: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    partitioned: int = 0
+
+
+class FaultyTransport:
+    """A transport that perturbs delivery according to a `FaultPlan`.
+
+    Thread-safe (agents send from pool + heartbeat threads); the fault
+    decision and counters are taken under a lock, the wrapped delivery
+    itself is not (each inner send is an independent connection).
+    ``set_partitioned(True)`` is the scenario-controlled master switch:
+    every request fails without delivery until it is cleared, exactly
+    like a severed link.
+    """
+
+    def __init__(self, inner, plan: Optional[FaultPlan] = None,
+                 sleep_fn=time.sleep) -> None:
+        self.inner = inner
+        self.plan = plan or FaultPlan()
+        self.stats = TransportStats()
+        self._sleep = sleep_fn
+        self._rng = random.Random(self.plan.seed)
+        self._lock = threading.Lock()
+        self._partitioned = False
+        self._blocked = set(self.plan.block_paths)
+        self._stale: List[Tuple[str, str, Optional[Dict[str, Any]]]] = []
+
+    # ------------------------------------------------------------------
+    # Scenario controls
+    # ------------------------------------------------------------------
+
+    def set_partitioned(self, partitioned: bool) -> None:
+        with self._lock:
+            self._partitioned = partitioned
+
+    def unblock(self, fragment: str) -> None:
+        """Lift a ``block_paths`` gate (scenario sequencing)."""
+        with self._lock:
+            self._blocked.discard(fragment)
+
+    # ------------------------------------------------------------------
+
+    def _decide(self, n: int, path: str) -> Dict[str, bool]:
+        plan = self.plan
+        in_partition = self._partitioned or any(
+            start <= n < end for start, end in plan.partitions
+        ) or any(frag in path for frag in self._blocked)
+        roll = self._rng.random() if (plan.drop_rate
+                                      or plan.duplicate_rate) else 1.0
+        return {
+            "partition": in_partition,
+            "drop_request": (n in plan.drop_requests
+                             or any(f in path
+                                    for f in plan.drop_request_paths)
+                             or roll < plan.drop_rate),
+            "drop_response": (n in plan.drop_responses
+                              or any(f in path
+                                     for f in plan.drop_response_paths)),
+            "duplicate": (n in plan.duplicates
+                          or any(f in path for f in plan.duplicate_paths)
+                          or (plan.duplicate_rate
+                              and roll < plan.duplicate_rate)),
+            "reorder": (n in plan.reorders
+                        or any(f in path for f in plan.reorder_paths)),
+        }
+
+    def send(self, method: str, path: str,
+             payload: Optional[Dict[str, Any]] = None
+             ) -> Tuple[int, Optional[float], Dict[str, Any]]:
+        with self._lock:
+            self.stats.sent += 1
+            n = self.stats.sent
+            fate = self._decide(n, path)
+            stale = None
+            if not fate["partition"] and not fate["drop_request"] \
+                    and self._stale:
+                stale = self._stale.pop(0)
+            delay = self.plan.delay
+            if delay and self.plan.delay_jitter:
+                delay += self._rng.random() * self.plan.delay_jitter
+
+        if fate["partition"]:
+            with self._lock:
+                self.stats.partitioned += 1
+            raise TransportError(
+                f"{method} {path}: network partitioned (injected)",
+            )
+        if fate["drop_request"]:
+            with self._lock:
+                self.stats.dropped_requests += 1
+            raise TransportError(
+                f"{method} {path}: request dropped before delivery "
+                f"(injected)",
+            )
+        if stale is not None:
+            # Out-of-order duplicate: a held copy of an *earlier* request
+            # lands just before this one.  Its response is discarded —
+            # the original caller got theirs long ago.
+            with self._lock:
+                self.stats.reordered += 1
+            try:
+                self.inner.send(*stale)
+            except TransportError:
+                pass  # the stale copy vanishing is within its rights
+        if delay:
+            self._sleep(delay)
+
+        result = self.inner.send(method, path, payload)
+        with self._lock:
+            self.stats.delivered += 1
+        if fate["duplicate"]:
+            with self._lock:
+                self.stats.duplicated += 1
+                self.stats.delivered += 1
+            result = self.inner.send(method, path, payload)
+        if fate["reorder"]:
+            with self._lock:
+                self._stale.append((method, path, payload))
+        if fate["drop_response"]:
+            with self._lock:
+                self.stats.dropped_responses += 1
+            raise TransportError(
+                f"{method} {path}: response lost after delivery "
+                f"(injected); the server may have acted",
+            )
+        return result

@@ -41,6 +41,27 @@ Four further scenarios aim at the campaign *service*
   must be computed exactly once, and a later resubmit must be a 100%
   cache hit with zero recomputation.
 
+Four more scenarios aim at the multi-host *fleet* (:mod:`repro.fleet`
+— remote agents pulling leased jobs over HTTP), using the seeded
+fault-injecting transport for deterministic network failure:
+
+* ``agent-sigkill``      — a remote agent is SIGKILLed while holding a
+  lease; the daemon must declare it dead, requeue its job exactly once
+  (manifest-attributed), degrade to its local pool, and finish with
+  byte-identical results.
+* ``network-partition``  — the agent's link is severed mid-job; the
+  daemon reaps it and completes degraded, then the partition heals and
+  the agent must *rejoin* — with the degradation window closed and
+  recorded, and no result lost or doubled.
+* ``duplicate-delivery`` — every result the agent sends is delivered
+  twice (plus stale out-of-order redeliveries); the lease ledger must
+  record each job exactly once and drop every duplicate with lineage.
+* ``digest-mismatch``    — the trace-store interchange file is
+  corrupted after submission; the agent must refuse the poisoned job
+  (typed, without executing), the daemon must requeue it within the
+  lease budget, and the healed file must then produce byte-identical
+  results.
+
 After every scenario the harness checks the **journal invariants**: all
 lines parse (a torn line is tolerated only at EOF), no key has more than
 one ``ok`` record, a resume executes exactly the missing keys, and the
@@ -53,6 +74,7 @@ is the CLI entry point; ``--quick`` runs the subset CI exercises.
 
 from __future__ import annotations
 
+import dataclasses
 import errno
 import json
 import multiprocessing
@@ -514,13 +536,13 @@ def _service_jobs(specs: Sequence[JobSpec]) -> List[dict]:
 
 
 def _start_service(state_dir: Path, workers: int = 1,
-                   lease_duration: float = 30.0):
+                   lease_duration: float = 30.0, **overrides):
     from repro.service import CampaignService, ServiceConfig
 
     service = CampaignService(ServiceConfig(
         state_dir=state_dir, workers=workers,
         lease_duration=lease_duration, lease_poll=0.05,
-        heartbeat_every=200,
+        heartbeat_every=200, **overrides,
     ))
     service.start()
     return service
@@ -846,6 +868,343 @@ def _scenario_duplicate_submit(workdir: Path) -> List[str]:
     return problems
 
 
+# ----------------------------------------------------------------------
+# Fleet scenarios (repro.fleet): remote agents under network fire
+# ----------------------------------------------------------------------
+
+def _wait_until(predicate, timeout: float = 30.0,
+                interval: float = 0.02) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+def _fleet_agent(service, plan=None, run_fn=None, name: str = "chaos",
+                 pool: int = 1):
+    """An in-process agent whose every request crosses a fault injector."""
+    from repro.fleet import FaultyTransport, FleetAgent, HTTPTransport
+
+    host, port = service.address
+    transport = FaultyTransport(HTTPTransport(host, port, timeout=10.0),
+                                plan)
+    agent = FleetAgent(host, port, pool=pool, name=name,
+                       run_fn=run_fn or worker.run_job,
+                       transport=transport, poll=0.05, retries=2,
+                       backoff_base=0.05, jitter_seed=0)
+    return agent, transport
+
+
+def _fleet_events(state_dir: Path) -> List[str]:
+    """Event kinds from the daemon's fleet manifest, in order."""
+    path = state_dir / "fleet-manifest.json"
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return []
+    return [e.get("event") for e in doc.get("events", [])]
+
+
+def _agent_held_lease(service) -> bool:
+    return any(lease.agent for lease in service.leases.live())
+
+
+def _fleet_agent_body(host: str, port: int) -> None:
+    """Child-process body for the agent-sigkill scenario.
+
+    The slow ``run_fn`` guarantees the agent is mid-job — holding a
+    lease, result not yet delivered — for long enough that the parent's
+    SIGKILL always lands inside the window.
+    """
+    from repro.fleet import FleetAgent
+
+    def slow_run(spec, attempt):
+        time.sleep(0.8)
+        return worker.run_job(spec, attempt)
+
+    agent = FleetAgent(host, port, pool=1, name="doomed",
+                       run_fn=slow_run, poll=0.05, jitter_seed=0)
+    agent.start()
+    while True:  # parent SIGKILLs us; there is no graceful exit here
+        time.sleep(0.5)
+
+
+def _scenario_agent_sigkill(workdir: Path) -> List[str]:
+    """SIGKILL a remote agent mid-job; nothing lost, nothing doubled.
+
+    The daemon must declare the silent agent dead, requeue its lease
+    exactly once, fall back to its local pool (degraded mode, recorded
+    in the manifest), and still finish byte-identical to a direct run.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return ["fork start method unavailable (platform)"]
+    specs = _campaign_specs()
+    reference = _reference_results(specs)
+    state_dir = workdir / "state"
+    # Short leases so the dead agent is reaped in scenario time.
+    service = _start_service(state_dir, workers=1, lease_duration=1.5)
+    problems: List[str] = []
+    proc = None
+    try:
+        host, port = service.address
+        proc = ctx.Process(target=_fleet_agent_body, args=(host, port))
+        proc.start()
+        # Register *before* submitting so the agent — not the local
+        # pool — takes the first lease (a live agent blocks local).
+        if not _wait_until(lambda: service.fleet.live_agents()):
+            return ["agent child never registered"]
+        cid = service.submit({"jobs": _service_jobs(specs)})["campaign"]
+        if not _wait_until(lambda: _agent_held_lease(service)):
+            return ["agent never held a lease"]
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join()
+        proc = None
+
+        status = _wait_campaign(service, cid)
+        if status["state"] != "done":
+            return problems + [f"campaign stuck after the agent kill: "
+                               f"{status['counts']}"]
+        merged = _service_results_map(service, cid)
+        for spec in specs:
+            if merged.get(spec.key) != reference[spec.key]:
+                problems.append(f"results for {spec.key} are not "
+                                f"byte-identical after the agent death")
+        events = _fleet_events(state_dir)
+        for needed in ("agent-registered", "agent-dead", "agent-requeue",
+                       "degraded-enter"):
+            if needed not in events:
+                problems.append(f"manifest records no {needed} event "
+                                f"(saw {events})")
+        if not service.fleet_status()["degraded"]:
+            problems.append("daemon is not degraded with zero live agents")
+        requeued = [r for r in _wal_records(state_dir)
+                    if r.get("type") == "lease-expired" and r.get("agent")]
+        if not requeued:
+            problems.append("no agent-attributed lease-expired WAL record")
+        problems += _check_wal_exactly_once(state_dir, len(specs))
+    finally:
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join()
+        service.stop()
+    return problems
+
+
+def _scenario_network_partition(workdir: Path) -> List[str]:
+    """Sever the agent's link mid-job, then heal it and rejoin.
+
+    During the partition the daemon must reap the agent, requeue its
+    lease, and finish on the local pool (degraded).  After the heal the
+    agent's next contact must rejoin it and close the recorded
+    degradation window — and the result the agent computed behind the
+    partition must not produce a second record.
+    """
+
+    def slow_run(spec, attempt):
+        time.sleep(0.6)
+        return worker.run_job(spec, attempt)
+
+    specs = _campaign_specs()
+    reference = _reference_results(specs)
+    state_dir = workdir / "state"
+    service = _start_service(state_dir, workers=1, lease_duration=1.0)
+    agent, transport = _fleet_agent(service, run_fn=slow_run, name="flaky")
+    problems: List[str] = []
+    try:
+        agent.start()
+        cid = service.submit({"jobs": _service_jobs(specs)})["campaign"]
+        if not _wait_until(lambda: _agent_held_lease(service)):
+            return ["agent never held a lease"]
+        transport.set_partitioned(True)
+
+        status = _wait_campaign(service, cid)
+        if status["state"] != "done":
+            return [f"campaign stuck behind the partition: "
+                    f"{status['counts']}"]
+        merged = _service_results_map(service, cid)
+        for spec in specs:
+            if merged.get(spec.key) != reference[spec.key]:
+                problems.append(f"results for {spec.key} are not "
+                                f"byte-identical across the partition")
+        events = _fleet_events(state_dir)
+        for needed in ("agent-dead", "agent-requeue", "degraded-enter"):
+            if needed not in events:
+                problems.append(f"manifest records no {needed} event "
+                                f"(saw {events})")
+        if transport.stats.partitioned == 0:
+            problems.append("the injected partition never dropped a "
+                            "request")
+
+        # Heal the link: the agent must rejoin and end the degradation.
+        transport.set_partitioned(False)
+        if not _wait_until(
+                lambda: not service.fleet_status()["degraded"]):
+            problems.append("degradation window never closed after the "
+                            "heal")
+        events = _fleet_events(state_dir)
+        for needed in ("agent-rejoined", "degraded-exit"):
+            if needed not in events:
+                problems.append(f"manifest records no {needed} event "
+                                f"after the heal (saw {events})")
+        windows = service.manifest.degraded_windows()
+        if not windows or not windows[-1].get("recovered"):
+            problems.append(f"no recovered degradation window recorded: "
+                            f"{windows}")
+        problems += _check_wal_exactly_once(state_dir, len(specs))
+    finally:
+        agent.stop()
+        service.stop()
+    return problems
+
+
+def _scenario_duplicate_delivery(workdir: Path) -> List[str]:
+    """Deliver every result twice (plus stale redelivery): record once.
+
+    ``duplicate_paths`` makes the transport send each ``/result`` POST
+    twice back to back; ``reorder_paths`` re-delivers a stale copy once
+    more before the agent's next request.  The lease ledger must record
+    each job exactly once, route every duplicate through the late-result
+    drop path, and keep the campaign byte-identical.
+    """
+    from repro.fleet import FaultPlan
+
+    specs = _campaign_specs()
+    reference = _reference_results(specs)
+    state_dir = workdir / "state"
+    service = _start_service(state_dir, workers=1)
+    plan = FaultPlan(duplicate_paths=("/result",),
+                     reorder_paths=("/result",))
+    agent, transport = _fleet_agent(service, plan=plan, name="stutter")
+    problems: List[str] = []
+    try:
+        agent.start()
+        cid = service.submit({"jobs": _service_jobs(specs)})["campaign"]
+        status = _wait_campaign(service, cid)
+        if status["state"] != "done":
+            return [f"campaign did not finish under duplicate delivery: "
+                    f"{status['counts']}"]
+        # The daemon marks the campaign done on the *first* delivery of
+        # the final result; the agent thread may still be mid-way
+        # through sending its injected duplicate, so give the counter a
+        # beat to catch up before judging it.
+        _wait_until(lambda: transport.stats.duplicated >= len(specs),
+                    timeout=5.0)
+        if transport.stats.duplicated < len(specs):
+            problems.append(f"only {transport.stats.duplicated} duplicate "
+                            f"deliveries were injected for {len(specs)} "
+                            f"results")
+        if service.jobs_computed != len(specs):
+            problems.append(f"{service.jobs_computed} computes for "
+                            f"{len(specs)} jobs under duplicate delivery")
+        merged = _service_results_map(service, cid)
+        for spec in specs:
+            if merged.get(spec.key) != reference[spec.key]:
+                problems.append(f"results for {spec.key} are not "
+                                f"byte-identical under duplicate delivery")
+        _wait_until(lambda: sum(
+            1 for job in service.status(cid)["jobs"]
+            for event in job.get("lineage", [])
+            if event.get("event") == "late-result") >= len(specs),
+            timeout=5.0)
+        late = sum(1 for job in service.status(cid)["jobs"]
+                   for event in job.get("lineage", [])
+                   if event.get("event") == "late-result")
+        if late < len(specs):
+            problems.append(f"expected >= {len(specs)} late-result drops "
+                            f"in the lineage, saw {late}")
+        problems += _check_wal_exactly_once(state_dir, len(specs))
+    finally:
+        agent.stop()
+        service.stop()
+    return problems
+
+
+def _scenario_digest_mismatch(workdir: Path) -> List[str]:
+    """Corrupt the trace-store interchange file: refuse, requeue, heal.
+
+    The scheduler hashed the store at submission; the agent must detect
+    that the bytes on disk no longer match the digest the lease
+    promised, refuse the job (typed, without executing it), and burn
+    exactly one requeue credit.  Restoring the bytes must let the
+    requeued attempt verify, run, and land byte-identical.
+    """
+    from repro.memory.tracestore import ensure_store
+
+    store_dir = workdir / "stores"
+    path = ensure_store(store_dir, _TRACE, _SCALE)
+    spec = dataclasses.replace(
+        JobSpec(trace=_TRACE, l1d="none", scale=_SCALE,
+                warmup_fraction=0.2),
+        trace_path=str(path))
+    reference = worker.run_job(spec, 1).to_dict()
+    pristine = path.read_bytes()
+
+    state_dir = workdir / "state"
+    service = _start_service(state_dir, workers=1)
+    # Driven synchronously (no threads): each step below is one
+    # deterministic lease/report exchange, so the corruption window
+    # cannot race the agent's poll loop.
+    agent, transport = _fleet_agent(service, name="careful")
+    problems: List[str] = []
+    try:
+        agent.register()
+        cid = service.submit({"jobs": _service_jobs([spec])})["campaign"]
+        blob = bytearray(pristine)
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        lease1 = agent._agent_request("lease", {"max": 1})
+        if len(lease1.get("leases", ())) != 1:
+            return ["agent could not lease the poisoned job"]
+        agent._run_one(lease1["leases"][0])
+        if agent.jobs_refused != 1 or agent.jobs_done != 0:
+            problems.append(f"agent should have refused the poisoned job "
+                            f"(refused={agent.jobs_refused}, "
+                            f"done={agent.jobs_done})")
+        if service.jobs_computed != 0:
+            problems.append("a job ran against corrupted trace bytes")
+        refused = [r for r in _wal_records(state_dir)
+                   if r.get("type") == "refused"]
+        if len(refused) != 1 or not refused[0].get("requeued") \
+                or refused[0].get("agent") != agent.agent_id:
+            problems.append(f"expected one agent-attributed requeued "
+                            f"refusal in the WAL, saw {refused}")
+        if "job-refused" not in _fleet_events(state_dir):
+            problems.append("manifest records no job-refused event")
+
+        # Heal the bytes: the requeued attempt must verify and run.
+        path.write_bytes(pristine)
+        lease2 = agent._agent_request("lease", {"max": 1})
+        if len(lease2.get("leases", ())) != 1:
+            return problems + ["requeued job was not leasable after the "
+                               "heal"]
+        if lease2["leases"][0].get("attempt") != 2:
+            problems.append(f"healed lease should be attempt 2, got "
+                            f"{lease2['leases'][0].get('attempt')}")
+        agent._run_one(lease2["leases"][0])
+        status = service.status(cid)
+        if status["state"] != "done":
+            return problems + [f"campaign not done after the heal: "
+                               f"{status['counts']}"]
+        merged = _service_results_map(service, cid)
+        if merged.get(spec.key) != reference:
+            problems.append("healed result is not byte-identical to the "
+                            "direct-runner reference")
+        record = service.fleet.get(agent.agent_id)
+        if record is None or record.results_refused != 1 \
+                or record.results_ok != 1:
+            problems.append(f"registry miscounted the refusal: "
+                            f"{record.describe() if record else None}")
+        problems += _check_wal_exactly_once(state_dir, 1)
+    finally:
+        service.stop()
+    return problems
+
+
 SCENARIOS: Dict[str, Callable[[Path], List[str]]] = {
     "disk-full": _scenario_disk_full,
     "sigkill": _scenario_sigkill,
@@ -856,15 +1215,21 @@ SCENARIOS: Dict[str, Callable[[Path], List[str]]] = {
     "client-disconnect": _scenario_client_disconnect,
     "cache-corruption": _scenario_cache_corruption,
     "duplicate-submit": _scenario_duplicate_submit,
+    "agent-sigkill": _scenario_agent_sigkill,
+    "network-partition": _scenario_network_partition,
+    "duplicate-delivery": _scenario_duplicate_delivery,
+    "digest-mismatch": _scenario_digest_mismatch,
 }
 
 #: The CI subset: one journal-durability kill, one ENOSPC storm, one
 #: liveness preemption — the three invariants a campaign lives or dies
 #: by — plus all four campaign-service scenarios (daemon kill, torn
-#: connections, cache corruption, duplicate submission).
+#: connections, cache corruption, duplicate submission) and the fastest
+#: fleet scenario (duplicate delivery over the faulty transport).
 QUICK_SCENARIOS = ("disk-full", "sigkill", "hung-worker",
                    "service-sigkill", "client-disconnect",
-                   "cache-corruption", "duplicate-submit")
+                   "cache-corruption", "duplicate-submit",
+                   "duplicate-delivery")
 
 
 def run_chaos(

@@ -8,6 +8,15 @@ dependencies.  Routes::
     GET  /v1/campaigns/<cid>/results   verified results (409 until done)
     POST /v1/campaigns/<cid>/cancel    cancel pending work
     GET  /v1/healthz                   liveness + queue/cache counters
+    POST /v1/agents                    register a remote worker agent
+    POST /v1/agents/<aid>/lease        pull up to N leased jobs
+    POST /v1/agents/<aid>/renew        bulk lease renewal (HTTP heartbeat)
+    POST /v1/agents/<aid>/result       deliver one attempt outcome
+    POST /v1/agents/<aid>/drain        stop leasing to this agent
+    GET  /v1/fleet                     agent registry + degradation state
+
+Unknown agent ids answer 410 (the registry died with a daemon restart):
+the agent's cue to re-register and continue.
 
 Every typed :class:`~repro.errors.ServiceError` maps onto its HTTP
 status, with ``Retry-After`` emitted for 429/503 so well-behaved
@@ -99,6 +108,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         svc = self.service
         if method == "GET" and parts == ["v1", "healthz"]:
             return svc.healthz()
+        if method == "GET" and parts == ["v1", "fleet"]:
+            return svc.fleet_status()
+        if parts[:2] == ["v1", "agents"] and method == "POST":
+            if len(parts) == 2:
+                return svc.agent_register(self._body())
+            if len(parts) == 4:
+                aid, action = parts[2], parts[3]
+                if action == "lease":
+                    return svc.agent_lease(aid, self._body())
+                if action == "renew":
+                    return svc.agent_renew(aid, self._body())
+                if action == "result":
+                    return svc.agent_result(aid, self._body())
+                if action == "drain":
+                    return svc.agent_drain(aid)
+            return None
         if parts[:1] != ["v1"] or len(parts) < 2 or parts[1] != "campaigns":
             return None
         if method == "POST" and len(parts) == 2:

@@ -1,18 +1,26 @@
 """Retrying HTTP client for the campaign service.
 
 `repro submit/poll/fetch` go through :class:`ServiceClient`, which
-wraps stdlib ``http.client`` with the retry discipline the chaos
-harness exercises:
+wraps a :mod:`repro.fleet.transport` transport with the retry
+discipline the chaos harness exercises:
 
 * **bounded attempts** — a hard cap, never an infinite loop;
 * **exponential backoff with jitter** — base * 2^attempt, with a
   deterministic seeded jitter so two clients racing a recovering daemon
   do not retry in lockstep (and so chaos runs replay identically);
-* **Retry-After wins** — a 429/503 carrying the header sleeps exactly
-  what the daemon asked for instead of guessing;
-* **retry only what is safe** — connection errors and 5xx/429 retry;
+* **Retry-After wins — when sane** — a 429/503 carrying the header
+  sleeps exactly what the daemon asked for; a malformed, negative,
+  non-finite, or absurdly large value is ignored in favour of the
+  computed backoff (a confused proxy must not be able to park the
+  client forever);
+* **retry only what is safe** — transport errors and 5xx/429 retry;
   4xx application errors (bad submission, unknown campaign) surface
   immediately as typed :class:`~repro.errors.ServiceError`.
+
+Network-level failures never escape untyped: the transport wraps every
+``ConnectionError``/``OSError``/``socket.timeout`` in a field-tagged
+:class:`~repro.errors.TransportError`, and the chaos harness swaps in a
+fault-injecting transport at exactly this seam.
 
 Submission is idempotent server-side (content-hash keyed), so retrying
 a POST that may or may not have landed is safe by construction — the
@@ -29,12 +37,17 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, TransportError
 
 __all__ = ["ServiceClient", "read_endpoint"]
 
 #: Statuses worth retrying: transient daemon states, not client bugs.
 _RETRYABLE_STATUS = frozenset({429, 500, 502, 503, 504})
+
+#: A Retry-After above this is treated as garbage (fall back to our own
+#: backoff) — no daemon of ours legitimately asks a client to sleep an
+#: hour between retries.
+_MAX_RETRY_AFTER = 3600.0
 
 
 def read_endpoint(state_dir: Union[str, Path]) -> Tuple[str, int]:
@@ -67,13 +80,21 @@ class ServiceClient:
         timeout: float = 30.0,
         jitter_seed: Optional[int] = None,
         sleep_fn=time.sleep,
+        transport=None,
     ) -> None:
+        # Imported lazily: repro.fleet's package init pulls in the agent
+        # (which imports this module), so a module-level import would
+        # cycle.  The transport submodule alone is cycle-free.
+        from repro.fleet.transport import HTTPTransport
+
         self.host = host
         self.port = port
         self.retries = max(0, retries)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.timeout = timeout
+        self.transport = transport or HTTPTransport(host, port,
+                                                    timeout=timeout)
         self._rng = random.Random(jitter_seed)
         self._sleep = sleep_fn
         self.attempts_made = 0  # across the client's lifetime (observability)
@@ -99,6 +120,9 @@ class ServiceClient:
 
     def healthz(self) -> Dict[str, Any]:
         return self.request("GET", "/v1/healthz")
+
+    def fleet(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/fleet")
 
     def poll(self, cid: str, interval: float = 0.2,
              timeout: float = 300.0) -> Dict[str, Any]:
@@ -126,11 +150,16 @@ class ServiceClient:
             self.attempts_made += 1
             try:
                 status, retry_after, body = self._once(method, path, payload)
+            except TransportError as exc:
+                last_error = exc
+                self._backoff(attempt, None)
+                continue
             except (ConnectionError, socket.timeout, socket.gaierror,
                     http.client.HTTPException, OSError) as exc:
-                last_error = ServiceError(
+                # Belt for custom transports that leak raw network
+                # errors: everything leaves this loop typed.
+                last_error = TransportError(
                     f"{method} {path} failed: {type(exc).__name__}: {exc}",
-                    status=503,
                 )
                 self._backoff(attempt, None)
                 continue
@@ -154,44 +183,39 @@ class ServiceClient:
 
     def _once(self, method: str, path: str,
               payload: Optional[Dict[str, Any]]):
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
-        try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload).encode("utf-8")
-                headers = {"Content-Type": "application/json",
-                           "Content-Length": str(len(body))}
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-            retry_after = _parse_retry_after(
-                response.getheader("Retry-After"))
-            try:
-                decoded = json.loads(raw) if raw else {}
-            except json.JSONDecodeError:
-                decoded = {"message": raw[:200].decode("utf-8", "replace")}
-            return response.status, retry_after, decoded
-        finally:
-            conn.close()
+        return self.transport.send(method, path, payload)
 
     def _backoff(self, attempt: int, retry_after: Optional[float]) -> None:
         if attempt >= self.retries:
             return  # out of attempts: no point sleeping before the raise
-        if retry_after is not None:
-            delay = retry_after
-        else:
+        delay = _sanitize_retry_after(retry_after)
+        if delay is None:
             delay = min(self.backoff_cap,
                         self.backoff_base * (2 ** attempt))
             delay *= 0.5 + self._rng.random()  # jitter in [0.5x, 1.5x)
         self._sleep(delay)
 
 
-def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+def _sanitize_retry_after(value) -> Optional[float]:
+    """A usable Retry-After, or ``None`` to use computed backoff.
+
+    Defends against every malformed shape a proxy or buggy server can
+    emit: non-numeric strings, ``None``, negatives, NaN, infinities, and
+    hints so large they would park the client for hours.
+    """
     if value is None:
         return None
     try:
-        return max(0.0, float(value))
-    except ValueError:
+        parsed = float(str(value).strip())
+    except (TypeError, ValueError):
         return None
+    if parsed != parsed:  # NaN
+        return None
+    if parsed < 0.0 or parsed > _MAX_RETRY_AFTER:
+        return None
+    return parsed
+
+
+# Kept under its historical name for callers/tests that parse headers
+# directly.
+_parse_retry_after = _sanitize_retry_after

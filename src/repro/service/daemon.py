@@ -42,6 +42,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import ConfigError, ReproError, ServiceError
+from repro.fleet.manifest import FleetManifest
+from repro.fleet.registry import AgentRegistry
 from repro.runner import worker as runner_worker
 from repro.runner.jobs import JobSpec, classify_error
 from repro.runner.resources import read_heartbeat
@@ -67,6 +69,9 @@ class ServiceConfig:
     max_queue: int = 64              # pending jobs before 429 backpressure
     heartbeat_every: int = 2000      # worker ping cadence (accesses)
     retry_after: float = 1.0         # hint sent with 429/503 responses
+    agent_timeout: float = 0.0       # silence before an agent is dead
+    #                                  (0 = inherit lease_duration)
+    agent_quarantine_after: int = 3  # consecutive failures trip breaker
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -93,6 +98,17 @@ class ServiceConfig:
             raise ConfigError(
                 f"max_requeues must be >= 0, got {self.max_requeues}",
                 field="max_requeues",
+            )
+        if self.agent_timeout < 0:
+            raise ConfigError(
+                f"agent_timeout must be >= 0, got {self.agent_timeout}",
+                field="agent_timeout",
+            )
+        if self.agent_quarantine_after < 1:
+            raise ConfigError(
+                f"agent_quarantine_after must be >= 1, got "
+                f"{self.agent_quarantine_after}",
+                field="agent_quarantine_after",
             )
 
 
@@ -212,7 +228,17 @@ class CampaignService:
         self._jobs: Dict[str, _Job] = {}          # content_key -> _Job
         self._campaigns: Dict[str, _Campaign] = {}
         self._pending: deque = deque()            # content keys
+        self._digests: Dict[str, str] = {}        # content_key -> sha256:…
         self.epoch = 1
+        self.fleet = AgentRegistry(
+            timeout=self.config.agent_timeout or self.config.lease_duration,
+            breaker_after=self.config.agent_quarantine_after,
+            clock=self._now,
+        )
+        self.manifest = FleetManifest(
+            self.state_dir / "fleet-manifest.json", clock=self._now,
+        )
+        self._fleet_engaged = False   # ever had a leasable agent?
         self.leases = LeaseTable(self.config.lease_duration,
                                  epoch=self.epoch,
                                  max_requeues=self.config.max_requeues)
@@ -245,6 +271,11 @@ class CampaignService:
                                    content_key=key)
                         self._jobs[key] = job
                         self._pending.append(key)
+                    if item.get("digest"):
+                        # The digest promised to agents is the one from
+                        # submission time, not a re-hash of whatever the
+                        # file holds now.
+                        self._digests[key] = item["digest"]
                     self._jobs[key].campaigns.append(rec["cid"])
                 self._campaigns[rec["cid"]] = _Campaign(
                     cid=rec["cid"], entries=entries,
@@ -256,7 +287,7 @@ class CampaignService:
                     job.status = "leased"
                     job.attempt = max(job.attempt, rec.get("attempt", 1))
                     open_leases[job.content_key] = rec
-            elif kind == "lease-expired":
+            elif kind in ("lease-expired", "refused"):
                 job = self._jobs.get(rec.get("content_key"))
                 if job is not None:
                     open_leases.pop(job.content_key, None)
@@ -283,6 +314,12 @@ class CampaignService:
         self.leases = LeaseTable(self.config.lease_duration,
                                  epoch=self.epoch,
                                  max_requeues=self.config.max_requeues)
+        # Reconstruct every job's full attempt lineage — grants,
+        # expiries, refusals, results, across all dead epochs and
+        # whichever agents held them — so a restarted daemon reports
+        # history instead of amnesia, and requeue budgets survive
+        # restarts.
+        self.leases.absorb_history(records)
         self.wal.append({"type": "epoch", "epoch": self.epoch})
 
         # Leases from the dead epoch are orphans: their worker threads
@@ -292,11 +329,14 @@ class CampaignService:
             job = self._jobs[key]
             job.status = "pending"
             job.lease_id = None
-            self.wal.append({
+            orphan = {
                 "type": "lease-expired", "content_key": key,
                 "lease_id": rec.get("lease_id"),
+                "agent": rec.get("agent"),
                 "reason": "daemon epoch lost", "requeued": True,
-            })
+            }
+            self.wal.append(orphan)
+            self.leases.absorb_history([orphan])
         # Rebuild the pending queue in deterministic submission order.
         self._pending = deque(
             key for c in self._campaigns.values() if c.state != "cancelled"
@@ -321,7 +361,9 @@ class CampaignService:
                                status=400, field="jobs")
         specs = [spec_from_dict(item) if isinstance(item, dict)
                  else self._reject_job(item) for item in jobs_in]
-        keys = [job_content_key(spec) for spec in specs]
+        digests = [trace_digest(spec) for spec in specs]
+        keys = [content_key(digest, canonical_job_config(spec))
+                for spec, digest in zip(specs, digests)]
         ident = hashlib.sha256(
             ("\n".join(sorted(set(keys)))
              + "\n" + str(payload.get("idempotency_key", ""))).encode()
@@ -354,8 +396,9 @@ class CampaignService:
 
             cached = 0
             entries: List[str] = []
-            for spec, key in zip(specs, keys):
+            for spec, key, digest in zip(specs, keys, digests):
                 entries.append(key)
+                self._digests[key] = digest
                 job = self._jobs.get(key)
                 if job is None:
                     job = _Job(spec=spec, content_key=key)
@@ -380,8 +423,9 @@ class CampaignService:
             self._campaigns[cid] = campaign
             self.wal.append({
                 "type": "campaign", "cid": cid, "cached": cached,
-                "jobs": [{"content_key": k, "spec": spec_to_dict(s)}
-                         for k, s in zip(keys, specs)],
+                "jobs": [{"content_key": k, "spec": spec_to_dict(s),
+                          "digest": d}
+                         for k, s, d in zip(keys, specs, digests)],
             })
             self._refresh_campaign(campaign)
             self._work.notify_all()
@@ -543,6 +587,12 @@ class CampaignService:
                 "jobs_computed": self.jobs_computed,
                 "campaigns": len(self._campaigns),
                 "cache": self.cache.stats(),
+                "fleet": {
+                    "agents": len(self.fleet.live_agents()),
+                    "engaged": self._fleet_engaged,
+                    "degraded": (self._fleet_engaged
+                                 and self.manifest.degraded),
+                },
             }
 
     def _refresh_campaign(self, campaign: _Campaign) -> None:
@@ -557,13 +607,22 @@ class CampaignService:
     # Execution: worker threads + lease monitor
     # ------------------------------------------------------------------
 
+    def _fleet_blocks_local(self) -> bool:
+        """Remote agents available: the local pool stands down.
+
+        The moment the last leasable agent dies or quarantines, this
+        flips false and the daemon degrades to its own worker threads —
+        jobs keep flowing, and the fleet manifest records the window.
+        """
+        return any(r.leasable for r in self.fleet.live_agents())
+
     def _next_job(self) -> Optional[_Job]:
         """Blocking pop of the next pending job (None = shutting down)."""
         with self._work:
             while True:
                 if self._stop.is_set() or self.draining:
                     return None
-                while self._pending:
+                while not self._fleet_blocks_local() and self._pending:
                     key = self._pending.popleft()
                     job = self._jobs[key]
                     if job.status == "pending":
@@ -615,7 +674,16 @@ class CampaignService:
             self._record_attempt(job, lease_id, attempt, result, error)
 
     def _record_attempt(self, job: _Job, lease_id: str, attempt: int,
-                        result, error: Optional[Dict[str, Any]]) -> None:
+                        result, error: Optional[Dict[str, Any]],
+                        agent: Optional[str] = None) -> bool:
+        """Record one attempt's outcome; ``False`` = dropped as late.
+
+        Shared by the local worker threads and the remote-agent result
+        endpoint — idempotency lives here: a duplicate delivery releases
+        a lease that no longer exists and finds the job already
+        resolved, so it is dropped with a ``late-result`` lineage entry
+        instead of being recorded twice.
+        """
         with self._lock:
             lease = self.leases.release(
                 lease_id, "ok" if error is None else "failed"
@@ -626,7 +694,7 @@ class CampaignService:
                 # job; recording again would duplicate it.  Drop, with
                 # lineage.
                 self.leases.record_late_result(job.content_key, lease_id)
-                return
+                return False
             lineage = self.leases.lineage(job.content_key)
             if error is None:
                 payload = (result.to_dict()
@@ -639,6 +707,7 @@ class CampaignService:
                     "type": "result", "content_key": job.content_key,
                     "status": "ok", "lease_id": lease_id,
                     "attempt": attempt, "lineage": lineage,
+                    "agent": agent,
                 })
             else:
                 job.status = "failed"
@@ -647,51 +716,324 @@ class CampaignService:
                     "type": "result", "content_key": job.content_key,
                     "status": "failed", "lease_id": lease_id,
                     "attempt": attempt, "error": error,
-                    "lineage": lineage,
+                    "lineage": lineage, "agent": agent,
                 })
             job.lease_id = None
             for cid in job.campaigns:
                 self._refresh_campaign(self._campaigns[cid])
             self._work.notify_all()
+            return True
 
     def _lease_monitor(self) -> None:
         while not self._stop.wait(self.config.lease_poll):
-            now = self._now()
-            with self._lock:
-                for lease in self.leases.live():
-                    if not lease.heartbeat_path:
+            self._monitor_tick(self._now())
+
+    def _monitor_tick(self, now: float) -> None:
+        """One liveness sweep: renew, reap dead agents, expire, requeue.
+
+        Factored out of the monitor thread so tests can drive it with an
+        injected clock instead of sleeping through real lease windows.
+        """
+        with self._lock:
+            for lease in self.leases.live():
+                if not lease.heartbeat_path:
+                    continue
+                data = read_heartbeat(lease.heartbeat_path)
+                if data is not None and data.get("seq") != lease.last_seq:
+                    self.leases.renew(lease.lease_id, now,
+                                      seq=data.get("seq"))
+            # Remote agents renew by HTTP, not heartbeat files.  One
+            # that has gone silent past the agent timeout is dead as a
+            # failure domain: force-expire every lease it holds so the
+            # ordinary requeue path below reclaims the jobs, and note
+            # the death (with the orphaned leases) in the manifest.
+            reaped: Dict[str, str] = {}
+            for record in self.fleet.reap_stale(now):
+                held = self.leases.leases_of_agent(record.agent_id)
+                self.manifest.record(
+                    "agent-dead", agent=record.agent_id,
+                    name=record.name,
+                    leases=[lease.lease_id for lease in held],
+                )
+                for lease in held:
+                    lease.expires_at = now
+                    reaped[lease.lease_id] = record.agent_id
+            if reaped:
+                self._update_degraded()
+            for lease in self.leases.expire(now):
+                job = self._jobs.get(lease.job_key)
+                if job is None or job.status != "leased":
+                    continue
+                requeue = self.leases.may_requeue(lease.job_key)
+                if requeue:
+                    job.status = "pending"
+                    self._pending.append(lease.job_key)
+                else:
+                    exc = self.leases.expiry_error(lease.job_key)
+                    job.status = "failed"
+                    job.error = {
+                        "error_type": type(exc).__name__,
+                        "kind": "timeout", "message": str(exc),
+                    }
+                    for cid in job.campaigns:
+                        self._refresh_campaign(self._campaigns[cid])
+                job.lease_id = None
+                reason = ("agent lost" if lease.lease_id in reaped
+                          else "no heartbeat before expiry")
+                self.wal.append({
+                    "type": "lease-expired",
+                    "content_key": lease.job_key,
+                    "lease_id": lease.lease_id,
+                    "agent": lease.agent,
+                    "reason": reason,
+                    "requeued": requeue,
+                    "error": job.error,
+                })
+                if lease.agent is not None:
+                    self.manifest.record(
+                        "agent-requeue", agent=lease.agent,
+                        content_key=lease.job_key,
+                        lease_id=lease.lease_id, requeued=requeue,
+                    )
+                self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    # Fleet: remote agent endpoints
+    # ------------------------------------------------------------------
+
+    def _update_degraded(self) -> None:
+        """Reconcile degraded mode with the live-agent census.
+
+        Call with ``self._lock`` held.  Degraded mode only exists once
+        the fleet has engaged (a single-host daemon that never saw an
+        agent is not "degraded", it is just local); from then on, zero
+        leasable agents opens a degradation window in the manifest and
+        wakes the local pool, and the next leasable agent closes it.
+        """
+        leasable = any(r.leasable for r in self.fleet.live_agents())
+        if leasable:
+            self._fleet_engaged = True
+        if not self._fleet_engaged:
+            return
+        if leasable:
+            self.manifest.exit_degraded()
+        else:
+            self.manifest.enter_degraded(
+                "zero live agents; daemon local pool active")
+        self._work.notify_all()
+
+    def _touch_agent(self, agent_id: str):
+        """Liveness contact from an agent; handles partition rejoin."""
+        previous = self.fleet.get(agent_id)
+        previous_state = previous.state if previous is not None else None
+        record = self.fleet.touch(agent_id)  # 410 for unknown agents
+        if previous_state == "dead":
+            self.manifest.record("agent-rejoined", agent=agent_id,
+                                 name=record.name)
+            self._update_degraded()
+        return record
+
+    def agent_register(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            if self.draining:
+                raise ServiceError(
+                    "daemon is draining; agents refused", status=503,
+                    retry_after=self.config.retry_after,
+                )
+            record = self.fleet.register(
+                name=str(payload.get("name", "")),
+                host=str(payload.get("host", "")),
+                pool=int(payload.get("pool", 1)),
+            )
+            self.manifest.record("agent-registered", agent=record.agent_id,
+                                 name=record.name, pool=record.pool)
+            self._update_degraded()
+            return {
+                "agent": record.agent_id,
+                "epoch": self.epoch,
+                "lease_duration": self.config.lease_duration,
+                "heartbeat_every": self.config.heartbeat_every,
+            }
+
+    def agent_lease(self, agent_id: str,
+                    payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Grant up to ``max`` pending jobs to a remote agent."""
+        want = max(1, int(payload.get("max", 1)))
+        with self._lock:
+            record = self._touch_agent(agent_id)
+            granted: List[Dict[str, Any]] = []
+            if record.leasable and not self.draining:
+                while self._pending and len(granted) < want:
+                    key = self._pending.popleft()
+                    job = self._jobs[key]
+                    if job.status != "pending":
                         continue
-                    data = read_heartbeat(lease.heartbeat_path)
-                    if data is not None and data.get("seq") != lease.last_seq:
-                        self.leases.renew(lease.lease_id, now,
-                                          seq=data.get("seq"))
-                for lease in self.leases.expire(now):
-                    job = self._jobs.get(lease.job_key)
-                    if job is None or job.status != "leased":
-                        continue
-                    requeue = self.leases.may_requeue(lease.job_key)
-                    if requeue:
-                        job.status = "pending"
-                        self._pending.append(lease.job_key)
-                    else:
-                        exc = self.leases.expiry_error(lease.job_key)
-                        job.status = "failed"
-                        job.error = {
-                            "error_type": type(exc).__name__,
-                            "kind": "timeout", "message": str(exc),
-                        }
-                        for cid in job.campaigns:
-                            self._refresh_campaign(self._campaigns[cid])
-                    job.lease_id = None
+                    job.attempt += 1
+                    job.status = "leased"
+                    lease = self.leases.grant(key, job.attempt,
+                                              self._now(), agent=agent_id)
+                    job.lease_id = lease.lease_id
+                    record.leases_granted += 1
                     self.wal.append({
-                        "type": "lease-expired",
-                        "content_key": lease.job_key,
+                        "type": "lease", "content_key": key,
                         "lease_id": lease.lease_id,
-                        "reason": "no heartbeat before expiry",
-                        "requeued": requeue,
-                        "error": job.error,
+                        "attempt": job.attempt, "epoch": self.epoch,
+                        "agent": agent_id,
                     })
-                    self._work.notify_all()
+                    digest = self._digests.get(key)
+                    if digest is None:
+                        digest = trace_digest(job.spec)
+                        self._digests[key] = digest
+                    granted.append({
+                        "lease_id": lease.lease_id,
+                        "content_key": key,
+                        "key": job.spec.key,
+                        "attempt": job.attempt,
+                        "spec": spec_to_dict(job.spec),
+                        "trace_digest": digest,
+                    })
+                if granted:
+                    self.fleet.activate(agent_id)
+            return {
+                "leases": granted,
+                "epoch": self.epoch,
+                "state": record.state,
+                "draining": self.draining,
+            }
+
+    def agent_renew(self, agent_id: str,
+                    payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Bulk lease renewal — the agent's HTTP heartbeat."""
+        with self._lock:
+            record = self._touch_agent(agent_id)
+            now = self._now()
+            kept: List[str] = []
+            lost: List[str] = []
+            for lease_id in payload.get("leases", []):
+                if self.leases.renew(str(lease_id), now):
+                    kept.append(str(lease_id))
+                else:
+                    # The lease died (expiry, requeue, daemon restart):
+                    # the agent must abandon the attempt — any result it
+                    # still delivers will take the late-result path.
+                    lost.append(str(lease_id))
+            return {
+                "ok": kept, "lost": lost, "epoch": self.epoch,
+                "draining": self.draining or record.state == "draining",
+            }
+
+    def agent_result(self, agent_id: str,
+                     payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Record a remote attempt's outcome (``ok``/``failed``/``refused``).
+
+        Exactly-once by construction: duplicate deliveries (network
+        retries, duplicated packets) release an already-dead lease and
+        drop through the late-result path, never recording twice.
+        """
+        lease_id = str(payload.get("lease_id", ""))
+        key = payload.get("content_key")
+        status = payload.get("status")
+        if status not in ("ok", "failed", "refused"):
+            raise ServiceError(
+                f"result status must be ok|failed|refused, got {status!r}",
+                status=400, field="status",
+            )
+        with self._lock:
+            self._touch_agent(agent_id)
+            job = self._jobs.get(key)
+            if job is None:
+                raise ServiceError(f"unknown job {key!r}", status=404)
+            attempt = int(payload.get("attempt", job.attempt))
+
+            if status == "refused":
+                recorded = self._record_refusal(job, lease_id, attempt,
+                                                agent_id, payload)
+            else:
+                error = payload.get("error") if status == "failed" else None
+                if status == "failed" and error is None:
+                    error = {"error_type": "FleetError", "kind": "crash",
+                             "message": "agent reported failure without "
+                                        "detail"}
+                recorded = self._record_attempt(
+                    job, lease_id, attempt, payload.get("result"), error,
+                    agent=agent_id,
+                )
+            if recorded:
+                breaker = self.fleet.record_result(
+                    agent_id, "ok" if status == "ok" else status)
+                if breaker == "quarantined":
+                    self.manifest.record("agent-quarantined",
+                                         agent=agent_id)
+                    self._update_degraded()
+            record = self.fleet.get(agent_id)
+            if (record is not None and record.state == "draining"
+                    and not self.leases.leases_of_agent(agent_id)):
+                # Last in-flight result landed: the drain completes.
+                self.fleet.mark_drained(agent_id)
+                self._update_degraded()
+            return {"recorded": recorded, "duplicate": not recorded,
+                    "epoch": self.epoch}
+
+    def _record_refusal(self, job: _Job, lease_id: str, attempt: int,
+                        agent_id: str, payload: Dict[str, Any]) -> bool:
+        """A digest-mismatch refusal: requeue within the lease budget.
+
+        The job never executed, so there is nothing to cache — but the
+        refusal burns one requeue credit (a poisoned trace store must
+        not ping-pong between agents forever) and is durably recorded.
+        """
+        lease = self.leases.release(lease_id, "refused")
+        if lease is None:
+            if job.status in ("done", "failed", "cancelled"):
+                self.leases.record_late_result(job.content_key, lease_id)
+            return False
+        requeue = self.leases.record_refusal(job.content_key, lease_id,
+                                             agent=agent_id)
+        error = payload.get("error") or {
+            "error_type": "DigestMismatch", "kind": "trace",
+            "message": "agent refused job: trace digest mismatch",
+        }
+        if requeue:
+            job.status = "pending"
+            job.error = None
+            self._pending.append(job.content_key)
+        else:
+            job.status = "failed"
+            job.error = error
+            for cid in job.campaigns:
+                self._refresh_campaign(self._campaigns[cid])
+        job.lease_id = None
+        self.wal.append({
+            "type": "refused", "content_key": job.content_key,
+            "lease_id": lease_id, "attempt": attempt,
+            "agent": agent_id, "requeued": requeue,
+            "error": None if requeue else error,
+        })
+        self.manifest.record("job-refused", agent=agent_id,
+                             content_key=job.content_key,
+                             lease_id=lease_id, requeued=requeue)
+        self._work.notify_all()
+        return True
+
+    def agent_drain(self, agent_id: str) -> Dict[str, Any]:
+        with self._lock:
+            record = self.fleet.drain(agent_id)
+            self.manifest.record("agent-draining", agent=agent_id)
+            if not self.leases.leases_of_agent(agent_id):
+                # Nothing in flight: the drain completes immediately.
+                self.fleet.mark_drained(agent_id)
+            self._update_degraded()
+            return {"agent": agent_id, "state": record.state}
+
+    def fleet_status(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "epoch": self.epoch,
+                "engaged": self._fleet_engaged,
+                "degraded": self.manifest.degraded,
+                "degraded_windows": self.manifest.degraded_windows(),
+                "agents": self.fleet.describe(),
+            }
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -45,6 +45,7 @@ class Lease:
     heartbeat_path: Optional[str] = None
     last_seq: Optional[int] = None  # heartbeat sequence high-water mark
     renewals: int = 0
+    agent: Optional[str] = None  # remote agent holding it (None = local)
 
     def describe(self) -> Dict[str, object]:
         return {
@@ -52,6 +53,7 @@ class Lease:
             "attempt": self.attempt,
             "epoch": self.epoch,
             "renewals": self.renewals,
+            "agent": self.agent,
         }
 
 
@@ -89,7 +91,8 @@ class LeaseTable:
     # ------------------------------------------------------------------
 
     def grant(self, job_key: str, attempt: int, now: float,
-              heartbeat_path: Optional[str] = None) -> Lease:
+              heartbeat_path: Optional[str] = None,
+              agent: Optional[str] = None) -> Lease:
         """Lease ``job_key`` to a worker; one live lease per job."""
         if job_key in self._by_job:
             raise LeaseExpired(
@@ -100,26 +103,31 @@ class LeaseTable:
             lease_id=f"L{self.epoch}-{next(self._ids)}",
             job_key=job_key, attempt=attempt, epoch=self.epoch,
             granted_at=now, expires_at=now + self.duration,
-            heartbeat_path=heartbeat_path,
+            heartbeat_path=heartbeat_path, agent=agent,
         )
         self._live[lease.lease_id] = lease
         self._by_job[job_key] = lease.lease_id
         self._event(job_key, "grant", lease_id=lease.lease_id,
-                    attempt=attempt, epoch=self.epoch)
+                    attempt=attempt, epoch=self.epoch, agent=agent)
         return lease
 
     def renew(self, lease_id: str, now: float,
-              seq: Optional[int] = None) -> None:
-        """Observed progress: push the expiry out one full duration."""
+              seq: Optional[int] = None) -> bool:
+        """Observed progress: push the expiry out one full duration.
+
+        Returns ``False`` for a dead lease — the remote renewal path
+        uses that to tell the agent its lease is lost (the job was
+        requeued; any result it still produces will be a late one)."""
         lease = self._live.get(lease_id)
         if lease is None:
-            return  # already expired/released; the late worker is on its own
+            return False  # already expired/released; the worker is on its own
         lease.expires_at = now + self.duration
         lease.renewals += 1
         if seq is not None:
             lease.last_seq = seq
         self._event(lease.job_key, "renew", lease_id=lease_id,
                     renewals=lease.renewals)
+        return True
 
     def release(self, lease_id: str, outcome: str) -> Optional[Lease]:
         """The worker finished (ok/failed): drop the lease.
@@ -164,7 +172,63 @@ class LeaseTable:
     def record_late_result(self, job_key: str, lease_id: str) -> None:
         self._event(job_key, "late-result", lease_id=lease_id)
 
+    def record_refusal(self, job_key: str, lease_id: str,
+                       agent: Optional[str] = None) -> bool:
+        """An agent refused the job (digest mismatch) without running it.
+
+        A refusal burns one unit of the same requeue budget an expiry
+        does — a persistently poisoned trace store must fail typed, not
+        ping-pong between agents forever.  Returns whether the job may
+        be requeued.  The ``refused`` lineage event itself comes from
+        the caller's :meth:`release`; this only charges the budget.
+        """
+        del lease_id, agent  # identity lives in the release event
+        line = self._lineage_for(job_key)
+        line.expiries += 1
+        return self.may_requeue(job_key)
+
+    def absorb_history(self, records) -> None:
+        """Rebuild per-job lineage from replayed WAL records.
+
+        Called once during recovery with the full record stream, so a
+        restarted daemon reports the complete grant/expiry/result
+        history of every job — including leases held by remote agents
+        in earlier epochs — instead of starting each lineage blank.
+        """
+        for rec in records:
+            kind = rec.get("type")
+            key = rec.get("content_key")
+            if not key:
+                continue
+            if kind == "lease":
+                self._event(key, "grant", lease_id=rec.get("lease_id"),
+                            attempt=rec.get("attempt"),
+                            epoch=rec.get("epoch"),
+                            agent=rec.get("agent"))
+            elif kind == "lease-expired":
+                line = self._lineage_for(key)
+                line.expiries += 1
+                self._event(key, "expired", lease_id=rec.get("lease_id"),
+                            reason=rec.get("reason"),
+                            agent=rec.get("agent"))
+            elif kind == "refused":
+                line = self._lineage_for(key)
+                line.expiries += 1
+                self._event(key, "refused", lease_id=rec.get("lease_id"),
+                            agent=rec.get("agent"))
+            elif kind == "result":
+                outcome = ("ok" if rec.get("status") == "ok" else "failed")
+                self._event(key, outcome, lease_id=rec.get("lease_id"),
+                            agent=rec.get("agent"))
+                if outcome == "ok":
+                    self._lineage_for(key).completed = True
+
     # ------------------------------------------------------------------
+
+    def leases_of_agent(self, agent: str) -> List[Lease]:
+        """Every live lease currently held by one remote agent."""
+        return [lease for lease in self._live.values()
+                if lease.agent == agent]
 
     def lease_for(self, job_key: str) -> Optional[Lease]:
         lease_id = self._by_job.get(job_key)

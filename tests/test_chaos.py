@@ -93,7 +93,7 @@ class TestCLI:
 
         assert main(["chaos", "--quick", "--workdir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "7/7 scenarios passed" in out
+        assert "8/8 scenarios passed" in out
 
     def test_unknown_scenario_exits_two(self, tmp_path):
         from repro.cli import main
