@@ -373,3 +373,13 @@ class HeartbeatTimeout(JobTimeout):
     "killed by liveness, long before the wall-clock budget" apart from
     "ran out its full budget" — the supervisor preempts on the former.
     """
+
+
+class FuzzError(ReproError):
+    """A fuzzing artifact (case file, corpus entry, report) is malformed.
+
+    Raised by :mod:`repro.fuzz` when a replayable case file cannot be
+    parsed or fails its schema check — the fuzzer holds its own
+    artifacts to the same typed-rejection standard it enforces on the
+    four persisted simulator formats.
+    """

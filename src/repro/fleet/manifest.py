@@ -12,15 +12,24 @@ The file is a single JSON document (events list + current degradation
 state), rewritten atomically on every append — fleet events are rare
 (per agent, not per job), so the rewrite cost is irrelevant and readers
 always see a complete, parseable document.
+
+Durability matches the service WAL's: the rewrite is temp + ``fsync`` +
+``os.replace`` + a directory fsync, and reload *heals* a torn tail
+instead of discarding history — a manifest written by an older,
+non-atomic writer (or mangled by a dying filesystem) is recovered to
+its longest structurally complete prefix via
+:func:`repro.durability.tolerant_read_json`, and the healing itself is
+recorded as a ``manifest-healed`` event so the loss is observable, not
+silent.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional
+
+from repro.durability import atomic_write_json, tolerant_read_json
 
 __all__ = ["FleetManifest"]
 
@@ -41,12 +50,24 @@ class FleetManifest:
             self._load()
 
     def _load(self) -> None:
-        try:
-            doc = json.loads(self.path.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, OSError):
-            return  # a torn manifest is cosmetic; start a fresh history
-        self._events = list(doc.get("events", []))
+        doc, healed = tolerant_read_json(self.path)
+        if not isinstance(doc, dict):
+            # Beyond recovery (cut inside the opening brace, or not a
+            # manifest at all): start fresh, but say so on the first
+            # flush rather than pretending the history never existed.
+            self._events = [{"event": "manifest-unrecoverable",
+                            "at": self._clock(),
+                             "path": str(self.path)}]
+            return
+        self._events = [e for e in doc.get("events", [])
+                        if isinstance(e, dict) and "event" in e]
         self._degraded_windows = list(doc.get("degraded_windows", []))
+        if healed:
+            # The torn tail was cut back to the last complete event —
+            # record the loss as an event of its own.
+            self._events.append({"event": "manifest-healed",
+                                 "at": self._clock(),
+                                 "events_recovered": len(self._events)})
         # A daemon that died while degraded leaves an open window; close
         # it at zero duration on reload rather than carrying a stale
         # monotonic timestamp across process lifetimes.
@@ -60,13 +81,9 @@ class FleetManifest:
             "degraded_since": self._degraded_since,
             "degraded_windows": self._degraded_windows,
         }
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(doc, handle, indent=2, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
+        # Temp + fsync + rename + directory fsync: a SIGKILL at any
+        # byte offset leaves the previous manifest or the new one.
+        atomic_write_json(self.path, doc)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,51 @@
+"""Differential fuzzing and crash-triage subsystem (``repro fuzz``).
+
+Five pieces, each importable on its own:
+
+* :mod:`repro.fuzz.cases` — replayable :class:`FuzzCase` artifacts with
+  content-derived ids and typed schema validation;
+* :mod:`repro.fuzz.generators` — structured adversarial trace families
+  and adversarial-but-valid config vectors;
+* :mod:`repro.fuzz.oracle` — the differential harness (engines,
+  reference, snapshot, and validity legs);
+* :mod:`repro.fuzz.corruption` — the persisted-format corruption
+  matrix (trace store, snapshot, WAL, result cache);
+* :mod:`repro.fuzz.shrink` — deterministic ddmin minimisation under a
+  bucket-identity predicate;
+* :mod:`repro.fuzz.campaign` — budgeted deterministic campaigns and
+  corpus replay.
+
+See ``docs/fuzzing.md`` for the architecture walk-through.
+"""
+
+from repro.fuzz.campaign import (
+    CampaignReport,
+    plan_cases,
+    replay_corpus,
+    run_campaign,
+)
+from repro.fuzz.cases import CASE_SCHEMA, FuzzCase, case_factory, load_case
+from repro.fuzz.corruption import CorruptionReport, corruption_matrix
+from repro.fuzz.generators import FAMILIES, generate_case
+from repro.fuzz.oracle import FuzzFinding, run_case
+from repro.fuzz.shrink import ShrinkResult, ddmin, shrink_case
+
+__all__ = [
+    "CASE_SCHEMA",
+    "CampaignReport",
+    "CorruptionReport",
+    "FAMILIES",
+    "FuzzCase",
+    "FuzzFinding",
+    "ShrinkResult",
+    "case_factory",
+    "corruption_matrix",
+    "ddmin",
+    "generate_case",
+    "load_case",
+    "plan_cases",
+    "replay_corpus",
+    "run_case",
+    "run_campaign",
+    "shrink_case",
+]

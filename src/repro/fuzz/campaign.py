@@ -1,0 +1,233 @@
+"""Campaign driver: budgeted, deterministic fuzz runs + corpus replay.
+
+A campaign is **planned before it runs**: the budget is converted to a
+fixed case count at a nominal throughput (``rate`` cases/second) and the
+full ``(family, seed)`` list is derived from the master seed up front.
+Two campaigns with the same seed therefore enumerate byte-identical
+cases — on any machine, at any load — which is what makes "CI found a
+bucket that main's run did not" a meaningful signal instead of noise.
+
+Wall-clock enters only as a *safety valve*: a run that exceeds three
+budgets of real time stops early and is marked ``truncated`` in the
+report, so a pathological case cannot wedge CI, while a truncated
+report is visibly not comparable to a full one.
+
+Each new finding is auto-shrunk (one shrink per bucket — minimising five
+duplicates of one root cause is wasted oracle time) and written to
+``<out>/cases/<case_id>.json``, replayable with ``repro fuzz --replay``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import Any, Dict, List, Optional
+
+from repro.durability import atomic_write_json
+from repro.errors import FuzzError
+from repro.fuzz.cases import FuzzCase, load_case
+from repro.fuzz.corruption import corruption_matrix
+from repro.fuzz.generators import FAMILIES, generate_case
+from repro.fuzz.oracle import run_case
+from repro.fuzz.shrink import shrink_case
+
+__all__ = ["CampaignReport", "plan_cases", "run_campaign", "replay_corpus"]
+
+REPORT_SCHEMA = 1
+
+#: Nominal oracle throughput used to convert a time budget into a fixed
+#: case count.  Deliberately conservative (the oracle sustains ~5/s on
+#: a cold laptop) so the planned work fits the budget with slack.
+NOMINAL_RATE = 2.0
+
+#: A campaign may overrun its nominal budget by this factor before the
+#: wall-clock safety valve truncates it.
+WALL_CAP_FACTOR = 3.0
+
+
+@dataclass
+class CampaignReport:
+    seed: int
+    budget_seconds: float
+    planned: int
+    cases_run: int = 0
+    truncated: bool = False
+    buckets: Dict[str, List[str]] = field(default_factory=dict)
+    findings: List[Dict[str, Any]] = field(default_factory=list)
+    shrunk: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    corruption: Optional[Dict[str, Any]] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        corruption_ok = (self.corruption is None
+                         or not self.corruption["findings"])
+        return not self.findings and corruption_ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "seed": self.seed,
+            "budget_seconds": self.budget_seconds,
+            "planned": self.planned,
+            "cases_run": self.cases_run,
+            "truncated": self.truncated,
+            "buckets": {k: sorted(v) for k, v in sorted(self.buckets.items())},
+            "findings": self.findings,
+            "shrunk": self.shrunk,
+            "corruption": self.corruption,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "ok": self.ok,
+        }
+
+
+def plan_cases(seed: int, n_cases: int,
+               plant_divergence: Optional[int] = None) -> List[FuzzCase]:
+    """The full deterministic case list for a campaign seed.
+
+    Families rotate round-robin (every family gets coverage even in a
+    10-case smoke run); per-case seeds come from one master stream, so
+    the list depends only on ``(seed, n_cases, plant_divergence)``.
+    """
+    master = Random(seed)
+    cases = [generate_case(FAMILIES[i % len(FAMILIES)],
+                           master.randrange(2 ** 63))
+             for i in range(n_cases)]
+    if plant_divergence is not None:
+        cases.append(_planted_case(master.randrange(2 ** 63),
+                                   plant_divergence))
+    return cases
+
+
+def _planted_case(seed: int, plant_at: int) -> FuzzCase:
+    """A sentinel with a latency perturbation seeded into one engine.
+
+    The plant lives in the *harness* (``lockstep_engines`` perturbs the
+    classic side's demand latency at access ``plant_at``), so this case
+    exercises the full find→bucket→shrink pipeline end to end without
+    shipping a broken engine.
+    """
+    base = generate_case("degenerate-stride", seed)
+    config = dict(base.config)
+    config["l1d"] = "berti"
+    config["plant_divergence"] = min(plant_at, max(1, len(base.records) - 2))
+    return FuzzCase(
+        family=base.family, seed=seed, records=base.records, config=config,
+        provenance=(f"planted divergence at access "
+                    f"{config['plant_divergence']}; {base.provenance}"),
+    )
+
+
+def run_campaign(
+    budget_seconds: float,
+    seed: int,
+    out_dir,
+    rate: float = NOMINAL_RATE,
+    plant_divergence: Optional[int] = None,
+    skip_corruption: bool = False,
+    max_shrink_records: int = 64,
+    log=None,
+) -> CampaignReport:
+    """Plan, run, bucket, shrink, and persist one campaign."""
+    out_dir = Path(out_dir)
+    case_dir = out_dir / "cases"
+    case_dir.mkdir(parents=True, exist_ok=True)
+    n_cases = max(1, int(budget_seconds * rate))
+    cases = plan_cases(seed, n_cases, plant_divergence)
+    report = CampaignReport(seed=seed, budget_seconds=budget_seconds,
+                            planned=len(cases))
+    start = time.monotonic()
+    deadline = start + budget_seconds * WALL_CAP_FACTOR
+
+    for case in cases:
+        if time.monotonic() > deadline:
+            report.truncated = True
+            break
+        report.cases_run += 1
+        finding = run_case(case)
+        if finding is None:
+            continue
+        sig = finding.signature
+        fresh_bucket = sig not in report.buckets
+        report.buckets.setdefault(sig, []).append(case.case_id)
+        report.findings.append(finding.to_dict())
+        if log:
+            log(f"finding {sig} in {case.case_id} ({case.family})")
+        if not fresh_bucket:
+            continue  # one shrink per bucket: same root cause
+        result = shrink_case(case, sig, max_records=max_shrink_records)
+        path = result.case.save(case_dir / f"{result.case.case_id}.json")
+        report.shrunk[sig] = {
+            "case_id": result.case.case_id,
+            "path": str(path),
+            "records": len(result.case.records),
+            "from_records": result.original_records,
+            "evaluations": result.evaluations,
+            "exhausted": result.exhausted,
+        }
+        if log:
+            log(f"shrunk {case.case_id} -> {result.case.case_id} "
+                f"({result.original_records} -> "
+                f"{len(result.case.records)} records)")
+
+    if not skip_corruption:
+        matrix = corruption_matrix(out_dir / "corruption", seed=seed)
+        report.corruption = matrix.to_dict()
+        for f in matrix.findings:
+            report.buckets.setdefault(f["signature"], []).append(
+                f"{f['format']}:{f['mutation']}")
+            report.findings.append(f)
+
+    report.elapsed_seconds = time.monotonic() - start
+    atomic_write_json(out_dir / "report.json", report.to_dict())
+    return report
+
+
+def replay_corpus(corpus_dir) -> List[Dict[str, Any]]:
+    """Re-run every committed case; sentinel expectations are asserted.
+
+    A case with ``expect_finding`` must reproduce *exactly that bucket*;
+    any other case must run clean.  Malformed case files are failures,
+    not skips — a corpus that silently shrinks is how regressions creep
+    back in.
+    """
+    corpus_dir = Path(corpus_dir)
+    results: List[Dict[str, Any]] = []
+    paths = sorted(corpus_dir.glob("*.json"))
+    if not paths:
+        raise FuzzError(f"corpus directory {corpus_dir} has no case files",
+                        field="fuzz_corpus")
+    for path in paths:
+        entry: Dict[str, Any] = {"path": path.name}
+        try:
+            case = load_case(path)
+        except FuzzError as exc:
+            entry.update(status="malformed", detail=str(exc))
+            results.append(entry)
+            continue
+        entry["case_id"] = case.case_id
+        finding = run_case(case)
+        expected = case.expect_finding
+        if expected is None:
+            if finding is None:
+                entry.update(status="ok", detail="ran clean")
+            else:
+                entry.update(status="failed",
+                             detail=f"new finding {finding.signature}: "
+                                    f"{finding.detail}")
+        else:
+            if finding is None:
+                entry.update(status="failed",
+                             detail=f"sentinel no longer reproduces "
+                                    f"{expected}")
+            elif finding.signature != expected:
+                entry.update(status="failed",
+                             detail=f"sentinel moved buckets: expected "
+                                    f"{expected}, got {finding.signature}")
+            else:
+                entry.update(status="ok",
+                             detail=f"sentinel reproduced {expected}")
+        results.append(entry)
+    return results

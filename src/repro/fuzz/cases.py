@@ -1,0 +1,196 @@
+"""Replayable fuzz cases: the atom the whole subsystem moves around.
+
+A :class:`FuzzCase` is a *self-contained, replayable* unit of work: the
+explicit trace records (not a generator spec — a shrunk case must stay
+byte-reproducible even if a generator's arithmetic changes), the
+configuration vector the oracle ran it under, and provenance describing
+where it came from.  Its ``case_id`` is content-derived (SHA-256 of the
+canonical JSON of records + config), so two runs that generate the same
+case agree on its identity, shrinking produces a *new* identity, and a
+corpus file that was hand-edited no longer matches its name.
+
+Case files are JSON documents written atomically; loading one performs
+a full schema check and raises the typed
+:class:`~repro.errors.FuzzError` on any malformation — the fuzzer's own
+artifacts are held to the same standard it enforces on the simulator's
+persisted formats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.config import BertiConfig
+from repro.durability import atomic_write_json
+from repro.errors import ConfigError, FuzzError
+from repro.prefetchers.registry import make_prefetcher
+
+__all__ = [
+    "CASE_SCHEMA",
+    "FuzzCase",
+    "case_factory",
+    "load_case",
+]
+
+CASE_SCHEMA = 1
+
+#: Config keys a case may carry; anything else is a schema violation.
+_CONFIG_KEYS = {
+    "l1d", "l2", "chunk_size", "warmup_fraction", "berti",
+    "plant_divergence", "expect",
+}
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+@dataclass
+class FuzzCase:
+    """One adversarial (trace, config) pair with a content-derived id."""
+
+    family: str
+    seed: int
+    #: Explicit ``[ip, vaddr, is_write, gap, dep]`` rows.
+    records: List[List[int]]
+    #: Oracle configuration: prefetcher names, chunk size, warmup
+    #: fraction, BertiConfig field overrides, optional plant index, and
+    #: ``expect`` (``"run"`` — legs must agree; ``"reject"`` — every
+    #: engine must refuse with a typed error).
+    config: Dict[str, Any] = field(default_factory=dict)
+    provenance: str = ""
+    #: Set on corpus sentinels that *should* fail: replay asserts the
+    #: finding's bucket signature matches instead of asserting success.
+    expect_finding: Optional[str] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def case_id(self) -> str:
+        blob = _canonical({"records": self.records, "config": self.config})
+        return "fz-" + hashlib.sha256(blob.encode("ascii")).hexdigest()[:12]
+
+    @property
+    def expect(self) -> str:
+        return self.config.get("expect", "run")
+
+    def trace(self):
+        """Materialise the records as a simulator :class:`Trace`."""
+        from repro.workloads.trace import Trace
+
+        t = Trace(self.case_id)
+        t.suite = "fuzz"
+        t.description = f"fuzz case, family {self.family}"
+        t.extend([(r[0], r[1], bool(r[2]), r[3], r[4])
+                  for r in self.records])
+        return t
+
+    def berti_config(self) -> Optional[BertiConfig]:
+        """The case's BertiConfig, or ``None`` for registry defaults.
+
+        Overrides are validated by ``BertiConfig.__post_init__`` — the
+        generators only emit *valid* vectors, so a :class:`ConfigError`
+        here means the case file was corrupted or hand-edited.
+        """
+        overrides = self.config.get("berti")
+        if not overrides:
+            return None
+        return BertiConfig(**overrides)
+
+    def make(self) -> Callable:
+        """Prefetcher factory honouring the case's Berti overrides."""
+        return case_factory(self.berti_config())
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = {
+            "schema": CASE_SCHEMA,
+            "case_id": self.case_id,
+            "family": self.family,
+            "seed": self.seed,
+            "records": self.records,
+            "config": self.config,
+            "provenance": self.provenance,
+        }
+        if self.expect_finding is not None:
+            doc["expect_finding"] = self.expect_finding
+        return doc
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        atomic_write_json(path, self.to_dict())
+        return path
+
+
+def case_factory(berti: Optional[BertiConfig]) -> Callable:
+    """A registry-compatible factory with Berti's geometry swapped out."""
+    if berti is None:
+        return make_prefetcher
+
+    def make(name: str):
+        if name == "berti":
+            from repro.core.berti import BertiPrefetcher
+
+            return BertiPrefetcher(berti)
+        return make_prefetcher(name)
+
+    return make
+
+
+def _fail(path, message: str) -> FuzzError:
+    return FuzzError(f"case file {path}: {message}", field="fuzz_case")
+
+
+def load_case(path) -> FuzzCase:
+    """Parse + schema-check a case file; typed errors only."""
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise _fail(path, f"cannot read: {exc}") from exc
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise _fail(path, f"not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise _fail(path, f"top level is {type(doc).__name__}, not an object")
+    if doc.get("schema") != CASE_SCHEMA:
+        raise _fail(path, f"unsupported schema {doc.get('schema')!r} "
+                          f"(this build reads {CASE_SCHEMA})")
+    records = doc.get("records")
+    if not isinstance(records, list):
+        raise _fail(path, "records is not a list")
+    for i, rec in enumerate(records):
+        if (not isinstance(rec, list) or len(rec) != 5
+                or not all(isinstance(v, int) for v in rec)):
+            raise _fail(path, f"record {i} is not a 5-int row: {rec!r}")
+    config = doc.get("config", {})
+    if not isinstance(config, dict):
+        raise _fail(path, "config is not an object")
+    unknown = set(config) - _CONFIG_KEYS
+    if unknown:
+        raise _fail(path, f"unknown config keys {sorted(unknown)}")
+    case = FuzzCase(
+        family=str(doc.get("family", "unknown")),
+        seed=int(doc.get("seed", 0)),
+        records=records,
+        config=config,
+        provenance=str(doc.get("provenance", "")),
+        expect_finding=doc.get("expect_finding"),
+    )
+    try:
+        case.berti_config()
+    except (ConfigError, TypeError) as exc:
+        raise _fail(path, f"invalid berti overrides: {exc}") from exc
+    stored = doc.get("case_id")
+    if stored is not None and stored != case.case_id:
+        raise _fail(path, f"content hash mismatch: file named {stored!r} "
+                          f"but its content hashes to {case.case_id!r} "
+                          f"(hand-edited case?)")
+    return case

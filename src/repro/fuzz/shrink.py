@@ -1,0 +1,138 @@
+"""Delta-debugging minimizer for failing fuzz cases.
+
+Classic ddmin (Zeller & Hildebrandt) over the trace records, followed
+by a greedy pass that strips config overrides back to their defaults:
+the shrunk repro should blame as few records and as few knobs as
+possible.  The predicate is *bucket identity* — a candidate counts as
+"still failing" only when the oracle reproduces the **same signature**,
+so shrinking can never morph one bug into a smaller, different one.
+
+Everything here is deterministic by construction: no RNG, a fixed
+chunk-splitting schedule, and a hard cap on oracle evaluations so a
+pathological case cannot stall a campaign.  Three runs over the same
+finding produce the same shrunk case, byte for byte — the shrinker
+self-test in tier-1 asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.fuzz.cases import FuzzCase
+from repro.fuzz.oracle import run_case
+
+__all__ = ["ShrinkResult", "ddmin", "shrink_case"]
+
+#: Oracle evaluations allowed per shrink (records + config passes).
+DEFAULT_EVAL_BUDGET = 200
+
+#: Config keys the greedy pass tries to drop, in a fixed order.
+_DROPPABLE = ("plant_divergence",)  # never dropped: it *is* the bug
+_RESETTABLE = (("chunk_size", 0), ("warmup_fraction", 0.2), ("l2", "none"))
+
+
+@dataclass
+class ShrinkResult:
+    case: FuzzCase
+    signature: str
+    original_records: int
+    evaluations: int
+    exhausted: bool  # True when the eval budget cut the search short
+
+
+def ddmin(items: List, test: Callable[[List], bool],
+          budget: List[int]) -> List:
+    """Minimal failing sublist of ``items`` under complement reduction.
+
+    ``test(sub)`` returns True when ``sub`` still fails.  ``budget`` is
+    a single-element mutable counter of remaining evaluations; reaching
+    zero stops the search at the current (still-failing) candidate.
+    """
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            complement = items[:start] + items[start + chunk:]
+            if not complement:
+                continue
+            if budget[0] <= 0:
+                return items
+            budget[0] -= 1
+            if test(complement):
+                items = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    return items
+
+
+def shrink_case(case: FuzzCase, finding_signature: str,
+                eval_budget: int = DEFAULT_EVAL_BUDGET,
+                max_records: Optional[int] = None) -> ShrinkResult:
+    """Minimise ``case`` while it keeps failing with the same signature."""
+    budget = [eval_budget]
+
+    def fails(candidate: FuzzCase) -> bool:
+        found = run_case(candidate)
+        return found is not None and found.signature == finding_signature
+
+    def with_records(records) -> FuzzCase:
+        return FuzzCase(family=case.family, seed=case.seed,
+                        records=records, config=dict(case.config),
+                        provenance=case.provenance)
+
+    # Pass 1: ddmin over the records.
+    records = ddmin(list(case.records),
+                    lambda recs: fails(with_records(recs)), budget)
+
+    # Pass 2: greedily reset config knobs to their defaults.
+    config = dict(case.config)
+    for key, default in _RESETTABLE:
+        if key not in config or config.get(key) == default:
+            continue
+        trial = dict(config)
+        trial[key] = default
+        if budget[0] <= 0:
+            break
+        budget[0] -= 1
+        if fails(FuzzCase(family=case.family, seed=case.seed,
+                          records=records, config=trial,
+                          provenance=case.provenance)):
+            config = trial
+    berti = dict(config.get("berti", {}))
+    for key in sorted(berti):
+        trial_berti = {k: v for k, v in berti.items() if k != key}
+        trial = dict(config)
+        if trial_berti:
+            trial["berti"] = trial_berti
+        else:
+            trial.pop("berti", None)
+        if budget[0] <= 0:
+            break
+        budget[0] -= 1
+        if fails(FuzzCase(family=case.family, seed=case.seed,
+                          records=records, config=trial,
+                          provenance=case.provenance)):
+            config = trial
+            berti = trial_berti
+
+    shrunk = FuzzCase(
+        family=case.family, seed=case.seed, records=records, config=config,
+        provenance=(f"shrunk from {case.case_id} "
+                    f"({len(case.records)} -> {len(records)} records); "
+                    + case.provenance),
+        expect_finding=finding_signature,
+    )
+    exhausted = budget[0] <= 0 or (
+        max_records is not None and len(records) > max_records)
+    return ShrinkResult(
+        case=shrunk, signature=finding_signature,
+        original_records=len(case.records),
+        evaluations=eval_budget - budget[0], exhausted=exhausted,
+    )

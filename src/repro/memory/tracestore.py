@@ -29,6 +29,16 @@ sentinel)::
                deps             n × int64
                lines            n × int64 (addrs >> 6, precomputed)
 
+Format version 2 adds a ``crc32`` field *inside* the metadata JSON — a
+fixed-width hex CRC-32 of the entire column region — so the binary
+header layout (and every offset above) is unchanged from version 1.
+The CRC is **not** checked at open time: mapping stays O(1) and
+zero-copy.  :meth:`MappedTrace.verify` is the opt-in deep check (used
+by ``store_info``, the fuzzer's corruption matrix, and any client that
+just pulled a store across a host boundary); it walks the pad bytes and
+the column region once and raises a typed error with the first bad
+offset.
+
 Every malformed-input path raises the typed :class:`TraceStoreError`
 (a :class:`~repro.errors.TraceError`, so the runner classifies it as a
 permanent ``trace`` failure, not a retryable crash).
@@ -68,7 +78,7 @@ __all__ = [
 ]
 
 MAGIC = b"BERTITRC"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 ENDIAN_SENTINEL = 0x0102030405060708
 
 #: magic, version, meta length, endian sentinel, record count.
@@ -79,6 +89,18 @@ _ITEM = 8  # int64
 
 class TraceStoreError(TraceError):
     """A trace-store file is missing, truncated, or corrupt."""
+
+
+def _identity_bytes(name: str, suite: str, description: str) -> bytes:
+    """Canonical encoding of the identity fields folded into the CRC.
+
+    Covering these makes a bit flip inside the metadata *values* (trace
+    renamed, suite relabelled) detectable by :meth:`MappedTrace.verify`
+    even though the checksum itself lives in the same JSON object —
+    the CRC field is simply excluded from its own coverage.
+    """
+    return json.dumps([name, suite, description], sort_keys=True,
+                      separators=(",", ":"), ensure_ascii=True).encode("ascii")
 
 
 def _check(cond: bool, message: str, path: Path) -> None:
@@ -126,23 +148,41 @@ def write_trace_store(trace: Trace, path: str | Path) -> Path:
     is indistinguishable from a conversion that died before writing
     records, so it must never be produced (or silently simulated).
     """
+    import zlib
+
     trace.validate()
     path = Path(path)
     _check(len(trace) > 0,
            f"refusing to write an empty trace store for {trace.name!r}: "
            f"0 records", path)
+    columns = (
+        trace._ips, trace._addrs, trace._writes, trace._gaps, trace._deps,
+        trace.line_addresses(),
+    )
+    blobs = []
+    crc = zlib.crc32(_identity_bytes(trace.name, trace.suite,
+                                     trace.description))
+    for col in columns:
+        data = col.tobytes() if hasattr(col, "tobytes") else bytes(col)
+        if sys.byteorder == "big":  # the format is little-endian
+            from array import array
+
+            swapped = array("q", data)
+            swapped.byteswap()
+            data = swapped.tobytes()
+        blobs.append(data)
+        crc = zlib.crc32(data, crc)
     meta = json.dumps({
         "name": trace.name,
         "suite": trace.suite,
         "description": trace.description,
+        # Fixed-width hex so the metadata length (and thus every data
+        # offset) never depends on the checksum's value.
+        "crc32": f"{crc:08x}",
     }).encode("utf-8")
     pad = (-(_HEADER.size + len(meta))) % _ITEM
     header = _HEADER.pack(
         MAGIC, FORMAT_VERSION, len(meta), ENDIAN_SENTINEL, len(trace)
-    )
-    columns = (
-        trace._ips, trace._addrs, trace._writes, trace._gaps, trace._deps,
-        trace.line_addresses(),
     )
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".trc-",
@@ -152,14 +192,7 @@ def write_trace_store(trace: Trace, path: str | Path) -> Path:
             fh.write(header)
             fh.write(meta)
             fh.write(b"\x00" * pad)
-            for col in columns:
-                data = col.tobytes() if hasattr(col, "tobytes") else bytes(col)
-                if sys.byteorder == "big":  # the format is little-endian
-                    from array import array
-
-                    swapped = array("q", data)
-                    swapped.byteswap()
-                    data = swapped.tobytes()
+            for data in blobs:
                 fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
@@ -208,7 +241,13 @@ def _parse_header(buf, path: Path):
     _check(n_records > 0,
            "trace store holds 0 records: an empty store cannot drive a "
            "simulation and is refused at open time", path)
-    return n_records, meta, data_off
+    crc = meta.get("crc32")
+    _check(isinstance(crc, str) and len(crc) == 8
+           and all(c in "0123456789abcdef" for c in crc),
+           f"trace-store metadata is missing its crc32 integrity field "
+           f"(version-{FORMAT_VERSION} stores carry a fixed-width hex "
+           f"CRC of the column region); got {crc!r}", path)
+    return n_records, meta, data_off, meta_end
 
 
 class MappedTrace(Trace):
@@ -225,7 +264,7 @@ class MappedTrace(Trace):
     typed error rather than silently copying.
     """
 
-    __slots__ = ("path", "_mm")
+    __slots__ = ("path", "_mm", "_meta_end", "_data_off", "_stored_crc")
 
     def __init__(self, path: str | Path) -> None:
         path = Path(path)
@@ -258,7 +297,7 @@ class MappedTrace(Trace):
             ) from exc
         head = memoryview(mm)
         try:
-            n_records, meta, data_off = _parse_header(head, path)
+            n_records, meta, data_off, meta_end = _parse_header(head, path)
         except BaseException:
             head.release()  # an exported view blocks mmap.close()
             mm.close()
@@ -266,6 +305,9 @@ class MappedTrace(Trace):
         head.release()
         self.path = path
         self._mm = mm
+        self._meta_end = meta_end
+        self._data_off = data_off
+        self._stored_crc = int(meta["crc32"], 16)
         self.name = meta.get("name", path.stem)
         self.suite = meta.get("suite", "")
         self.description = meta.get("description", "")
@@ -301,6 +343,46 @@ class MappedTrace(Trace):
         was fully re-verified when this object mapped the file.
         """
 
+    def verify(self) -> None:
+        """Deep integrity check of the mapped bytes (opt-in, O(n)).
+
+        Opening a store stays O(1); this walks the file once and raises
+        :class:`TraceStoreError` with the first bad offset when any
+        byte of the pad region or the column region disagrees with the
+        checksum the converter recorded.  The header and metadata need
+        no checksum: every header field is individually pinned at open
+        time and the file-size equation cross-checks the lengths.
+        """
+        import zlib
+
+        view = memoryview(self._mm)
+        try:
+            pad = bytes(view[self._meta_end:self._data_off])
+            if any(pad):
+                bad = self._meta_end + next(
+                    i for i, b in enumerate(pad) if b)
+                raise TraceStoreError(
+                    f"trace store {self.path} corrupt: non-zero pad byte "
+                    f"at offset {bad} (pad region "
+                    f"[{self._meta_end}, {self._data_off}) must be zero)",
+                    trace=str(self.path), field="trace_store",
+                )
+            actual = zlib.crc32(
+                view[self._data_off:],
+                zlib.crc32(_identity_bytes(self.name, self.suite,
+                                           self.description)),
+            )
+            if actual != self._stored_crc:
+                raise TraceStoreError(
+                    f"trace store {self.path} corrupt: identity fields + "
+                    f"column region (offset {self._data_off}..{len(view)}) "
+                    f"have CRC32 {actual:08x}, metadata recorded "
+                    f"{self._stored_crc:08x}",
+                    trace=str(self.path), field="trace_store",
+                )
+        finally:
+            view.release()
+
     def close(self) -> None:
         """Drop our column views and unmap (tests; workers just exit).
 
@@ -333,6 +415,7 @@ def store_info(path: str | Path) -> Dict[str, object]:
     path = Path(path)
     t = load_trace_store(path)
     try:
+        t.verify()  # info is a diagnostic: pay the deep check
         return {
             "path": str(path),
             "version": FORMAT_VERSION,
@@ -341,6 +424,7 @@ def store_info(path: str | Path) -> Dict[str, object]:
             "description": t.description,
             "records": len(t),
             "bytes": path.stat().st_size,
+            "crc32": f"{t._stored_crc:08x}",
             "digest": file_digest(path),
         }
     finally:

@@ -92,7 +92,11 @@ from repro.runner.faultinject import FaultSpec
 from repro.runner.jobs import JobSpec
 from repro.runner.journal import Journal
 from repro.runner.resources import ResourceMonitor, ResourcePolicy
-from repro.runner.supervisor import CampaignSupervisor, SupervisorConfig
+from repro.runner.supervisor import (
+    CampaignSupervisor,
+    SupervisorConfig,
+    load_campaign_manifest,
+)
 
 __all__ = [
     "ENOSPCJournal",
@@ -319,10 +323,8 @@ def _supervisor(
 
 def _read_manifest(journal_path: Path) -> dict:
     path = journal_path.with_name(journal_path.name + ".manifest.json")
-    try:
-        return json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
-        return {}
+    doc, _healed = load_campaign_manifest(path)
+    return doc if isinstance(doc, dict) else {}
 
 
 def _event_kinds(manifest: dict) -> List[str]:

@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
 import os
 import shutil
 import signal
@@ -65,7 +64,27 @@ from repro.runner.resources import (
     read_heartbeat,
 )
 
-__all__ = ["CampaignSupervisor", "SupervisorConfig"]
+__all__ = ["CampaignSupervisor", "SupervisorConfig",
+           "load_campaign_manifest"]
+
+
+def load_campaign_manifest(path):
+    """Read a campaign manifest, healing a torn tail on the way in.
+
+    Returns ``(manifest, healed)``: ``manifest`` is ``None`` when the
+    file is missing or beyond recovery; ``healed`` is ``True`` when the
+    strict parse failed and the torn-tail recovery of
+    :func:`repro.durability.tolerant_read_json` produced the document
+    (a manifest written by a pre-durability build and cut mid-write).
+    The current writer is atomic, so ``healed`` should never be true
+    for a manifest it produced — chaos scenarios assert exactly that.
+    """
+    from repro.durability import tolerant_read_json
+
+    doc, healed = tolerant_read_json(path)
+    if not isinstance(doc, dict):
+        return None, healed
+    return doc, healed
 
 
 @dataclass
@@ -709,13 +728,11 @@ class CampaignSupervisor(ExperimentRunner):
             "events": self._events,
         }
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=str(path.parent),
-                                       prefix=".manifest-", suffix=".tmp")
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(manifest, fh, indent=2)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, path)
+            # Temp + fsync + rename + directory fsync — same crash
+            # discipline as the service WAL, so a SIGKILL mid-write
+            # leaves the previous manifest, never a torn one.
+            from repro.durability import atomic_write_json
+
+            atomic_write_json(path, manifest, sort_keys=False)
         except OSError:
             pass  # a manifest must never mask the campaign's own outcome

@@ -82,10 +82,9 @@ class _Side:
         config: SystemConfig,
         prewarm_tlb: bool,
         reference: bool,
+        make=make_prefetcher,
     ) -> None:
-        self.hierarchy = build_hierarchy(
-            config, make_prefetcher(l1d), make_prefetcher(l2)
-        )
+        self.hierarchy = build_hierarchy(config, make(l1d), make(l2))
         if reference:
             to_reference(self.hierarchy)
         self.core = CoreModel(config.core)
@@ -163,16 +162,22 @@ def lockstep_run(
     prewarm_tlb: bool = True,
     digest_every: int = 256,
     seed_divergence: Optional[int] = None,
+    make=make_prefetcher,
 ) -> LockstepReport:
     """Drive both engines through ``trace`` and report the first mismatch.
 
     Prefetchers are named (registry), not passed as objects: each side
     needs its own independent instance, and registry construction is
-    deterministic (seeded RNGs), so both sides start identical.
+    deterministic (seeded RNGs), so both sides start identical.  ``make``
+    swaps the registry factory for a custom one (the fuzzer passes a
+    closure over an adversarial :class:`BertiConfig`); it must return a
+    fresh, deterministic instance per call.
     """
     config = config or default_config()
-    opt = _Side(trace, l1d, l2, config, prewarm_tlb, reference=False)
-    ref = _Side(trace, l1d, l2, config, prewarm_tlb, reference=True)
+    opt = _Side(trace, l1d, l2, config, prewarm_tlb, reference=False,
+                make=make)
+    ref = _Side(trace, l1d, l2, config, prewarm_tlb, reference=True,
+                make=make)
 
     if seed_divergence is not None:
         inner = opt.demand
@@ -249,6 +254,8 @@ def lockstep_engines(
     prewarm_tlb: bool = True,
     chunk_size: int = 0,
     localize: bool = True,
+    seed_divergence: Optional[int] = None,
+    make=make_prefetcher,
 ) -> LockstepReport:
     """Differential check of the batched engine against the classic one.
 
@@ -263,11 +270,20 @@ def lockstep_engines(
     ``localize=True`` the whole run is repeated at ``chunk_size=1``,
     which pins the divergence to the exact access; the final
     :class:`~repro.simulator.stats.SimResult` dicts are compared too.
+
+    ``seed_divergence=N`` perturbs the *classic* side's latency on the
+    first read at or after access ``N`` — the classic loop calls its
+    demand hook through a local, so the wrapper never touches the
+    hierarchy attribute and the batched side keeps its fused fast path
+    (wrapping the batched side would demote it to the classic loop and
+    silently defeat the plant).  The perturbation is larger than any
+    real memory latency so the core's retire-frontier max cannot absorb
+    it, and it skips writes, whose latency never reaches the clock.
     """
     config = config or default_config()
 
     def build() -> Tuple[Hierarchy, CoreModel]:
-        h = build_hierarchy(config, make_prefetcher(l1d), make_prefetcher(l2))
+        h = build_hierarchy(config, make(l1d), make(l2))
         core = CoreModel(config.core)
         if prewarm_tlb:
             h.mmu.prewarm(trace.line_addresses())
@@ -280,6 +296,19 @@ def lockstep_engines(
 
     ips, addrs, writes, gaps, deps = trace.columns()
     demand = hc.demand_access
+    if seed_divergence is not None:
+        inner_demand = demand
+        counter = [0, False]  # access index, plant already fired
+
+        def demand(ip: int, vaddr: int, now: int,  # noqa: F811
+                   is_write: bool = False) -> int:
+            latency = inner_demand(ip, vaddr, now, is_write)
+            if (not counter[1] and counter[0] >= seed_divergence
+                    and not is_write):
+                latency += 100003  # prime, >> any real memory latency
+                counter[1] = True
+            counter[0] += 1
+            return latency
     issue = cc.issue_memory
     advance = cc.advance_nonmem
 
@@ -303,6 +332,7 @@ def lockstep_engines(
                 trace, l1d, l2, config=config,
                 warmup_fraction=warmup_fraction, prewarm_tlb=prewarm_tlb,
                 chunk_size=1, localize=False,
+                seed_divergence=seed_divergence, make=make,
             )
         at = mark - 1 if cs == 1 and mark < n else mark
         return LockstepReport(

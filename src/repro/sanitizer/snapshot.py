@@ -9,7 +9,7 @@ bit-identical to the uninterrupted run.  That works because
 loop, merely split at checkpoint boundaries: every sub-span performs
 the same operations in the same order as ``simulate``'s two spans.
 
-File format (version 1)::
+File format (version 2)::
 
     <JSON header line>\\n<pickle payload>
 
@@ -17,10 +17,16 @@ The header is human-readable metadata plus integrity/identity fields:
 ``magic``, ``version``, ``index`` (records consumed), trace ``name`` /
 ``records`` / ``trace_crc`` (CRC-32 of the columnar arrays), prefetcher
 names, ``payload_len`` and ``payload_crc`` (CRC-32 of the pickle
-bytes).  :func:`load_snapshot` rejects wrong magic/version, truncation,
-checksum mismatch, and snapshots taken from a different trace or
-prefetcher configuration — all as typed
-:class:`~repro.errors.SnapshotError`, never a partial resume.
+bytes), and — new in version 2 — ``header_crc``, a CRC-32 of the
+canonical JSON of every *other* header field, so a flipped bit in the
+identity fields themselves (trace name, record count, prefetcher names)
+is caught instead of silently redirecting a resume.  Checks run in a
+fixed order: magic, version, header integrity, payload length, payload
+checksum, trace identity, then payload structure (the unpickled state
+must be a dict carrying every resume field, and its ``next_index`` must
+agree with the header's ``index``).  :func:`load_snapshot` rejects
+every failure as a typed :class:`~repro.errors.SnapshotError`, never a
+partial resume.
 
 Writes are atomic: payload to a temp file in the target directory,
 ``flush`` + ``fsync``, then ``os.replace`` — a crash mid-write leaves
@@ -62,7 +68,13 @@ from repro.simulator.stats import SimResult
 from repro.workloads.trace import Trace
 
 MAGIC = "repro-snap"
-VERSION = 1
+VERSION = 2
+
+
+def _header_crc(header: Dict[str, Any]) -> int:
+    """CRC-32 of the canonical JSON of every field except the CRC itself."""
+    core = {k: v for k, v in header.items() if k != "header_crc"}
+    return zlib.crc32(json.dumps(core, sort_keys=True).encode("ascii"))
 
 
 def trace_digest(trace: Trace) -> int:
@@ -170,6 +182,7 @@ def save_snapshot(
         "payload_len": len(payload),
         "payload_crc": zlib.crc32(payload),
     }
+    header["header_crc"] = _header_crc(header)
     data = json.dumps(header, sort_keys=True).encode("ascii") + b"\n" + payload
     _atomic_write(path, data)
     return path
@@ -202,6 +215,11 @@ def load_snapshot(path: str, trace: Optional[Trace] = None) -> SnapshotState:
             f"{path}: unsupported snapshot version "
             f"{header.get('version')!r} (this build reads {VERSION})"
         )
+    if _header_crc(header) != header.get("header_crc"):
+        raise SnapshotError(
+            f"{path}: header checksum mismatch — an identity or integrity "
+            f"field was altered after the snapshot was written"
+        )
     payload = data[newline + 1:]
     if len(payload) != header.get("payload_len"):
         raise SnapshotError(
@@ -228,6 +246,30 @@ def load_snapshot(path: str, trace: Optional[Trace] = None) -> SnapshotState:
             f"{path}: cannot unpickle snapshot payload: "
             f"{type(exc).__name__}: {exc}"
         ) from exc
+    if not isinstance(state, dict):
+        raise SnapshotError(
+            f"{path}: snapshot payload is a {type(state).__name__}, "
+            f"not the expected state dict"
+        )
+    required = ("hierarchy", "core", "next_index", "warmup_end",
+                "carryover", "start")
+    missing = [k for k in required if k not in state]
+    if missing:
+        raise SnapshotError(
+            f"{path}: snapshot payload is missing resume fields "
+            f"{missing} (has {sorted(state)})"
+        )
+    if state["next_index"] != header.get("index"):
+        raise SnapshotError(
+            f"{path}: header says index {header.get('index')} but the "
+            f"payload resumes at {state['next_index']} — refusing the "
+            f"inconsistent snapshot"
+        )
+    if not isinstance(state["carryover"], dict):
+        raise SnapshotError(
+            f"{path}: snapshot carryover is a "
+            f"{type(state['carryover']).__name__}, not a dict"
+        )
     return SnapshotState(
         hierarchy=state["hierarchy"],
         core=state["core"],

@@ -109,6 +109,12 @@ class ResultCache:
         if (not isinstance(entry, dict) or entry.get("key") != key
                 or "payload" not in entry):
             raise self._quarantine(key, "entry body does not match its key")
+        if not isinstance(entry["payload"], dict):
+            raise self._quarantine(
+                key,
+                f"payload is a {type(entry['payload']).__name__}, "
+                f"not a result object",
+            )
         if entry.get("crc") != crc32_of(entry["payload"]):
             raise self._quarantine(
                 key,

@@ -106,7 +106,13 @@ class ServiceWAL:
             )
         if not self.path.exists():
             return []
-        raw = self.path.read_bytes()
+        try:
+            raw = self.path.read_bytes()
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot read service journal {self.path}: {exc}",
+                status=500,
+            ) from exc
         records: List[Dict[str, Any]] = []
         good_end = 0   # byte offset just past the last verified record
         offset = 0
@@ -150,7 +156,8 @@ class ServiceWAL:
             frame = json.loads(line)
         except (json.JSONDecodeError, UnicodeDecodeError):
             return None
-        if not isinstance(frame, dict) or "rec" not in frame:
+        if not isinstance(frame, dict) or not isinstance(frame.get("rec"),
+                                                         dict):
             return None
         if frame.get("crc") != crc32_of(frame["rec"]):
             return None

@@ -1,0 +1,123 @@
+"""Crash-durability primitives and the manifests built on them.
+
+Covers ``repro.durability`` directly (atomic write, torn-tail healing)
+and the two manifests that adopted it: the fleet manifest and the
+supervisor campaign manifest — both must survive a torn write with a
+healed prefix instead of an unreadable file.
+"""
+
+import json
+
+import pytest
+
+from repro.durability import (
+    atomic_write_json,
+    heal_truncated_json,
+    tolerant_read_json,
+)
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+
+
+def test_atomic_write_json_roundtrip(tmp_path):
+    path = tmp_path / "doc.json"
+    atomic_write_json(path, {"b": 2, "a": [1, 2]})
+    assert json.loads(path.read_text()) == {"a": [1, 2], "b": 2}
+    # Overwrite is atomic replace, not append.
+    atomic_write_json(path, {"only": True})
+    assert json.loads(path.read_text()) == {"only": True}
+    assert not list(tmp_path.glob("*.tmp*"))  # no temp litter
+
+
+@pytest.mark.parametrize("cut_frac", [0.3, 0.5, 0.7, 0.9, 0.99])
+def test_heal_truncated_json_recovers_a_prefix(cut_frac):
+    doc = {"events": [{"event": f"e{i}", "at": i, "note": 'x"y'}
+                      for i in range(20)], "version": 1}
+    raw = json.dumps(doc, indent=2)
+    cut = raw[:int(len(raw) * cut_frac)]
+    recovered = heal_truncated_json(cut)
+    assert isinstance(recovered, dict)
+    events = recovered.get("events", [])
+    # Every recovered event is verbatim one of the originals, in order.
+    assert events == doc["events"][:len(events)]
+
+
+def test_heal_truncated_json_intact_and_hopeless():
+    assert heal_truncated_json(json.dumps({"a": 1})) == {"a": 1}
+    assert heal_truncated_json("####") is None
+    # Flat object torn mid-key: falls back to the last complete pair.
+    assert heal_truncated_json('{"a": 1, "b') == {"a": 1}
+
+
+def test_tolerant_read_json(tmp_path):
+    path = tmp_path / "m.json"
+    path.write_text(json.dumps({"events": [1, 2, 3]}))
+    doc, healed = tolerant_read_json(path)
+    assert doc == {"events": [1, 2, 3]} and healed is False
+    path.write_text(json.dumps({"events": [1, 2, 3]})[:-6])
+    doc, healed = tolerant_read_json(path)
+    assert healed is True
+    assert isinstance(doc, dict)
+
+
+# ----------------------------------------------------------------------
+# Fleet manifest
+# ----------------------------------------------------------------------
+
+
+def test_fleet_manifest_heals_torn_tail(tmp_path):
+    from repro.fleet.manifest import FleetManifest
+
+    path = tmp_path / "fleet-manifest.json"
+    m = FleetManifest(path)
+    for i in range(6):
+        m.record(f"event-{i}", worker=f"w{i}")
+    raw = path.read_text()
+    path.write_text(raw[:len(raw) // 2])  # torn mid-write
+
+    reloaded = FleetManifest(path)
+    events = [e["event"] for e in reloaded.events()]
+    assert events[-1] == "manifest-healed"
+    recovered = [e for e in events if e.startswith("event-")]
+    assert recovered == [f"event-{i}" for i in range(len(recovered))]
+    # The healed manifest is immediately writable again.
+    reloaded.record("after-heal")
+    assert json.loads(path.read_text())
+
+
+def test_fleet_manifest_unrecoverable_garbage(tmp_path):
+    from repro.fleet.manifest import FleetManifest
+
+    path = tmp_path / "fleet-manifest.json"
+    path.write_text("\x00\x01 not json at all")
+    m = FleetManifest(path)
+    events = [e["event"] for e in m.events()]
+    assert events == ["manifest-unrecoverable"]
+
+
+# ----------------------------------------------------------------------
+# Supervisor campaign manifest
+# ----------------------------------------------------------------------
+
+
+def test_campaign_manifest_heals_torn_tail(tmp_path):
+    from repro.runner.supervisor import load_campaign_manifest
+
+    path = tmp_path / "campaign.manifest.json"
+    doc = {"campaign": "c1",
+           "jobs": [{"trace": f"t{i}", "status": "done"}
+                    for i in range(10)]}
+    atomic_write_json(path, doc)
+    loaded, healed = load_campaign_manifest(path)
+    assert loaded == doc and healed is False
+
+    raw = path.read_text()
+    path.write_text(raw[:int(len(raw) * 0.6)])
+    loaded, healed = load_campaign_manifest(path)
+    assert healed is True
+    assert loaded is not None and loaded.get("campaign") == "c1"
+    jobs = loaded.get("jobs", [])
+    assert jobs == doc["jobs"][:len(jobs)]

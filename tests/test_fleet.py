@@ -408,12 +408,29 @@ class TestFleetManifest:
         assert windows[0]["recovered"] is False
 
     def test_torn_file_tolerated(self, tmp_path):
+        # Beyond-recovery garbage: the manifest stays usable and the
+        # loss is recorded as an event instead of silently discarded.
         path = tmp_path / "m.json"
         path.write_text("{torn", encoding="utf-8")
         manifest = FleetManifest(path, clock=FakeClock())
-        assert manifest.events() == []
+        kinds = [e["event"] for e in manifest.events()]
+        assert kinds == ["manifest-unrecoverable"]
         manifest.record("agent-registered", agent="A1")
-        assert len(manifest.events()) == 1
+        assert [e["event"] for e in manifest.events()] == [
+            "manifest-unrecoverable", "agent-registered"]
+
+    def test_torn_tail_healed_to_prefix(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = FleetManifest(path, clock=FakeClock())
+        for i in range(5):
+            manifest.record(f"event-{i}")
+        raw = path.read_text(encoding="utf-8")
+        path.write_text(raw[:len(raw) // 2], encoding="utf-8")
+        reloaded = FleetManifest(path, clock=FakeClock())
+        kinds = [e["event"] for e in reloaded.events()]
+        assert kinds[-1] == "manifest-healed"
+        recovered = [k for k in kinds if k.startswith("event-")]
+        assert recovered == [f"event-{i}" for i in range(len(recovered))]
 
 
 # ----------------------------------------------------------------------
