@@ -174,7 +174,8 @@ def cmd_run(args) -> int:
                    snapshot_every=args.snapshot_every,
                    snapshot_dir=args.snapshot_dir,
                    resume_from=args.resume_from,
-                   engine=args.engine, chunk_size=args.chunk_size)
+                   engine=args.engine, chunk_size=args.chunk_size,
+                   native=args.native)
     if args.profile is not None:
         from repro.perf.profiling import profile_and_report
 
@@ -219,6 +220,7 @@ def cmd_compare(args) -> int:
         [args.trace], names, scale=args.scale, mtps=args.mtps,
         faults=_parse_faults(args),
         engine=args.engine, chunk_size=args.chunk_size,
+        native=args.native,
     )
     jobs = _attach_stores(args, jobs)
     runner = _build_runner(args, len(jobs))
@@ -260,6 +262,7 @@ def cmd_suite(args) -> int:
         trace_names, names, scale=args.scale, mtps=args.mtps,
         faults=_parse_faults(args),
         engine=args.engine, chunk_size=args.chunk_size,
+        native=args.native,
     )
     jobs = _attach_stores(args, jobs)
     runner = _build_runner(args, len(jobs))
@@ -298,8 +301,23 @@ def cmd_sancheck(args) -> int:
         quick_trace,
     )
 
-    modes = {"classic": ("reference",), "batched": ("engines",),
-             "both": ("reference", "engines")}[args.engine]
+    modes = list({
+        "classic": ("reference",), "batched": ("engines",),
+        "native": ("native",), "both": ("reference", "engines"),
+        "all": ("reference", "engines", "native"),
+    }[args.engine])
+    if "native" in modes:
+        from repro.native.build import kernel_available
+
+        fn, diag = kernel_available()
+        if fn is None:
+            print(f"note: native kernel unavailable ({diag}); "
+                  f"skipping the native differential", file=sys.stderr)
+            modes.remove("native")
+            if not modes:
+                print("native differential skipped (no compiler); "
+                      "nothing else requested")
+                return 0
     reports = []
 
     def check(trace, l1d="none", l2="none"):
@@ -309,6 +327,12 @@ def cmd_sancheck(args) -> int:
         if "engines" in modes:
             reports.append(lockstep_engines(
                 trace, l1d=l1d, l2=l2, chunk_size=args.chunk_size,
+            ))
+            print(reports[-1].describe())
+        if "native" in modes:
+            reports.append(lockstep_engines(
+                trace, l1d=l1d, l2=l2, chunk_size=args.chunk_size,
+                engine="native",
             ))
             print(reports[-1].describe())
 
@@ -343,6 +367,14 @@ def cmd_sancheck(args) -> int:
                 seed_divergence=args.seed_divergence,
             ))
             print(reports[-1].describe())
+        if "native" in modes:
+            reports.append(lockstep_engines(
+                trace, l1d=args.l1d, l2=args.l2,
+                chunk_size=args.chunk_size,
+                seed_divergence=args.seed_divergence,
+                engine="native",
+            ))
+            print(reports[-1].describe())
     if args.seed_divergence is not None and args.quick:
         trace = quick_trace(args.records)
         if "reference" in modes:
@@ -354,6 +386,12 @@ def cmd_sancheck(args) -> int:
             reports.append(lockstep_engines(
                 trace, l1d="berti", chunk_size=args.chunk_size,
                 seed_divergence=args.seed_divergence,
+            ))
+            print(reports[-1].describe())
+        if "native" in modes:
+            reports.append(lockstep_engines(
+                trace, l1d="berti", chunk_size=args.chunk_size,
+                seed_divergence=args.seed_divergence, engine="native",
             ))
             print(reports[-1].describe())
 
@@ -766,13 +804,20 @@ def _add_engine_args(p) -> None:
     """Simulator inner-loop selection, shared by run/compare/suite."""
     g = p.add_argument_group("engine (docs/performance.md)")
     g.add_argument("--engine", default="classic",
-                   choices=["classic", "batched"],
+                   choices=["classic", "batched", "native"],
                    help="simulator inner loop: classic per-record "
-                        "dispatch, or the batched columnar loop "
-                        "(bit-identical, faster on stock configs)")
+                        "dispatch, the batched columnar loop, or the "
+                        "native C span kernel (both bit-identical, "
+                        "faster on stock configs)")
     g.add_argument("--chunk-size", type=int, default=0, metavar="N",
-                   help="batched-engine chunk length in records "
+                   help="batched/native span length in records "
                         "(0 = engine default)")
+    g.add_argument("--native", default="auto",
+                   choices=["auto", "force", "off"],
+                   help="native-backend policy with --engine native: "
+                        "auto demotes to the batched path when the C "
+                        "kernel is unavailable, force errors instead, "
+                        "off pins the batched fallback")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -858,15 +903,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="perturb the optimized engine at access N; the "
                           "oracle must localise the divergence to N")
     san.add_argument("--engine", default="classic",
-                     choices=["classic", "batched", "both"],
+                     choices=["classic", "batched", "native", "both",
+                              "all"],
                      help="which differential to run: classic = optimized "
                           "vs pure-reference oracle; batched = batched vs "
                           "classic inner loop, digests compared at every "
                           "chunk boundary and the first divergent access "
-                          "localised; both = everything")
+                          "localised; native = the C span kernel vs the "
+                          "classic loop, same digest cadence (skipped "
+                          "with a note when no compiler is available); "
+                          "both = classic + batched; all = everything")
     san.add_argument("--chunk-size", type=int, default=0, metavar="N",
-                     help="batched-engine chunk length for --engine "
-                          "batched/both (0 = engine default)")
+                     help="batched/native chunk length for --engine "
+                          "batched/native/both/all (0 = engine default)")
 
     chaos = sub.add_parser(
         "chaos",

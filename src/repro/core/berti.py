@@ -76,6 +76,14 @@ class BertiPrefetcher(Prefetcher):
         """
         return ip
 
+    def __getstate__(self):
+        # The timely-delta scratch buffer is transient (rewritten by the
+        # next search); the C kernel never touches the Python-side list,
+        # so empty it for backend-independent snapshot bytes.
+        state = self.__dict__.copy()
+        state["_scratch"] = []
+        return state
+
     # ------------------------------------------------------------------
     # Training hooks
     # ------------------------------------------------------------------

@@ -352,3 +352,16 @@ class DeltaTable:
         self._fifo_ptr = 0
         self.phase_completions = 0
         self.discarded_deltas = 0
+
+    def __getstate__(self):
+        # Canonicalise for backend-independent snapshot bytes: the two
+        # lookup indexes are keyed-access only (their dict order is never
+        # iterated), and the two memo caches are recomputed on demand —
+        # the native importer rebuilds the former in slot-scan order and
+        # drops the latter, so a classic-engine snapshot must match.
+        state = self.__dict__.copy()
+        state["_by_tag"] = dict(sorted(self._by_tag.items()))
+        state["_by_delta"] = [dict(sorted(d.items())) for d in self._by_delta]
+        state["_pf_cache"] = [None] * len(self._pf_cache)
+        state["_warm_cache"] = [None] * len(self._warm_cache)
+        return state

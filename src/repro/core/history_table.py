@@ -212,3 +212,13 @@ class HistoryTable:
         self._chains = [{} for _ in range(cfg.history_sets)]
         self.inserts = 0
         self.searches = 0
+
+    def __getstate__(self):
+        # Per-set chain dicts are keyed-access indexes over the flat ring
+        # arrays; each deque's internal order is semantic (ring order)
+        # but the dicts' key order is not, and the native importer
+        # rebuilds them oldest-first.  Canonicalise for byte-identical
+        # snapshots across backends.
+        state = self.__dict__.copy()
+        state["_chains"] = [dict(sorted(d.items())) for d in self._chains]
+        return state

@@ -94,3 +94,12 @@ class TLB:
         self._sets = [[] for _ in range(self.num_sets)]
         self._map.clear()
         self.stats.reset()
+
+    def __getstate__(self):
+        # _map mirrors _sets for O(1) probes; LRU order lives in _sets.
+        # Canonicalise the index's dict order so snapshots taken under
+        # the native backend (which rebuilds it in scan order) are
+        # byte-identical to classic/batched ones.
+        state = self.__dict__.copy()
+        state["_map"] = dict(sorted(self._map.items()))
+        return state

@@ -41,7 +41,7 @@ CASE_SCHEMA = 1
 #: Config keys a case may carry; anything else is a schema violation.
 _CONFIG_KEYS = {
     "l1d", "l2", "chunk_size", "warmup_fraction", "berti",
-    "plant_divergence", "expect",
+    "plant_divergence", "expect", "native_demote_at",
 }
 
 

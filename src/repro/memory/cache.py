@@ -165,6 +165,11 @@ class Cache:
         # cannot be pickled; Hierarchy.__setstate__ rewires it on load.
         state = self.__dict__.copy()
         state["eviction_hook"] = None
+        # _where is a pure presence index (line -> way); its insertion
+        # order is never read, but it differs between the classic loop
+        # (access order) and the native importer (set/way scan order).
+        # Canonicalise so snapshot bytes are backend-independent.
+        state["_where"] = dict(sorted(self._where.items()))
         return state
 
     # ------------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""Opt-in native backend: C span kernel behind a bit-identity gate.
+
+``engine="native"`` runs each simulation span through a small C shared
+object compiled at first use (:mod:`repro.native.build`) over the same
+columnar buffers the batched engine reads (:mod:`repro.native.marshal`,
+zero-copy for the trace columns and Berti history rings).  Every guard
+that demotes the batched engine also demotes the native one, plus a few
+of its own (:func:`repro.native.runner.native_mode`); demoted spans run
+on the batched Python path and produce bit-identical results.
+"""
+
+from .build import (
+    NativeBuildError,
+    build_kernel,
+    cache_dir,
+    find_compiler,
+    kernel_available,
+    kernel_key,
+    reset_build_cache,
+)
+from .marshal import BUFS, FREGS, REGISTERS, NativeState, layout_digest
+from .runner import (
+    DEMOTION_REASONS,
+    NativeRunner,
+    make_native_runner,
+    native_mode,
+)
+
+__all__ = [
+    "BUFS",
+    "DEMOTION_REASONS",
+    "FREGS",
+    "NativeBuildError",
+    "NativeRunner",
+    "NativeState",
+    "REGISTERS",
+    "build_kernel",
+    "cache_dir",
+    "find_compiler",
+    "kernel_available",
+    "kernel_key",
+    "layout_digest",
+    "make_native_runner",
+    "native_mode",
+    "reset_build_cache",
+]

@@ -91,7 +91,10 @@ def default_cases(scale: float = 1.0) -> List[BenchCase]:
     config pays.  Every single-core case gets an ``@batched`` twin timing
     the fused columnar loop (:mod:`repro.simulator.batched`); the
     multicore cases have no twins because the batched engine demotes to
-    the per-access path there.
+    the per-access path there.  The ``@native`` twins time the C span
+    kernel (:mod:`repro.native`); on hosts without a compiler they run
+    the batched fallback and report comparable numbers rather than
+    failing.
     """
     matrix = [
         ("synth", "synth:bench"),
@@ -108,6 +111,10 @@ def default_cases(scale: float = 1.0) -> List[BenchCase]:
             cases.append(
                 BenchCase(name=f"{short}/{pf}@batched", trace=spec, l1d=pf,
                           scale=scale, engine="batched")
+            )
+            cases.append(
+                BenchCase(name=f"{short}/{pf}@native", trace=spec, l1d=pf,
+                          scale=scale, engine="native")
             )
     # Shared-LLC/DRAM replay loop with the full Berti machinery on both
     # cores: the configuration parallel campaigns actually sweep, and

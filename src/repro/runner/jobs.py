@@ -71,6 +71,10 @@ class JobSpec:
     # engine are valid under the other.
     engine: str = "classic"
     chunk_size: int = 0
+    # Native-backend policy (repro.native), meaningful with
+    # engine="native": auto | force | off.  Same contract as above —
+    # bit-identical either way — so it is excluded from `key` too.
+    native: str = "auto"
 
     @property
     def key(self) -> str:

@@ -387,6 +387,23 @@ class CampaignSupervisor(ExperimentRunner):
         if outcome.ok and not getattr(outcome, "from_journal", False):
             extra = getattr(getattr(outcome, "result", None), "extra", None)
             if isinstance(extra, dict):
+                if extra.get("native_demoted"):
+                    # One structured event per demoted native run: the
+                    # fallback is silent at the simulate() API level
+                    # (results stay bit-identical), so the manifest is
+                    # where operators learn the C kernel did not run.
+                    from repro.native.runner import DEMOTION_REASONS
+
+                    code = int(extra.get("native_demotion_code", 0))
+                    self._event(
+                        "native-demotion",
+                        key=outcome.key,
+                        code=code,
+                        reason=DEMOTION_REASONS.get(code, "unknown"),
+                        demoted_spans=int(
+                            extra.get("native_demoted_spans", 0)),
+                        native_spans=int(extra.get("native_spans", 0)),
+                    )
                 records = extra.get("trace_records")
                 if records:
                     self._records_done += int(records)

@@ -120,6 +120,7 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
                 ),
                 engine=spec.engine,
                 chunk_size=spec.chunk_size,
+                native=spec.native,
             )
         else:
             result = simulate(
@@ -133,6 +134,7 @@ def run_job(spec: JobSpec, attempt: int = 1) -> SimResult:
                 progress_every=spec.heartbeat_every,
                 engine=spec.engine,
                 chunk_size=spec.chunk_size,
+                native=spec.native,
             )
     except ReproError:
         raise

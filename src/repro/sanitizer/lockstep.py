@@ -54,12 +54,15 @@ class LockstepReport:
     optimized: Any = None
     reference: Any = None
     #: What was compared: ``"reference"`` pits the optimized hierarchy
-    #: against the pure-virtual-dispatch one; ``"engines"`` pits the
-    #: batched inner loop against the classic one (same hierarchy type).
+    #: against the pure-virtual-dispatch one; ``"engines"`` pits an
+    #: alternative inner loop (batched or native) against the classic
+    #: one (same hierarchy type).
     kind: str = "reference"
+    #: Which engine the optimized side ran (``"engines"`` kind only).
+    engine: str = "batched"
 
     def describe(self) -> str:
-        a, b = (("batched", "classic") if self.kind == "engines"
+        a, b = ((self.engine, "classic") if self.kind == "engines"
                 else ("optimized", "reference"))
         tag = f"{self.trace} l1d={self.l1d} l2={self.l2}"
         if self.ok:
@@ -256,8 +259,20 @@ def lockstep_engines(
     localize: bool = True,
     seed_divergence: Optional[int] = None,
     make=make_prefetcher,
+    engine: str = "batched",
 ) -> LockstepReport:
     """Differential check of the batched engine against the classic one.
+
+    ``engine="native"`` drives the optimized side through
+    :func:`repro.native.runner.make_native_runner` instead.  The oracle
+    is strict about what it compared: if the native guards say the
+    kernel should have engaged but spans still demoted (no compiler),
+    the report fails with ``field="native_demotion"`` rather than
+    silently passing a batched-vs-classic comparison off as a native
+    one — callers that want a graceful skip check
+    :func:`repro.native.build.kernel_available` first.  Demotions the
+    guards themselves mandate (unsupported prefetcher, non-stock parts)
+    still pass, labelled ``native[demoted]``.
 
     Both sides get independent, identically-seeded hierarchies (stock
     types, so the batched side is *not* demoted the way the capture
@@ -291,7 +306,12 @@ def lockstep_engines(
 
     hc, cc = build()
     hb, cb = build()
-    run_batched = make_batched_runner(trace, hb, cb, chunk_size)
+    if engine == "native":
+        from repro.native.runner import make_native_runner
+
+        run_batched = make_native_runner(trace, hb, cb, chunk_size)
+    else:
+        run_batched = make_batched_runner(trace, hb, cb, chunk_size)
     cs = chunk_size or DEFAULT_CHUNK_SIZE
 
     ips, addrs, writes, gaps, deps = trace.columns()
@@ -332,13 +352,13 @@ def lockstep_engines(
                 trace, l1d, l2, config=config,
                 warmup_fraction=warmup_fraction, prewarm_tlb=prewarm_tlb,
                 chunk_size=1, localize=False,
-                seed_divergence=seed_divergence, make=make,
+                seed_divergence=seed_divergence, make=make, engine=engine,
             )
         at = mark - 1 if cs == 1 and mark < n else mark
         return LockstepReport(
             trace=trace.name, l1d=l1d, l2=l2, accesses=n, ok=False,
             diverged_at=at, field=field, optimized=a, reference=b,
-            kind="engines",
+            kind="engines", engine=engine,
         )
 
     marks = set(range(cs, n, cs))
@@ -383,9 +403,26 @@ def lockstep_engines(
     if res_b != res_c:
         key, a, b = _first_diff(res_b, res_c)
         return report(n, f"result:{key}", a, b)
+    engine_label = engine
+    if engine == "native" and getattr(run_batched, "demoted_spans", 0):
+        from repro.native.runner import native_mode
+
+        if native_mode(hb, cb)[0]:
+            # The guards say native should have engaged, yet spans fell
+            # back (e.g. no compiler): refuse to pass a batched run off
+            # as a native validation.
+            return LockstepReport(
+                trace=trace.name, l1d=l1d, l2=l2, accesses=n, ok=False,
+                diverged_at=n, field="native_demotion",
+                optimized=run_batched.demotion_detail,
+                reference=None, kind="engines", engine=engine,
+            )
+        # Expected demotion (unsupported prefetcher etc.): the run is a
+        # valid correctness check, just label what actually executed.
+        engine_label = "native[demoted]"
     return LockstepReport(
         trace=trace.name, l1d=l1d, l2=l2, accesses=n, ok=True,
-        kind="engines",
+        kind="engines", engine=engine_label,
     )
 
 

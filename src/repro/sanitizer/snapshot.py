@@ -294,6 +294,7 @@ def simulate_with_snapshots(
     sanitize: Optional[SanitizerConfig] = None,
     engine: str = "classic",
     chunk_size: int = 0,
+    native: str = "auto",
 ) -> SimResult:
     """:func:`~repro.simulator.engine.simulate`, split at checkpoints.
 
@@ -330,7 +331,7 @@ def simulate_with_snapshots(
         )
     if snapshot_every:
         os.makedirs(snapshot_dir, exist_ok=True)
-    validate_engine(engine, chunk_size, trace.name)
+    validate_engine(engine, chunk_size, trace.name, native)
     if len(trace) == 0:
         # Same typed error as the engine: an empty trace used to slip
         # past the n > 0 warmup guard and return all-zero statistics.
@@ -401,6 +402,24 @@ def simulate_with_snapshots(
     if engine == "batched":
         # The runner revalidates eligibility per span, so the sanitizer
         # wrapper installed above demotes it to the classic loop.
+        _run_span = make_batched_runner(trace, hierarchy, core, chunk_size)
+    elif engine == "native" and native != "off":
+        # Same per-span revalidation; with ``sanitize`` the wrapped
+        # demand hook demotes it all the way to the classic loop.
+        from repro.native.build import kernel_available
+        from repro.native.runner import make_native_runner
+
+        if native == "force":
+            fn, diag = kernel_available()
+            if fn is None:
+                raise ConfigError(
+                    f"engine='native' with native='force' but the "
+                    f"kernel is unavailable: {diag}",
+                    trace=trace.name,
+                    field="engine",
+                )
+        _run_span = make_native_runner(trace, hierarchy, core, chunk_size)
+    elif engine == "native":  # native == "off": pinned batched fallback
         _run_span = make_batched_runner(trace, hierarchy, core, chunk_size)
     else:
         demand = hierarchy.demand_access

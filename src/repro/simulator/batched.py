@@ -144,6 +144,11 @@ def make_batched_runner(
     """
     chunk = chunk_size if chunk_size > 0 else DEFAULT_CHUNK_SIZE
     ips, addrs, writes, gaps, deps = trace.columns()
+    # Vectorized pre-decode: line/page derived columns computed once for
+    # the whole trace (numpy, cached on the trace) instead of two shifts
+    # per record in the fused loop.  The native span kernel shares the
+    # very same arrays by pointer.
+    vlines, vpages = trace.decoded_columns()
     h = hierarchy
     trace_name = trace.name
 
@@ -601,8 +606,9 @@ def make_batched_runner(
                 j = i + chunk
                 if j > hi:
                     j = hi
-                for ip, vaddr, is_write, gap, dep in zip(
-                    ips[i:j], addrs[i:j], writes[i:j], gaps[i:j], deps[i:j],
+                for ip, vline, vpage, is_write, gap, dep in zip(
+                    ips[i:j], vlines[i:j], vpages[i:j], writes[i:j],
+                    gaps[i:j], deps[i:j],
                 ):
                     # -- CoreModel.advance_nonmem
                     if gap > 0:
@@ -628,8 +634,7 @@ def make_batched_runner(
                     now = int(issue_t)
 
                     # -- Hierarchy.demand_access / MMU.translate_demand
-                    vline = vaddr >> 6
-                    vpage = vline >> LPB
+                    # (vline/vpage arrive pre-decoded from the trace)
                     d_dt_acc += 1
                     ppage = dtlb_map.get(vpage)
                     if ppage is not None:

@@ -25,16 +25,30 @@ from repro.simulator.stats import PrefetchSummary, SimResult
 from repro.workloads.trace import Trace
 
 #: Engines selectable via ``simulate(..., engine=...)`` and ``--engine``.
-ENGINES = ("classic", "batched")
+ENGINES = ("classic", "batched", "native")
+
+#: ``native=`` policies for ``engine="native"``: ``auto`` demotes to the
+#: batched path when the kernel is unavailable or a guard fires,
+#: ``force`` raises ConfigError when the kernel cannot be built, ``off``
+#: pins the batched fallback (for pinning the fallback in tests).
+NATIVE_POLICIES = ("auto", "force", "off")
 
 
-def validate_engine(engine: str, chunk_size: int, trace_name: str) -> None:
+def validate_engine(engine: str, chunk_size: int, trace_name: str,
+                    native: str = "auto") -> None:
     """Reject unknown engines / degenerate chunk sizes with field context."""
     if engine not in ENGINES:
         raise ConfigError(
             f"unknown engine {engine!r} (expected one of {', '.join(ENGINES)})",
             trace=trace_name,
             field="engine",
+        )
+    if native not in NATIVE_POLICIES:
+        raise ConfigError(
+            f"unknown native policy {native!r} (expected one of "
+            f"{', '.join(NATIVE_POLICIES)})",
+            trace=trace_name,
+            field="native",
         )
     if chunk_size < 0:
         raise ConfigError(
@@ -170,6 +184,8 @@ def simulate(
     progress_every: int = 0,
     engine: str = "classic",
     chunk_size: int = 0,
+    native: str = "auto",
+    native_demote_at: Optional[int] = None,
 ) -> SimResult:
     """Run one trace on one core and return its measured statistics.
 
@@ -190,8 +206,19 @@ def simulate(
     virtual-dispatch loop, ``"batched"`` the fused columnar loop of
     :mod:`repro.simulator.batched` (bit-identical; demotes itself to the
     classic loop when instrumentation or subclassed structures are
-    present).  ``chunk_size`` sets the batched engine's chunk length
-    (0 → ``DEFAULT_CHUNK_SIZE``); the classic engine ignores it.
+    present), ``"native"`` the C span kernel of :mod:`repro.native`
+    (bit-identical; demotes span-by-span to the batched path under the
+    same guards plus its own).  ``chunk_size`` sets the batched/native
+    span length (0 → ``DEFAULT_CHUNK_SIZE``); the classic engine ignores
+    it.  ``native`` picks the native policy: ``"auto"`` falls back
+    silently-but-recorded, ``"force"`` raises
+    :class:`~repro.errors.ConfigError` when no kernel can be built,
+    ``"off"`` pins the batched fallback.  ``native_demote_at`` forces
+    demotion for every span extending past that record index (fuzz /
+    test hook).  For ``engine="native"`` the result's ``extra`` carries
+    ``native_spans`` / ``native_demoted_spans`` markers (plus
+    ``native_demoted`` / ``native_demotion_code`` after a fallback) —
+    strip ``native_*`` keys before cross-engine dict comparisons.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
@@ -199,7 +226,7 @@ def simulate(
             trace=trace.name,
             field="warmup_fraction",
         )
-    validate_engine(engine, chunk_size, trace.name)
+    validate_engine(engine, chunk_size, trace.name, native)
     if len(trace) == 0:
         # An empty trace used to fall through the warmup validation
         # (guarded by n > 0) and silently return all-zero statistics;
@@ -226,8 +253,30 @@ def simulate(
         )
     carryover = {"l1d": 0, "l2": 0}
 
+    native_runner = None
     if engine == "batched":
         _run_span = make_batched_runner(trace, hierarchy, core, chunk_size)
+    elif engine == "native":
+        if native == "off":
+            _run_span = make_batched_runner(trace, hierarchy, core,
+                                            chunk_size)
+        else:
+            from repro.native.build import kernel_available
+            from repro.native.runner import make_native_runner
+
+            if native == "force":
+                fn, diag = kernel_available()
+                if fn is None:
+                    raise ConfigError(
+                        f"engine='native' with native='force' but the "
+                        f"kernel is unavailable: {diag}",
+                        trace=trace.name,
+                        field="engine",
+                    )
+            native_runner = make_native_runner(
+                trace, hierarchy, core, chunk_size, native_demote_at,
+            )
+            _run_span = native_runner
     else:
         # Hot loop: columnar iteration over the trace's arrays, with the
         # demand callback hoisted once (no closure allocation per record).
@@ -311,4 +360,16 @@ def simulate(
     # The invariant checker needs this to bound useful <= issued + carry.
     res.extra["pf_carryover_l1d"] = float(carryover["l1d"])
     res.extra["pf_carryover_l2"] = float(carryover["l2"])
+    if engine == "native":
+        if native_runner is not None:
+            res.extra["native_spans"] = float(native_runner.native_spans)
+            res.extra["native_demoted_spans"] = float(
+                native_runner.demoted_spans)
+            if native_runner.demotion_code is not None:
+                res.extra["native_demoted"] = 1.0
+                res.extra["native_demotion_code"] = float(
+                    native_runner.demotion_code)
+        else:  # native="off": the batched fallback was pinned explicitly
+            res.extra["native_spans"] = 0.0
+            res.extra["native_demoted_spans"] = 0.0
     return res

@@ -32,6 +32,7 @@ import numpy as np
 TraceRecord = Tuple[int, int, bool, int, int]
 
 _LINE_SHIFT = 6
+_PAGE_SHIFT = 12
 
 
 class _RecordsView:
@@ -97,6 +98,7 @@ class Trace:
     __slots__ = (
         "name", "suite", "description",
         "_ips", "_addrs", "_writes", "_gaps", "_deps", "_lines",
+        "_pages_cache",
     )
 
     def __init__(
@@ -115,6 +117,7 @@ class Trace:
         self._gaps = array("q")
         self._deps = array("q")
         self._lines = array("q")    # precomputed vaddr >> 6
+        self._pages_cache: Optional[array] = None
         if records:
             self.extend(records)
 
@@ -189,6 +192,28 @@ class Trace:
     def line_addresses(self) -> array:
         """Precomputed line-address column (``vaddr >> 6`` per record)."""
         return self._lines
+
+    def decoded_columns(self) -> Tuple[array, array]:
+        """``(vlines, vpages)`` derived columns, vectorized and cached.
+
+        The page column is produced in one numpy pass (an arithmetic
+        shift, so negative addresses floor-divide exactly like Python's
+        ``>>``) and cached; staleness is detected by length, which is
+        sufficient because the column arrays are append-only.  Both the
+        batched fused loop and the native span kernel consume these —
+        the same decode, shared by pointer.
+        """
+        pages = self._pages_cache
+        if pages is None or len(pages) != len(self._addrs):
+            addrs = self._addrs
+            if len(addrs):
+                a = np.frombuffer(addrs, dtype=np.int64)
+                pages = array("q")
+                pages.frombytes((a >> _PAGE_SHIFT).tobytes())
+            else:
+                pages = array("q")
+            self._pages_cache = pages
+        return self._lines, pages
 
     # ------------------------------------------------------------------
     # Derived properties

@@ -1,0 +1,402 @@
+"""Bit-identity, demotion guards, and error mapping for ``repro.native``.
+
+The native backend (``simulate(..., engine="native")``) runs the Berti
+kernel hooks and the L1D/L2 demand ladder in a C shared object compiled
+at first use.  Its contract is the batched engine's, one level down:
+every counter, every structural state, every snapshot byte must match
+the classic engine, and anything the C side was not sized for must
+demote to the batched Python loop — never engage and silently diverge.
+
+Tests that need the compiled kernel are skipped (not failed) on hosts
+without a C compiler; the demotion/fallback tests run everywhere — that
+*is* the pure-Python path.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.berti import BertiPrefetcher
+from repro.errors import ConfigError, SimulationError
+from repro.memory.replacement import LRUPolicy
+from repro.native import build as native_build
+from repro.native.marshal import RIX
+from repro.native.runner import (
+    DEMOTION_REASONS,
+    NativeRunner,
+    make_native_runner,
+    native_mode,
+)
+from repro.prefetchers.registry import make_prefetcher
+from repro.sanitizer.lockstep import _state_digest, lockstep_engines, quick_trace
+from repro.sanitizer.snapshot import simulate_with_snapshots, snapshot_path
+from repro.simulator.engine import build_hierarchy, simulate
+from repro.workloads.trace import Trace
+
+RECORDS = 1200
+
+_KERNEL_FN, _KERNEL_DIAG = native_build.kernel_available()
+needs_kernel = pytest.mark.skipif(
+    _KERNEL_FN is None, reason=f"no native kernel: {_KERNEL_DIAG}"
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return quick_trace(RECORDS, "native_trace")
+
+
+def run(trace, l1d, engine, chunk_size=0, **kw):
+    cap = {}
+    res = simulate(
+        trace, l1d_prefetcher=make_prefetcher(l1d),
+        post_build=lambda h: cap.update(h=h),
+        engine=engine, chunk_size=chunk_size, **kw,
+    )
+    return res, cap["h"]
+
+
+def strip_native(result_dict):
+    """Drop the reporting-only ``native_*`` extra markers."""
+    d = dict(result_dict)
+    d["extra"] = {k: v for k, v in d.get("extra", {}).items()
+                  if not k.startswith("native")}
+    return d
+
+
+@needs_kernel
+class TestBitIdentity:
+    @pytest.mark.parametrize("l1d", ["none", "berti"])
+    def test_native_matches_classic(self, trace, l1d):
+        rc, hc = run(trace, l1d, "classic")
+        rn, hn = run(trace, l1d, "native")
+        assert rn.extra["native_spans"] > 0
+        assert rn.extra["native_demoted_spans"] == 0
+        assert strip_native(rn.to_dict()) == rc.to_dict()
+        assert _state_digest(hn) == _state_digest(hc)
+        assert pickle.dumps(hn) == pickle.dumps(hc)
+
+    @pytest.mark.parametrize("chunk_size", [1, 17, 333, 10**9])
+    def test_chunk_size_invariant(self, trace, chunk_size):
+        rc, hc = run(trace, "berti", "classic")
+        rn, hn = run(trace, "berti", "native", chunk_size=chunk_size)
+        assert strip_native(rn.to_dict()) == rc.to_dict()
+        assert _state_digest(hn) == _state_digest(hc)
+
+    @pytest.mark.parametrize("at", [0, 1, 600, 1199])
+    def test_forced_mid_run_demotion_matches(self, trace, at):
+        # Spans after `at` fall back to the batched loop: the marshal
+        # round-trip at the switch point must be lossless.
+        rc, hc = run(trace, "berti", "classic")
+        rn, hn = run(trace, "berti", "native", native_demote_at=at)
+        assert rn.extra["native_demoted_spans"] > 0
+        assert rn.extra["native_demotion_code"] == 5.0
+        assert strip_native(rn.to_dict()) == rc.to_dict()
+        assert pickle.dumps(hn) == pickle.dumps(hc)
+
+    def test_lockstep_engines_native(self, trace):
+        report = lockstep_engines(trace, l1d="berti", engine="native")
+        assert report.ok, report.describe()
+        assert report.engine == "native"
+
+    def test_lockstep_detects_planted_divergence(self, trace):
+        report = lockstep_engines(
+            trace, l1d="berti", engine="native", seed_divergence=700
+        )
+        assert not report.ok
+        assert report.diverged_at is not None
+
+
+@needs_kernel
+class TestSnapshots:
+    def test_snapshot_files_byte_identical_across_engines(
+        self, trace, tmp_path
+    ):
+        paths = {}
+        for engine in ("classic", "native"):
+            d = tmp_path / engine
+            d.mkdir()
+            simulate_with_snapshots(
+                trace, l1d_prefetcher=make_prefetcher("berti"),
+                snapshot_every=333, snapshot_dir=str(d), engine=engine,
+            )
+            paths[engine] = sorted(p.name for p in d.iterdir())
+        assert paths["native"] == paths["classic"] != []
+        for name in paths["classic"]:
+            classic = (tmp_path / "classic" / name).read_bytes()
+            native = (tmp_path / "native" / name).read_bytes()
+            assert native == classic, f"snapshot {name} differs"
+
+    @pytest.mark.parametrize(
+        "writer,resumer", [("classic", "native"), ("native", "batched"),
+                           ("batched", "native")]
+    )
+    def test_resume_across_backends(self, trace, tmp_path, writer, resumer):
+        baseline = simulate(
+            trace, l1d_prefetcher=make_prefetcher("berti")
+        ).to_dict()
+        d = tmp_path / "ckpts"
+        d.mkdir()
+        simulate_with_snapshots(
+            trace, l1d_prefetcher=make_prefetcher("berti"),
+            snapshot_every=333, snapshot_dir=str(d), engine=writer,
+        )
+        resumed = simulate_with_snapshots(
+            trace, l1d_prefetcher=make_prefetcher("berti"),
+            resume_from=snapshot_path(str(d), 333), engine=resumer,
+        )
+        assert strip_native(resumed.to_dict()) == baseline
+
+
+class TestDemotionGuards:
+    """The kernel must never engage against anything non-stock."""
+
+    def make_parts(self, l1d="berti", l2=None):
+        from repro.cpu.core_model import CoreModel
+        from repro.simulator.config import default_config
+
+        cfg = default_config()
+        h = build_hierarchy(
+            cfg,
+            l1d if not isinstance(l1d, str) else make_prefetcher(l1d),
+            make_prefetcher(l2) if isinstance(l2, str) else l2,
+        )
+        return h, CoreModel(cfg.core)
+
+    def test_stock_berti_is_native_ok(self):
+        h, core = self.make_parts()
+        ok, code, _ = native_mode(h, core)
+        assert ok and code == 0
+
+    def test_fault_injection_subclass_demotes(self):
+        class SilentSubclass(BertiPrefetcher):
+            name = "berti"
+            kernel_hooks = True
+            kernel_batch_hooks = True
+            kernel_batch_key = "ip"
+
+        h, core = self.make_parts(SilentSubclass())
+        ok, code, detail = native_mode(h, core)
+        assert not ok and code == 3
+        assert DEMOTION_REASONS[code] == "unsupported-prefetcher"
+        assert "SilentSubclass" in detail
+
+    def test_wrapped_demand_access_demotes(self):
+        h, core = self.make_parts()
+        inner = h.demand_access
+        h.demand_access = (
+            lambda ip, vaddr, now, is_write=False:
+            inner(ip, vaddr, now, is_write)
+        )
+        ok, code, _ = native_mode(h, core)
+        assert not ok and code == 2
+
+    def test_l2_prefetcher_demotes(self):
+        h, core = self.make_parts(l2="spp")
+        ok, code, _ = native_mode(h, core)
+        assert not ok and code == 2  # batch_mode already demotes
+
+    def test_replacement_subclass_demotes(self):
+        class TracingLRU(LRUPolicy):
+            pass
+
+        h, core = self.make_parts()
+        h.l1d.policy = TracingLRU(1, 1)  # only the type is inspected
+        ok, code, detail = native_mode(h, core)
+        assert not ok and code == 4
+        assert "TracingLRU" in detail
+
+    def test_oversized_delta_geometry_demotes(self):
+        from repro.core.config import BertiConfig
+
+        pf = BertiPrefetcher(BertiConfig(deltas_per_entry=65,
+                                         delta_table_entries=16))
+        h, core = self.make_parts(pf)
+        ok, code, detail = native_mode(h, core)
+        assert not ok and code == 3
+        assert "geometry" in detail
+
+    def test_demoted_run_still_matches_classic(self, ):
+        # A config the kernel refuses must still produce classic-identical
+        # results through the native entry point (via the batched twin).
+        t = quick_trace(400, "native_demoted")
+        classic = simulate(
+            t, l1d_prefetcher=make_prefetcher("berti"),
+            l2_prefetcher=make_prefetcher("spp"), engine="classic",
+        ).to_dict()
+        native = simulate(
+            t, l1d_prefetcher=make_prefetcher("berti"),
+            l2_prefetcher=make_prefetcher("spp"), engine="native",
+        )
+        assert native.extra["native_spans"] == 0
+        assert native.extra["native_demoted"] == 1.0
+        assert strip_native(native.to_dict()) == classic
+
+    def test_guard_clearing_resumes_native_with_full_reexport(self):
+        # native span -> demoted span (guard trips) -> native span again.
+        # The demoted span mutates the Python cache objects directly, so
+        # the third span must re-export the full state (mark_stale path)
+        # and still land bit-identical with a pure classic run.
+        from repro.cpu.core_model import CoreModel
+        from repro.simulator.config import default_config
+
+        t = quick_trace(1200, "native_flipflop")
+        cfg = default_config()
+        hn = build_hierarchy(cfg, make_prefetcher("berti"), None)
+        runner = make_native_runner(t, hn, CoreModel(cfg.core))
+        if runner._fn is None:
+            pytest.skip(f"no native kernel: {runner.compiler_diagnostic}")
+        core = runner.core
+        runner(0, 400)
+        inner = hn.demand_access
+        hn.demand_access = (
+            lambda ip, vaddr, now, is_write=False:
+            inner(ip, vaddr, now, is_write)
+        )
+        runner(400, 800)
+        del hn.demand_access  # restore the class method: guard clears
+        runner(800, 1200)
+        assert runner.native_spans == 2
+        assert runner.demoted_spans == 1
+
+        hc = build_hierarchy(default_config(), make_prefetcher("berti"), None)
+        cc = CoreModel(default_config().core)
+        ips, addrs, writes, gaps, deps = t.columns()
+        for i in range(1200):
+            if gaps[i]:
+                cc.advance_nonmem(gaps[i])
+            cc.issue_memory(hc.demand_access, ips[i], addrs[i],
+                            bool(writes[i]), deps[i])
+        assert _state_digest(hn) == _state_digest(hc)
+        assert pickle.dumps(hn) == pickle.dumps(hc)
+
+    def test_negative_addresses_demote(self):
+        t = Trace("negative_addrs")
+        t.extend([(0x400, -4096 * (i + 1), False, 1, 0)
+                  for i in range(64)])
+        h, core = self.make_parts()
+        runner = make_native_runner(t, h, core)
+        runner(0, len(t))
+        assert runner.native_spans == 0
+        assert runner.demoted_spans == 1
+        assert runner.demotion_code == 2
+
+
+class TestCompilerFallback:
+    """The pure-Python path when no compiler exists on the host."""
+
+    @pytest.fixture
+    def no_compiler(self, monkeypatch):
+        native_build.reset_build_cache()
+        monkeypatch.setattr(native_build, "find_compiler", lambda: None)
+        monkeypatch.setattr(native_build, "cache_dir",
+                            lambda: native_build.Path("/nonexistent/repro"))
+        yield
+        native_build.reset_build_cache()
+
+    def test_auto_demotes_with_structured_reason(self, no_compiler):
+        t = quick_trace(300, "no_cc_auto")
+        classic = simulate(
+            t, l1d_prefetcher=make_prefetcher("berti"), engine="classic"
+        ).to_dict()
+        res = simulate(
+            t, l1d_prefetcher=make_prefetcher("berti"), engine="native"
+        )
+        assert res.extra["native_spans"] == 0
+        assert res.extra["native_demotion_code"] == 1.0
+        assert DEMOTION_REASONS[1] == "no-compiler"
+        assert strip_native(res.to_dict()) == classic
+
+    def test_force_raises_config_error_with_diagnostic(self, no_compiler):
+        t = quick_trace(300, "no_cc_force")
+        with pytest.raises(ConfigError) as exc:
+            simulate(t, l1d_prefetcher=make_prefetcher("berti"),
+                     engine="native", native="force")
+        assert exc.value.context()["field"] == "engine"
+        assert "no C compiler" in str(exc.value)
+
+    def test_off_pins_batched_fallback(self, trace):
+        rc, hc = run(trace, "berti", "classic")
+        rn, hn = run(trace, "berti", "native", native="off")
+        assert rn.extra["native_spans"] == 0.0
+        assert rn.extra["native_demoted_spans"] == 0.0
+        assert "native_demoted" not in rn.extra
+        assert strip_native(rn.to_dict()) == rc.to_dict()
+        assert pickle.dumps(hn) == pickle.dumps(hc)
+
+    def test_unknown_native_policy_rejected(self, trace):
+        with pytest.raises(ConfigError) as exc:
+            simulate(trace, engine="native", native="eventually")
+        assert exc.value.context()["field"] == "native"
+
+
+@needs_kernel
+class TestErrorMapping:
+    """rc != 0 from the kernel maps to the batched loop's exceptions."""
+
+    def make_runner(self, trace):
+        from repro.cpu.core_model import CoreModel
+        from repro.simulator.config import default_config
+
+        cfg = default_config()
+        h = build_hierarchy(cfg, make_prefetcher("berti"), None)
+        return make_native_runner(trace, h, CoreModel(cfg.core))
+
+    def _run_with_rc(self, monkeypatch, rc, a=3, b=3, c=777, d=0x40):
+        t = quick_trace(200, "err_map")
+        runner = self.make_runner(t)
+
+        def fake_call_span(fn, state):
+            R = state.R
+            R[RIX["ERR_A"]], R[RIX["ERR_B"]] = a, b
+            R[RIX["ERR_C"]], R[RIX["ERR_D"]] = c, d
+            return rc
+
+        monkeypatch.setattr(native_build, "call_span", fake_call_span)
+        runner(0, len(t))
+        return runner
+
+    def test_mshr_full_message_matches_python_engine(self, monkeypatch):
+        # Byte-for-byte the message MSHR.allocate raises, so the fuzz
+        # triage fingerprints agree across engines.
+        from repro.memory.mshr import MSHR
+
+        with pytest.raises(SimulationError) as native_exc:
+            self._run_with_rc(monkeypatch, rc=1, a=3, b=3, c=777, d=0x40)
+        mshr = MSHR(size=3)
+        for i in range(3):
+            mshr.allocate(0x100 + i, now=777, ready_cycle=1000,
+                          is_prefetch=False)
+        with pytest.raises(SimulationError) as python_exc:
+            mshr.allocate(0x40, now=777, ready_cycle=1000,
+                          is_prefetch=False)
+        assert str(native_exc.value) == str(python_exc.value)
+        assert native_exc.value.context()["field"] == "mshr"
+
+    def test_internal_error_rc_is_typed(self, monkeypatch):
+        with pytest.raises(SimulationError) as exc:
+            self._run_with_rc(monkeypatch, rc=9)
+        assert exc.value.context()["field"] == "engine"
+        assert "internal error 9" in str(exc.value)
+
+
+@needs_kernel
+class TestPredecodeSharing:
+    """The NumPy chunk pre-decode feeds both engines from one cache."""
+
+    def test_decoded_columns_cached_and_plain_int(self, trace):
+        vlines1, vpages1 = trace.decoded_columns()
+        vlines2, vpages2 = trace.decoded_columns()
+        assert vpages1 is vpages2  # memoised
+        assert len(vlines1) == len(trace)
+        assert type(vpages1[0]) is int
+
+    def test_decoded_columns_track_appends(self):
+        t = Trace("growing")
+        t.extend([(0x400, 0x1000 * i, False, 1, 0) for i in range(8)])
+        _, pages = t.decoded_columns()
+        assert len(pages) == 8
+        t.extend([(0x400, 0x9000, False, 1, 0)])
+        _, pages = t.decoded_columns()
+        assert len(pages) == 9
+        assert pages[-1] == 0x9000 >> 12
